@@ -1,0 +1,131 @@
+// Command hccmf-bench regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's row format. With
+// -report it also writes a machine-readable record of the key numbers.
+//
+// Usage:
+//
+//	hccmf-bench [-only figure3,table4,...] [-fig7-scale 0.002]
+//	            [-fig7-epochs 40] [-report out.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hccmf/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: figure3,table2,figure5,figure7,table4,figure8,table5,figure9,table6,relatedwork")
+	fig7Scale := flag.Float64("fig7-scale", 0.002, "dataset scale factor for the real-training convergence study")
+	fig7Epochs := flag.Int("fig7-epochs", 40, "epochs for the convergence study")
+	fig7K := flag.Int("fig7-k", 16, "latent dimension for the real-training study")
+	seed := flag.Uint64("seed", 7, "random seed for generated data")
+	report := flag.String("report", "", "also write the output to this file")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	var out strings.Builder
+	emit := func(s string) {
+		fmt.Print(s)
+		out.WriteString(s)
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "hccmf-bench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if selected("figure3") {
+		r, err := experiments.Figure3()
+		if err != nil {
+			fail("figure3", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("table2") {
+		r, err := experiments.Table2()
+		if err != nil {
+			fail("table2", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("figure5") {
+		r, err := experiments.Figure5()
+		if err != nil {
+			fail("figure5", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("figure7") {
+		r, err := experiments.Figure7(*fig7Scale, *fig7Epochs, *fig7K, *seed)
+		if err != nil {
+			fail("figure7", err)
+		}
+		emit(r.Format() + "\n")
+		for _, c := range r.Curves {
+			emit(c.HCC.Format())
+			emit(c.FPSGD.Format())
+			emit(c.CuMF.Format())
+			emit("\n")
+		}
+	}
+	if selected("table4") {
+		r, err := experiments.Table4()
+		if err != nil {
+			fail("table4", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("figure8") {
+		r, err := experiments.Figure8()
+		if err != nil {
+			fail("figure8", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("table5") {
+		r, err := experiments.Table5()
+		if err != nil {
+			fail("table5", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("figure9") {
+		r, err := experiments.Figure9()
+		if err != nil {
+			fail("figure9", err)
+		}
+		emit(r.Format() + "\n")
+	}
+	if selected("table6") {
+		r, err := experiments.Table6()
+		if err != nil {
+			fail("table6", err)
+		}
+		emit(r.Format() + "\n")
+	}
+
+	if selected("relatedwork") {
+		r, err := experiments.RelatedWork()
+		if err != nil {
+			fail("relatedwork", err)
+		}
+		emit(r.Format() + "\n")
+	}
+
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(out.String()), 0o644); err != nil {
+			fail("report", err)
+		}
+		fmt.Fprintf(os.Stderr, "hccmf-bench: report written to %s\n", *report)
+	}
+}

@@ -1,0 +1,157 @@
+// Command hccmf-sim explores what-if platform configurations on the
+// simulated multi-CPU/GPU machine: pick devices, a dataset shape and a
+// partition/communication configuration, and see the planned epoch
+// decomposition and simulated timing without training anything.
+//
+// Usage:
+//
+//	hccmf-sim -preset r1 -workers 2080S,6242,2080 -epochs 20
+//	hccmf-sim -preset ml-20m -workers 2080S -strategy half-Q
+//	hccmf-sim -preset netflix -workers 2080S,2080 -partition DP0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hccmf/internal/bus"
+	"hccmf/internal/comm"
+	"hccmf/internal/core"
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+	"hccmf/internal/partition"
+)
+
+func main() {
+	preset := flag.String("preset", "netflix", "dataset preset (netflix, r1, r1star, r2, ml-20m)")
+	workersFlag := flag.String("workers", "2080S,6242,2080,6242l", "comma-separated worker devices: 6242, 6242l, 6242-<n>T, 2080, 2080S, V100")
+	epochs := flag.Int("epochs", 20, "epochs to simulate")
+	k := flag.Int("k", 128, "latent dimension")
+	strategyFlag := flag.String("strategy", "", "force a communication strategy: P&Q, Q, half-Q, half-Q/async")
+	partitionFlag := flag.String("partition", "", "stop partition refinement at DP0, DP1 or DP2")
+	serverThreads := flag.Int("server-threads", 16, "server CPU thread count")
+	timeline := flag.Int("timeline", 0, "render an ASCII Gantt of the first N epochs (Figure 5 style)")
+	flag.Parse()
+
+	spec, err := dataset.Lookup(*preset)
+	if err != nil {
+		fatal(err)
+	}
+
+	plat := core.Platform{Server: device.Xeon6242(*serverThreads)}
+	for _, name := range strings.Split(*workersFlag, ",") {
+		w, err := parseWorker(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		plat.Workers = append(plat.Workers, w)
+	}
+
+	opts := core.PlanOptions{K: *k}
+	if *strategyFlag != "" {
+		s, err := parseStrategy(*strategyFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts.ForceStrategy = &s
+	}
+	if *partitionFlag != "" {
+		p, err := parsePartition(*partitionFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts.ForcePartition = &p
+	}
+
+	res, err := core.Run(core.RunConfig{
+		Spec: spec, Platform: plat, Epochs: *epochs, Plan: opts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("dataset : %s (%dx%d, %d ratings)\n", spec.Name, spec.M, spec.N, spec.NNZ)
+	fmt.Printf("plan    : %v\n", res.Plan)
+	fmt.Printf("epochs  : %d in %.4fs simulated (%.4fs/epoch steady state)\n",
+		*epochs, res.Sim.TotalTime, res.Sim.EpochTimes[len(res.Sim.EpochTimes)/2])
+	fmt.Printf("power   : %.4g updates/s of %.4g ideal → %.1f%% utilization\n",
+		res.Power, res.IdealPower, res.Utilization*100)
+	fmt.Println("\nper-worker cumulative phases:")
+	fmt.Print(res.Sim.Trace.Format())
+	if *timeline > 0 {
+		n := *timeline
+		if n > len(res.Sim.EpochTimes) {
+			n = len(res.Sim.EpochTimes)
+		}
+		var to float64
+		for _, e := range res.Sim.EpochTimes[:n] {
+			to += e
+		}
+		fmt.Printf("\nfirst %d epoch(s):\n%s", n, res.Sim.Timeline.Gantt(0, to, 100))
+	}
+	if pre, err := core.EstimatePreprocess(plat, spec, res.Plan); err == nil {
+		fmt.Printf("\npreprocessing (once per job): %v\n", pre)
+	}
+	fmt.Println("\ncost model estimate for one epoch:")
+	fmt.Printf("  max worker %.4fs, sync total %.4fs (ratio %.1f, hidden=%v)\n",
+		res.Plan.Estimate.MaxWorker, res.Plan.Estimate.SyncTotal,
+		res.Plan.Estimate.SyncRatio, res.Plan.Estimate.SyncHidden)
+}
+
+func parseWorker(name string) (core.WorkerSpec, error) {
+	switch strings.ToUpper(name) {
+	case "2080":
+		return core.WorkerSpec{Device: device.RTX2080(), Bus: bus.PCIe3x16}, nil
+	case "2080S":
+		return core.WorkerSpec{Device: device.RTX2080Super(), Bus: bus.PCIe3x16}, nil
+	case "V100":
+		return core.WorkerSpec{Device: device.TeslaV100(), Bus: bus.PCIe3x16}, nil
+	case "6242":
+		return core.WorkerSpec{Device: device.Xeon6242(24), Bus: bus.UPI}, nil
+	case "6242L":
+		return core.WorkerSpec{Device: device.Xeon6242(10), Bus: bus.Local, TimeShared: true}, nil
+	}
+	upper := strings.ToUpper(name)
+	if strings.HasPrefix(upper, "6242-") && strings.HasSuffix(upper, "T") {
+		t := strings.TrimSuffix(strings.TrimPrefix(upper, "6242-"), "T")
+		threads, err := strconv.Atoi(t)
+		if err == nil && threads >= 1 && threads <= 48 {
+			return core.WorkerSpec{Device: device.Xeon6242(threads), Bus: bus.UPI}, nil
+		}
+	}
+	return core.WorkerSpec{}, fmt.Errorf("unknown worker %q", name)
+}
+
+func parseStrategy(s string) (comm.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "p&q", "pq":
+		return comm.Strategy{Encoding: comm.FP32, Streams: 1}, nil
+	case "q":
+		return comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 1}, nil
+	case "half-q", "halfq":
+		return comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 1}, nil
+	case "half-q/async", "async":
+		return comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 4}, nil
+	}
+	return comm.Strategy{}, fmt.Errorf("unknown strategy %q", s)
+}
+
+func parsePartition(s string) (partition.Strategy, error) {
+	switch strings.ToUpper(s) {
+	case "DP0":
+		return partition.DP0Strategy, nil
+	case "DP1":
+		return partition.DP1Strategy, nil
+	case "DP2":
+		return partition.DP2Strategy, nil
+	}
+	return 0, fmt.Errorf("unknown partition strategy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hccmf-sim:", err)
+	os.Exit(1)
+}

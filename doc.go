@@ -1,0 +1,15 @@
+// Package hccmf is a Go reproduction of "A Novel Multi-CPU/GPU
+// Collaborative Computing Framework for SGD-based Matrix Factorization"
+// (Huang et al., ICPP 2021).
+//
+// The implementation lives under internal/: the HCC-MF framework itself in
+// internal/core (planner, simulated platform runner, end-to-end Run), its
+// substrates in one package per subsystem (sparse matrices, dataset
+// generators, SGD kernels, FP16 codecs, the discrete-event simulator,
+// device/bus calibration models, the cost model, partition strategies, the
+// COMM communication layer, the parameter-server runtime, baselines,
+// metrics and tracing), and the paper's evaluation in
+// internal/experiments. Executables are under cmd/ and runnable examples
+// under examples/. The benchmark harness in bench_test.go regenerates
+// every table and figure of the paper's Section 4.
+package hccmf

@@ -1,0 +1,61 @@
+// Limitation study (paper Section 4.6): on near-square matrices like
+// MovieLens-20m, the feature matrices are huge relative to the rating
+// count, communication rivals computation, and adding processors stops
+// paying. This example quantifies where collaboration stops helping.
+//
+//	go run ./examples/limitation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hccmf/internal/core"
+	"hccmf/internal/costmodel"
+	"hccmf/internal/dataset"
+)
+
+func main() {
+	fmt.Println("When does multi-CPU/GPU collaboration stop paying?")
+	fmt.Println()
+	fmt.Printf("%-10s %14s %12s %12s %12s %10s\n",
+		"dataset", "nnz/(m+n)", "1 worker(s)", "4 workers(s)", "speedup", "util@4")
+	plat := core.PaperPlatformHetero()
+	for _, spec := range []dataset.Spec{
+		dataset.YahooR2, dataset.Netflix, dataset.YahooR1, dataset.MovieLens20M,
+	} {
+		single, err := core.Run(core.RunConfig{
+			Spec: spec, Platform: plat.FirstWorkers(1), Epochs: 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := core.Run(core.RunConfig{
+			Spec: spec, Platform: plat, Epochs: 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %14.0f %12.3f %12.3f %11.2fx %9.0f%%\n",
+			spec.Name, spec.DimRatio(),
+			single.Sim.TotalTime, full.Sim.TotalTime,
+			single.Sim.TotalTime/full.Sim.TotalTime,
+			full.Utilization*100)
+	}
+
+	fmt.Println("\nThe paper's diagnostic: when nnz/(m+n) falls under ~10³, communication")
+	fmt.Println("overhead is the same order as computation and speedups flatten out.")
+
+	// Make the diagnostic concrete with the cost model.
+	fmt.Println("\nCost-model view (one 2080S worker, half of the data):")
+	for _, spec := range []dataset.Spec{dataset.YahooR2, dataset.MovieLens20M} {
+		prob := costmodel.Problem{M: spec.M, N: spec.N, NNZ: spec.NNZ, K: 128}
+		w := costmodel.Worker{
+			Name: "2080S", Rate: 354261902, BusBW: 16e9,
+			CommBytes: float64(prob.K) * float64(prob.N) * 2, // half-Q
+			Streams:   1,
+		}
+		ratio := costmodel.CommComputeRatio(w, 0.5, spec.NNZ)
+		fmt.Printf("  %-10s comm/compute = %.3f\n", spec.Name, ratio)
+	}
+}

@@ -1,0 +1,3 @@
+module hccmf
+
+go 1.22

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"testing"
+
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+	"hccmf/internal/raceflag"
+)
+
+func TestFPSGDProfile(t *testing.T) {
+	b := FPSGD(16)
+	if b.Name != "FPSGD" || b.Device.Kind != device.CPU {
+		t.Fatalf("FPSGD profile wrong: %+v", b)
+	}
+	// Real engine must be capped for the test host.
+	if b.Engine == nil {
+		t.Fatal("no engine")
+	}
+}
+
+func TestCuMFSGDRequiresGPU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CuMFSGD(CPU) did not panic")
+		}
+	}()
+	CuMFSGD(device.Xeon6242(16))
+}
+
+func TestSimTimeMatchesPaperFootnote(t *testing.T) {
+	// Footnote 1: modified cuMF_SGD trains Netflix 20 epochs in ~2.25s on
+	// the RTX 2080, and modified FPSGD (AVX512) in ~5.5s on the 6242.
+	cu := CuMFSGD(device.RTX2080())
+	if got := cu.SimTime(dataset.Netflix, 20); got < 1.9 || got > 2.5 {
+		t.Fatalf("cuMF 2080 Netflix 20 epochs = %vs, paper ~2.25s", got)
+	}
+	fp := FPSGD(24)
+	if got := fp.SimTime(dataset.Netflix, 20); got < 4.5 || got > 7.5 {
+		t.Fatalf("FPSGD 6242 Netflix 20 epochs = %vs, paper ~5.5s", got)
+	}
+}
+
+func TestSimTimeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero epochs did not panic")
+		}
+	}()
+	FPSGD(16).SimTime(dataset.Netflix, 0)
+}
+
+func TestTrainCurveConverges(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("the cuMF-style batched engine is intentionally lock-free; skipped under -race")
+	}
+	for _, b := range []Standalone{FPSGD(16), CuMFSGD(device.RTX2080Super())} {
+		curve, err := b.TrainCurve(dataset.Netflix, 0.002, 12, 8, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(curve.Points) != 13 { // epoch 0 anchor + 12 epochs
+			t.Fatalf("%s: %d points", b.Name, len(curve.Points))
+		}
+		first, last := curve.Points[0].RMSE, curve.Final()
+		if last >= first {
+			t.Fatalf("%s did not converge: %v → %v", b.Name, first, last)
+		}
+		// Time axis is the simulated full-size clock, anchored at 0.
+		if curve.Points[0].Time != 0 || curve.Points[0].Epoch != 0 {
+			t.Fatalf("%s missing epoch-0 anchor: %+v", b.Name, curve.Points[0])
+		}
+		wantEpoch := b.SimTime(dataset.Netflix, 1)
+		if curve.Points[1].Time != wantEpoch {
+			t.Fatalf("%s time axis = %v, want %v", b.Name, curve.Points[1].Time, wantEpoch)
+		}
+	}
+}
+
+func TestTrainCurveGPUFasterClock(t *testing.T) {
+	// Same convergence work, but the GPU's simulated clock runs ~3x faster
+	// — the Figure 7(d) separation.
+	fp := FPSGD(24)
+	cu := CuMFSGD(device.RTX2080Super())
+	if cu.SimTime(dataset.Netflix, 20) >= fp.SimTime(dataset.Netflix, 20)/2 {
+		t.Fatal("GPU baseline not meaningfully faster than CPU baseline")
+	}
+}
+
+func TestTrainCurveValidation(t *testing.T) {
+	if _, err := FPSGD(16).TrainCurve(dataset.Netflix, 0.001, 0, 8, 1); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := FPSGD(16).TrainCurve(dataset.Netflix, 0.001, 5, 0, 1); err == nil {
+		t.Fatal("zero k accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Package bus models the interconnects of a multi-CPU/GPU machine
+// (paper Figure 2): PCIe 3.0 x16 lanes between GPUs and their host CPU,
+// Intel UPI/QPI hops between sockets, and the local memory path a worker
+// time-sharing the server's own CPU uses. Each physical channel becomes a
+// processor-sharing simengine.Link, so independent channels move data in
+// parallel while transfers on the same channel contend — exactly the
+// property HCC-MF's parallel pull/push design exploits.
+package bus
+
+import (
+	"fmt"
+
+	"hccmf/internal/simengine"
+)
+
+// Type enumerates the interconnect technologies in the modelled platform.
+type Type int
+
+const (
+	// PCIe3x16 is a PCI Express 3.0 x16 slot (discrete GPU attach).
+	PCIe3x16 Type = iota
+	// UPI is an Intel Ultra Path Interconnect hop (socket to socket).
+	UPI
+	// QPI is the older Intel QuickPath Interconnect hop.
+	QPI
+	// Local is the degenerate "channel" of a worker running on the
+	// server's own CPU: a shared-memory copy at memory bandwidth.
+	Local
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case PCIe3x16:
+		return "pcie3-x16"
+	case UPI:
+		return "upi"
+	case QPI:
+		return "qpi"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("bus.Type(%d)", int(t))
+	}
+}
+
+const gb = 1e9
+
+// Bandwidth reports the effective unidirectional bandwidth of the channel
+// type in bytes/second. Values follow Section 3.3 of the paper: PCIe 3.0
+// x16 ≈ 16 GB/s, UPI ≈ 20.8 GB/s, QPI ≈ 16 GB/s; Local uses a
+// memory-copy figure well above any external channel.
+func (t Type) Bandwidth() float64 {
+	switch t {
+	case PCIe3x16:
+		return 16 * gb
+	case UPI:
+		return 20.8 * gb
+	case QPI:
+		return 16 * gb
+	case Local:
+		return 60 * gb
+	default:
+		panic(fmt.Sprintf("bus: unknown type %d", int(t)))
+	}
+}
+
+// Channel is one physical interconnect instance materialised in a
+// simulation.
+type Channel struct {
+	Type Type
+	Link *simengine.Link
+}
+
+// NewChannel creates a simulation link for one physical channel. Each call
+// models a distinct set of lanes: two GPUs on their own x16 slots get two
+// independent channels, as in the paper's platform.
+func NewChannel(sim *simengine.Sim, name string, t Type) *Channel {
+	return &Channel{Type: t, Link: sim.NewLink(name, t.Bandwidth())}
+}

@@ -1,0 +1,77 @@
+package bus
+
+import (
+	"testing"
+
+	"hccmf/internal/simengine"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		PCIe3x16: "pcie3-x16", UPI: "upi", QPI: "qpi", Local: "local",
+		Type(9): "bus.Type(9)",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(ty), got, want)
+		}
+	}
+}
+
+func TestBandwidthsMatchPaper(t *testing.T) {
+	// Section 3.3: x16 PCIe Gen3 ≈ 16 GB/s vs QPI 16–20.8 GB/s.
+	if PCIe3x16.Bandwidth() != 16e9 {
+		t.Fatalf("PCIe = %v", PCIe3x16.Bandwidth())
+	}
+	if UPI.Bandwidth() != 20.8e9 {
+		t.Fatalf("UPI = %v", UPI.Bandwidth())
+	}
+	if QPI.Bandwidth() != 16e9 {
+		t.Fatalf("QPI = %v", QPI.Bandwidth())
+	}
+	if Local.Bandwidth() <= UPI.Bandwidth() {
+		t.Fatal("local memory path must beat any external channel")
+	}
+}
+
+func TestBandwidthUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown type did not panic")
+		}
+	}()
+	Type(42).Bandwidth()
+}
+
+func TestNewChannel(t *testing.T) {
+	s := simengine.New()
+	ch := NewChannel(s, "gpu0-pcie", PCIe3x16)
+	if ch.Type != PCIe3x16 {
+		t.Fatal("type not stored")
+	}
+	if ch.Link.Bandwidth() != 16e9 {
+		t.Fatalf("link bandwidth = %v", ch.Link.Bandwidth())
+	}
+	if ch.Link.Name() != "gpu0-pcie" {
+		t.Fatalf("link name = %q", ch.Link.Name())
+	}
+}
+
+func TestChannelsAreIndependent(t *testing.T) {
+	s := simengine.New()
+	a := NewChannel(s, "a", PCIe3x16)
+	b := NewChannel(s, "b", PCIe3x16)
+	var ta, tb float64
+	s.Go("wa", func(p *simengine.Proc) {
+		a.Link.Transfer(p, 16e9)
+		ta = s.Now()
+	})
+	s.Go("wb", func(p *simengine.Proc) {
+		b.Link.Transfer(p, 16e9)
+		tb = s.Now()
+	})
+	s.Run()
+	if ta != 1 || tb != 1 {
+		t.Fatalf("independent channels contended: %v %v", ta, tb)
+	}
+}

@@ -1,0 +1,29 @@
+package comm_test
+
+import (
+	"fmt"
+
+	"hccmf/internal/comm"
+)
+
+// Strategy selection for the Netflix shape: Q-only plus FP16 cuts a
+// worker's 20-epoch feature traffic by more than an order of magnitude.
+func ExampleStrategy_RunBytes() {
+	const k, m, n, owned, epochs = 128, 480190, 17771, 120000, 20
+	naive := comm.Strategy{Encoding: comm.FP32, Streams: 1}
+	tuned := comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 1}
+	nb := naive.RunBytes(k, m, n, owned, epochs)
+	tb := tuned.RunBytes(k, m, n, owned, epochs)
+	fmt.Printf("%s: %.1f GB\n", naive, float64(nb)/1e9)
+	fmt.Printf("%s: %.1f GB (%.0fx less)\n", tuned, float64(tb)/1e9, float64(nb)/float64(tb))
+	// Output:
+	// P&Q: 10.2 GB
+	// half-Q: 0.2 GB (48x less)
+}
+
+func ExampleChoose() {
+	s := comm.Choose(128, 480190, 17771, 99072112, 4)
+	fmt.Println(s)
+	// Output:
+	// half-Q
+}

@@ -1,0 +1,14 @@
+package comm
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putFloat32(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+}
+
+func getFloat32(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}

@@ -1,0 +1,141 @@
+// Package comm implements HCC-MF's communication layer (paper Sections 3.4
+// and 3.5): the COMM shared-memory transport with its single-copy pull/push
+// buffers, the ps-lite-style COMM-P message transport used as a baseline,
+// and the three communication optimisation strategies — "Transmitting Q
+// matrix only", "Transmitting FP16 data", and the asynchronous
+// computing-transmission pipeline.
+package comm
+
+import "fmt"
+
+// Encoding selects the wire representation of feature data.
+type Encoding int
+
+const (
+	// FP32 sends raw float32 parameters.
+	FP32 Encoding = iota
+	// FP16 compresses parameters to IEEE binary16 before the bus and
+	// decompresses after (Strategy 2).
+	FP16
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// BytesPerParam reports the wire size of one parameter.
+func (e Encoding) BytesPerParam() int {
+	if e == FP16 {
+		return 2
+	}
+	return 4
+}
+
+// Strategy is a complete communication configuration for a training run.
+type Strategy struct {
+	// QOnly enables Strategy 1: middle epochs move only the item matrix Q
+	// (the shorter dimension); P travels once, on the final push. Valid
+	// only with a row grid (column grids transpose the roles, which the
+	// planner handles by swapping m and n before it gets here).
+	QOnly bool
+	// Encoding is FP16 when Strategy 2 is active.
+	Encoding Encoding
+	// Streams is the number of asynchronous pull-compute-push pipelines
+	// per worker (Strategy 3); 1 disables overlap.
+	Streams int
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	payload := "P&Q"
+	if s.QOnly {
+		payload = "Q"
+		if s.Encoding == FP16 {
+			payload = "half-Q"
+		}
+	} else if s.Encoding == FP16 {
+		payload = "half-P&Q"
+	}
+	if s.Streams > 1 {
+		return fmt.Sprintf("%s/async-%d", payload, s.Streams)
+	}
+	return payload
+}
+
+// PullParams reports the number of parameters a worker pulls at the start
+// of the given epoch (0-based) of a run with total epochs. Under Q-only
+// the worker never pulls P: its own P rows arrive during preprocessing
+// (workflow step ③) and row independence keeps them local thereafter.
+// The naive P&Q baseline pulls the complete model every epoch.
+func (s Strategy) PullParams(k, m, n, epoch, epochs int) int64 {
+	if s.QOnly {
+		return int64(k) * int64(n)
+	}
+	return int64(k) * int64(m+n)
+}
+
+// PushParams reports the number of parameters a worker pushes at the end
+// of the given epoch. ownedRows is the worker's row-grid span: under
+// Q-only the final push adds only those P rows (the rest of P belongs to
+// other workers), while the P&Q baseline pushes the full matrices every
+// epoch.
+func (s Strategy) PushParams(k, m, n, ownedRows, epoch, epochs int) int64 {
+	if s.QOnly {
+		if epoch == epochs-1 {
+			return int64(k) * int64(n+ownedRows)
+		}
+		return int64(k) * int64(n)
+	}
+	return int64(k) * int64(m+n)
+}
+
+// RunBytes reports the total bus bytes one worker with ownedRows rows moves
+// over a whole training run (both directions).
+func (s Strategy) RunBytes(k, m, n, ownedRows, epochs int) int64 {
+	var params int64
+	for e := 0; e < epochs; e++ {
+		params += s.PullParams(k, m, n, e, epochs)
+		params += s.PushParams(k, m, n, ownedRows, e, epochs)
+	}
+	return params * int64(s.Encoding.BytesPerParam())
+}
+
+// EffectiveStreams reports the usable pipeline count: Strategy 3 needs a
+// copy engine to overlap transfers with compute.
+func (s Strategy) EffectiveStreams(hasCopyEngine bool) int {
+	if s.Streams <= 1 || !hasCopyEngine {
+		return 1
+	}
+	return s.Streams
+}
+
+// Choose picks the paper's strategy for a problem shape: Q-only whenever a
+// row grid applies and actually shrinks traffic, FP16 on top (rating scales
+// are coarse, Section 3.4), and async streams when the communication-to-
+// computation ratio would otherwise stay material — the paper's
+// nnz/(m+n) < 10³ diagnostic.
+func Choose(k, m, n int, nnz int64, streams int) Strategy {
+	// Q-only always pays: it cuts traffic to n/(m+n) of the baseline, at
+	// worst 1/2 when m = n. When n > m the planner transposes the problem
+	// (column grid) before calling here, so the stationary matrix is
+	// always the larger dimension.
+	s := Strategy{QOnly: true, Encoding: FP16, Streams: 1}
+	// After Q-only the per-epoch payload is k·n, so the residual
+	// communication-to-computation balance is governed by nnz/n (the
+	// paper's nnz/(m+n) < 10³ rule applied to the surviving traffic).
+	// Below the threshold the transfers still matter and Strategy 3's
+	// async pipelines are worth their loss of synchrony — the paper
+	// enables them on R1 and ML-20m but not on Netflix or R2.
+	if n > 0 && float64(nnz)/float64(n) < 1000 && streams > 1 {
+		s.Streams = streams
+	}
+	return s
+}

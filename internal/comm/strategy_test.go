@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	netflixM = 480190
+	netflixN = 17771
+)
+
+func TestEncodingBytes(t *testing.T) {
+	if FP32.BytesPerParam() != 4 || FP16.BytesPerParam() != 2 {
+		t.Fatal("encoding sizes wrong")
+	}
+	if FP32.String() != "fp32" || FP16.String() != "fp16" {
+		t.Fatal("encoding names wrong")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	cases := []struct {
+		s    Strategy
+		want string
+	}{
+		{Strategy{Encoding: FP32, Streams: 1}, "P&Q"},
+		{Strategy{QOnly: true, Encoding: FP32, Streams: 1}, "Q"},
+		{Strategy{QOnly: true, Encoding: FP16, Streams: 1}, "half-Q"},
+		{Strategy{Encoding: FP16, Streams: 1}, "half-P&Q"},
+		{Strategy{QOnly: true, Encoding: FP16, Streams: 4}, "half-Q/async-4"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPullPushParamsPQ(t *testing.T) {
+	s := Strategy{Encoding: FP32, Streams: 1}
+	const k, m, n, epochs = 32, 100, 50, 10
+	for e := 0; e < epochs; e++ {
+		if got := s.PullParams(k, m, n, e, epochs); got != int64(k*(m+n)) {
+			t.Fatalf("epoch %d pull = %d", e, got)
+		}
+		if got := s.PushParams(k, m, n, m/2, e, epochs); got != int64(k*(m+n)) {
+			t.Fatalf("epoch %d push = %d", e, got)
+		}
+	}
+}
+
+func TestPullPushParamsQOnly(t *testing.T) {
+	s := Strategy{QOnly: true, Encoding: FP32, Streams: 1}
+	const k, m, n, epochs, owned = 32, 100, 50, 10, 25
+	// P never travels on pulls: workers receive their rows during
+	// preprocessing.
+	if got := s.PullParams(k, m, n, 0, epochs); got != int64(k*n) {
+		t.Fatalf("first pull = %d, want %d", got, k*n)
+	}
+	if got := s.PullParams(k, m, n, 3, epochs); got != int64(k*n) {
+		t.Fatalf("mid pull = %d, want %d", got, k*n)
+	}
+	if got := s.PushParams(k, m, n, owned, 3, epochs); got != int64(k*n) {
+		t.Fatalf("mid push = %d, want %d", got, k*n)
+	}
+	// Last push adds the worker's own P rows so the server owns the model.
+	if got := s.PushParams(k, m, n, owned, epochs-1, epochs); got != int64(k*(n+owned)) {
+		t.Fatalf("last push = %d, want %d", got, k*(n+owned))
+	}
+}
+
+func TestRunBytesRatiosMatchPaperShape(t *testing.T) {
+	// On Netflix (m ≫ n), Q-only must cut traffic by an order of
+	// magnitude, and FP16 must halve whatever it is applied to.
+	const k, epochs = 32, 20
+	const owned = netflixM / 4
+	pq := Strategy{Encoding: FP32, Streams: 1}.RunBytes(k, netflixM, netflixN, owned, epochs)
+	q := Strategy{QOnly: true, Encoding: FP32, Streams: 1}.RunBytes(k, netflixM, netflixN, owned, epochs)
+	halfQ := Strategy{QOnly: true, Encoding: FP16, Streams: 1}.RunBytes(k, netflixM, netflixN, owned, epochs)
+
+	speedupQ := float64(pq) / float64(q)
+	if speedupQ < 10 || speedupQ > 30 {
+		t.Fatalf("Q-only traffic reduction = %.1fx, want O(20x) on Netflix", speedupQ)
+	}
+	if r := float64(q) / float64(halfQ); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("FP16 reduction = %v, want exactly 2", r)
+	}
+}
+
+func TestRunBytesSquareMatrixBound(t *testing.T) {
+	// With m = n the Q-only lower bound is 1/2 (paper Section 3.4).
+	const k, m, n, epochs = 16, 1000, 1000, 40
+	pq := Strategy{Encoding: FP32, Streams: 1}.RunBytes(k, m, n, m/2, epochs)
+	q := Strategy{QOnly: true, Encoding: FP32, Streams: 1}.RunBytes(k, m, n, m/2, epochs)
+	ratio := float64(pq) / float64(q)
+	if ratio > 2.0+1e-9 {
+		t.Fatalf("square-matrix Q-only ratio = %v, must not exceed 2", ratio)
+	}
+	if ratio < 1.8 {
+		t.Fatalf("square-matrix Q-only ratio = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestEffectiveStreams(t *testing.T) {
+	s := Strategy{Streams: 4}
+	if s.EffectiveStreams(true) != 4 {
+		t.Fatal("copy engine should enable streams")
+	}
+	if s.EffectiveStreams(false) != 1 {
+		t.Fatal("no copy engine must disable overlap")
+	}
+	if (Strategy{Streams: 1}).EffectiveStreams(true) != 1 {
+		t.Fatal("streams=1 is synchronous")
+	}
+}
+
+func TestChoose(t *testing.T) {
+	// Netflix-like: tall, dense in ratio terms → Q-only+FP16, no streams.
+	s := Choose(32, netflixM, netflixN, 99072112, 4)
+	if !s.QOnly || s.Encoding != FP16 {
+		t.Fatalf("Choose(netflix) = %+v", s)
+	}
+	// Netflix: nnz/n ≈ 5574 ≥ 1000, transfers already negligible.
+	if s.Streams != 1 {
+		t.Fatalf("netflix should not need async streams, got %d", s.Streams)
+	}
+}
+
+func TestChooseMatchesPaperPerDataset(t *testing.T) {
+	cases := []struct {
+		name        string
+		m, n        int
+		nnz         int64
+		wantStreams bool
+	}{
+		{"netflix", 480190, 17771, 99072112, false},
+		{"r1", 1948883, 1101750, 115579437, true},
+		{"r2", 1000000, 136736, 383838609, false},
+		{"ml-20m", 138494, 131263, 20000260, true},
+	}
+	for _, c := range cases {
+		s := Choose(32, c.m, c.n, c.nnz, 4)
+		got := s.Streams > 1
+		if got != c.wantStreams {
+			t.Errorf("%s: streams enabled = %v, want %v", c.name, got, c.wantStreams)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func payload(n int) []float32 {
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i%997)/31.0 - 11
+	}
+	return src
+}
+
+func testTransportRoundTrip(t *testing.T, tr Transport) {
+	t.Helper()
+	src := payload(1000)
+	dst := make([]float32, len(src))
+
+	stats, err := tr.Pull(dst, src, FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("%s fp32 pull corrupted index %d", tr.Name(), i)
+		}
+	}
+	if stats.BusBytes != int64(4*len(src)) {
+		t.Fatalf("%s fp32 BusBytes = %d", tr.Name(), stats.BusBytes)
+	}
+	if stats.Copies != tr.CopiesPerTransfer() {
+		t.Fatalf("%s Copies = %d, want %d", tr.Name(), stats.Copies, tr.CopiesPerTransfer())
+	}
+
+	dst16 := make([]float32, len(src))
+	stats16, err := tr.Push(dst16, src, FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats16.BusBytes != int64(2*len(src)) {
+		t.Fatalf("%s fp16 BusBytes = %d, want half of fp32", tr.Name(), stats16.BusBytes)
+	}
+	for i := range src {
+		rel := math.Abs(float64(dst16[i]-src[i])) / (math.Abs(float64(src[i])) + 1e-6)
+		if rel > 1e-3 {
+			t.Fatalf("%s fp16 index %d: %v → %v", tr.Name(), i, src[i], dst16[i])
+		}
+	}
+}
+
+func TestSharedMemRoundTrip(t *testing.T) { testTransportRoundTrip(t, NewSharedMem(2)) }
+func TestMessageRoundTrip(t *testing.T)   { testTransportRoundTrip(t, NewMessage()) }
+
+func TestSharedMemLengthMismatch(t *testing.T) {
+	tr := NewSharedMem(1)
+	if _, err := tr.Pull(make([]float32, 2), make([]float32, 3), FP32); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMessageLengthMismatch(t *testing.T) {
+	tr := NewMessage()
+	if _, err := tr.Push(make([]float32, 2), make([]float32, 3), FP32); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSharedMemNeedsWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharedMem(0) did not panic")
+		}
+	}()
+	NewSharedMem(0)
+}
+
+func TestCopyCounts(t *testing.T) {
+	if NewSharedMem(1).CopiesPerTransfer() != 1 {
+		t.Fatal("COMM must be single-copy")
+	}
+	if NewMessage().CopiesPerTransfer() != 3 {
+		t.Fatal("COMM-P must be triple-copy")
+	}
+}
+
+func TestTransferStatsAdd(t *testing.T) {
+	a := TransferStats{BusBytes: 10, Copies: 1}
+	a.Add(TransferStats{BusBytes: 5, Copies: 3})
+	if a.BusBytes != 15 || a.Copies != 4 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestSharedMemConcurrentWorkers(t *testing.T) {
+	// Distinct workers pulling concurrently from the same source must each
+	// get intact data (COMM's buffers are per-worker; the shared source is
+	// read-only during pulls).
+	tr := NewSharedMem(8)
+	src := payload(4096)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float32, len(src))
+			if _, err := tr.Pull(dst, src, FP32); err != nil {
+				errs <- err
+				return
+			}
+			for i := range src {
+				if dst[i] != src[i] {
+					errs <- errIndex(i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errIndex int
+
+func (e errIndex) Error() string { return "corrupted index" }
+
+func TestMarshalUnmarshalErrors(t *testing.T) {
+	if err := unmarshal(make([]float32, 2), make([]byte, 7), FP32); err == nil {
+		t.Fatal("bad fp32 wire size accepted")
+	}
+	if err := unmarshal(make([]float32, 2), make([]byte, 3), FP16); err == nil {
+		t.Fatal("bad fp16 wire size accepted")
+	}
+	if _, err := marshal(nil, Encoding(9)); err == nil {
+		t.Fatal("unknown encoding accepted by marshal")
+	}
+	if err := unmarshal(nil, nil, Encoding(9)); err == nil {
+		t.Fatal("unknown encoding accepted by unmarshal")
+	}
+	if _, err := sharedCopy(make([]float32, 1), make([]float32, 1), Encoding(9)); err == nil {
+		t.Fatal("unknown encoding accepted by sharedCopy")
+	}
+}
+
+func BenchmarkSharedMemPullFP32(b *testing.B) { benchTransport(b, NewSharedMem(1), FP32) }
+func BenchmarkSharedMemPullFP16(b *testing.B) { benchTransport(b, NewSharedMem(1), FP16) }
+func BenchmarkMessagePullFP32(b *testing.B)   { benchTransport(b, NewMessage(), FP32) }
+
+func benchTransport(b *testing.B, tr Transport, enc Encoding) {
+	src := payload(1 << 16)
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Pull(dst, src, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package core is HCC-MF itself: the heterogeneous multi-CPU/GPU
+// collaborative computing framework for SGD-based matrix factorization.
+// It composes the substrates — device/bus models, the time-cost model,
+// the DP0/DP1/DP2 partition strategies, the COMM communication layer, the
+// parameter-server runtime and the discrete-event platform simulator —
+// behind a single Run entry point that plans a training job the way the
+// paper's DataManager does and executes it on both the simulated platform
+// (for timing) and the real parameter server (for convergence).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hccmf/internal/bus"
+	"hccmf/internal/device"
+)
+
+// WorkerSpec binds a processor to the channel that connects it to the
+// parameter server.
+type WorkerSpec struct {
+	Device *device.Device
+	Bus    bus.Type
+	// TimeShared marks the special worker that time-shares the server's
+	// own CPU (created when asynchronous computing-transmission is off —
+	// Section 3.5).
+	TimeShared bool
+}
+
+// Name reports the worker's display name.
+func (w WorkerSpec) Name() string {
+	if w.TimeShared {
+		return w.Device.Name + "*"
+	}
+	return w.Device.Name
+}
+
+// Platform is one multi-CPU/GPU machine: the CPU that acts as parameter
+// server plus the worker processors and their interconnects.
+type Platform struct {
+	Server  *device.Device
+	Workers []WorkerSpec
+}
+
+// Validate checks platform invariants.
+func (p Platform) Validate() error {
+	if p.Server == nil {
+		return errors.New("core: platform has no server CPU")
+	}
+	if len(p.Workers) == 0 {
+		return errors.New("core: platform has no workers")
+	}
+	for i, w := range p.Workers {
+		if w.Device == nil {
+			return fmt.Errorf("core: worker %d has no device", i)
+		}
+		if w.TimeShared && w.Device.Kind != device.CPU {
+			return fmt.Errorf("core: worker %d time-shares the server but is a %v", i, w.Device.Kind)
+		}
+	}
+	return nil
+}
+
+// Rates reports each worker's standalone update rate for the dataset.
+func (p Platform) Rates(dataset string) []float64 {
+	out := make([]float64, len(p.Workers))
+	for i, w := range p.Workers {
+		out[i] = w.Device.UpdateRate(dataset)
+	}
+	return out
+}
+
+// IsCPU reports, per worker, whether it is a CPU (Algorithm 1 groups
+// workers this way).
+func (p Platform) IsCPU() []bool {
+	out := make([]bool, len(p.Workers))
+	for i, w := range p.Workers {
+		out[i] = w.Device.Kind == device.CPU
+	}
+	return out
+}
+
+// PaperPlatformOverall reproduces the paper's overall-performance
+// configuration (Section 4.1): server on CPU_0, with workers
+// 6242-24T (CPU_1 over UPI), 6242-16T (time-sharing CPU_0),
+// RTX 2080 and RTX 2080 Super on their own PCIe x16 slots.
+func PaperPlatformOverall() Platform {
+	return Platform{
+		Server: device.Xeon6242(16),
+		Workers: []WorkerSpec{
+			{Device: device.RTX2080Super(), Bus: bus.PCIe3x16},
+			{Device: device.Xeon6242(24), Bus: bus.UPI},
+			{Device: device.RTX2080(), Bus: bus.PCIe3x16},
+			{Device: device.Xeon6242(16), Bus: bus.Local, TimeShared: true},
+		},
+	}
+}
+
+// PaperPlatformHetero is the configuration of the partition and
+// communication experiments: CPU_0 weakened to 10 threads ("6242l") to
+// increase heterogeneity. Worker order matches the stacking order of
+// Figure 9: 2080S, 6242, 2080, 6242l.
+func PaperPlatformHetero() Platform {
+	return Platform{
+		Server: device.Xeon6242(10),
+		Workers: []WorkerSpec{
+			{Device: device.RTX2080Super(), Bus: bus.PCIe3x16},
+			{Device: device.Xeon6242(24), Bus: bus.UPI},
+			{Device: device.RTX2080(), Bus: bus.PCIe3x16},
+			{Device: device.Xeon6242(10), Bus: bus.Local, TimeShared: true},
+		},
+	}
+}
+
+// FirstWorkers returns a copy of the platform restricted to its first n
+// workers — the paper's "3 workers" runs drop the time-shared CPU, and
+// Figure 9 adds workers one by one in stacking order.
+func (p Platform) FirstWorkers(n int) Platform {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p.Workers) {
+		n = len(p.Workers)
+	}
+	out := Platform{Server: p.Server, Workers: make([]WorkerSpec, n)}
+	copy(out.Workers, p.Workers[:n])
+	return out
+}
+
+// SinglePlatform wraps one device as the only worker (used for the
+// Figure 3 standalone baselines): a GPU still talks over PCIe, a CPU is
+// local.
+func SinglePlatform(d *device.Device) Platform {
+	b := bus.Local
+	if d.Kind == device.GPU {
+		b = bus.PCIe3x16
+	}
+	return Platform{
+		Server:  device.Xeon6242(16),
+		Workers: []WorkerSpec{{Device: d, Bus: b}},
+	}
+}

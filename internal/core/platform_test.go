@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"hccmf/internal/bus"
+	"hccmf/internal/device"
+)
+
+func TestPaperPlatformsValid(t *testing.T) {
+	for _, p := range []Platform{PaperPlatformOverall(), PaperPlatformHetero()} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("paper platform invalid: %v", err)
+		}
+		if len(p.Workers) != 4 {
+			t.Fatalf("paper platform has %d workers", len(p.Workers))
+		}
+	}
+}
+
+func TestPaperPlatformHeteroUsesWeakenedCPU(t *testing.T) {
+	p := PaperPlatformHetero()
+	if p.Server.Threads != 10 {
+		t.Fatalf("hetero server threads = %d, want 10", p.Server.Threads)
+	}
+	last := p.Workers[len(p.Workers)-1]
+	if !last.TimeShared || last.Device.Threads != 10 {
+		t.Fatalf("time-shared worker = %+v", last)
+	}
+	if last.Bus != bus.Local {
+		t.Fatal("time-shared worker must use the local bus")
+	}
+}
+
+func TestWorkerSpecName(t *testing.T) {
+	w := WorkerSpec{Device: device.RTX2080()}
+	if w.Name() != "2080" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+	ts := WorkerSpec{Device: device.Xeon6242(10), TimeShared: true}
+	if ts.Name() != "6242l-10T*" {
+		t.Fatalf("time-shared Name = %q", ts.Name())
+	}
+}
+
+func TestValidateCatchesBadPlatforms(t *testing.T) {
+	if err := (Platform{}).Validate(); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	if err := (Platform{Server: device.Xeon6242(16)}).Validate(); err == nil {
+		t.Fatal("worker-less platform accepted")
+	}
+	p := Platform{Server: device.Xeon6242(16), Workers: []WorkerSpec{{}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("nil worker device accepted")
+	}
+	p = Platform{Server: device.Xeon6242(16), Workers: []WorkerSpec{
+		{Device: device.RTX2080(), TimeShared: true},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("GPU time-sharing the server accepted")
+	}
+}
+
+func TestFirstWorkers(t *testing.T) {
+	p := PaperPlatformHetero()
+	p3 := p.FirstWorkers(3)
+	if len(p3.Workers) != 3 {
+		t.Fatalf("FirstWorkers(3) has %d", len(p3.Workers))
+	}
+	for _, w := range p3.Workers {
+		if w.TimeShared {
+			t.Fatal("3-worker platform should drop the time-shared worker")
+		}
+	}
+	if len(p.FirstWorkers(0).Workers) != 1 {
+		t.Fatal("FirstWorkers(0) should clamp to 1")
+	}
+	if len(p.FirstWorkers(99).Workers) != 4 {
+		t.Fatal("FirstWorkers beyond length should clamp")
+	}
+	// Mutating the copy must not touch the original.
+	p3.Workers[0] = WorkerSpec{Device: device.TeslaV100(), Bus: bus.PCIe3x16}
+	if p.Workers[0].Device.Name == "V100" {
+		t.Fatal("FirstWorkers shares backing array")
+	}
+}
+
+func TestSinglePlatform(t *testing.T) {
+	g := SinglePlatform(device.RTX2080())
+	if g.Workers[0].Bus != bus.PCIe3x16 {
+		t.Fatal("GPU should attach via PCIe")
+	}
+	c := SinglePlatform(device.Xeon6242(24))
+	if c.Workers[0].Bus != bus.Local {
+		t.Fatal("CPU should be local")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatesAndIsCPU(t *testing.T) {
+	p := PaperPlatformOverall()
+	rates := p.Rates("netflix")
+	if len(rates) != 4 || rates[0] != 1052866849 {
+		t.Fatalf("Rates = %v", rates)
+	}
+	isCPU := p.IsCPU()
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if isCPU[i] != want[i] {
+			t.Fatalf("IsCPU = %v", isCPU)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hccmf/internal/dataset"
+)
+
+func TestEstimatePreprocessComposition(t *testing.T) {
+	plat := PaperPlatformHetero()
+	plan, err := PlanRun(plat, dataset.Netflix, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimatePreprocess(plat, dataset.Netflix, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"shuffle": est.Shuffle, "sort": est.Sort,
+		"partition": est.Partition, "distribute": est.Distribute,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s stage = %v", name, v)
+		}
+	}
+	// Stage ratios follow the pass counts: sort = 2×shuffle = 4×partition.
+	if est.Sort <= est.Shuffle || est.Shuffle <= est.Partition {
+		t.Fatalf("pass ordering broken: %v", est)
+	}
+	if est.Total() <= est.Sort {
+		t.Fatal("total must exceed any stage")
+	}
+	if s := est.String(); !strings.Contains(s, "total=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEstimatePreprocessOncePerJobIsCheap(t *testing.T) {
+	// The paper's framing: preprocessing is once per job and should cost
+	// only a few epochs' worth of time on Netflix.
+	plat := PaperPlatformHetero()
+	plan, err := PlanRun(plat, dataset.Netflix, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimatePreprocess(plat, dataset.Netflix, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateRun(plat, dataset.Netflix, plan, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total() > sim.TotalTime {
+		t.Fatalf("preprocessing %v exceeds a whole 20-epoch run %v", est.Total(), sim.TotalTime)
+	}
+}
+
+func TestEstimatePreprocessUsesEffectivePlatform(t *testing.T) {
+	// Async plans drop the time-shared worker; the estimate must follow
+	// the plan's platform, not the caller's.
+	plat := PaperPlatformHetero()
+	plan, err := PlanRun(plat, dataset.YahooR1, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Platform.Workers) != 3 {
+		t.Fatal("expected async plan with 3 workers")
+	}
+	if _, err := EstimatePreprocess(plat, dataset.YahooR1, plan); err != nil {
+		t.Fatalf("estimate rejected effective platform: %v", err)
+	}
+}
+
+func TestEstimatePreprocessValidation(t *testing.T) {
+	plat := PaperPlatformHetero()
+	plan, err := PlanRun(plat, dataset.Netflix, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := plan
+	bad.Partition = []float64{1}
+	bad.Platform = Platform{}
+	if _, err := EstimatePreprocess(plat, dataset.Netflix, bad); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+	if _, err := EstimatePreprocess(Platform{}, dataset.Netflix, Plan{}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}

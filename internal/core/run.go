@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"hccmf/internal/comm"
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+	"hccmf/internal/metrics"
+	"hccmf/internal/mf"
+	"hccmf/internal/ps"
+	"hccmf/internal/sparse"
+)
+
+// RunConfig configures one end-to-end HCC-MF training run.
+type RunConfig struct {
+	// Spec is the (full-size) dataset whose shape drives planning and
+	// simulated timing.
+	Spec dataset.Spec
+	// Platform is the machine to run on.
+	Platform Platform
+	// Epochs is the training length (the paper reports 20 for timing
+	// tables and 100 for convergence curves).
+	Epochs int
+	// Plan tunes the planner.
+	Plan PlanOptions
+	// MaterializeScale, when > 0, also runs *real* training on a dataset
+	// scaled by this factor, producing an RMSE convergence curve whose
+	// time axis is the simulated clock. 0 skips real execution (timing
+	// studies only need the simulator).
+	MaterializeScale float64
+	// Data, when non-nil, supplies the training/test split directly
+	// (e.g. loaded from a ratings file) instead of generating a scaled
+	// synthetic instance; it implies real execution regardless of
+	// MaterializeScale. Spec must still describe the data's shape for
+	// planning.
+	Data *dataset.Dataset
+	// RealK overrides the latent dimension of the real training run
+	// (default: Plan.K, which can be slow on laptop-scale tests).
+	RealK int
+	// Transport is the communication implementation for real execution
+	// (default COMM shared memory).
+	Transport comm.Transport
+	// Schedule, when non-nil, applies a per-epoch learning-rate schedule
+	// to the real training run (e.g. mf.InverseDecay).
+	Schedule mf.Schedule
+	// Seed drives dataset generation and factor initialisation.
+	Seed uint64
+}
+
+// Result is everything a run produces.
+type Result struct {
+	// Plan is the DataManager's decision record.
+	Plan Plan
+	// Sim holds simulated timing (total, per-epoch, per-phase trace).
+	Sim *SimResult
+	// Power is the achieved "computing power" (Eq. 8) on the simulated
+	// clock; IdealPower sums the standalone device rates; Utilization is
+	// their ratio (Table 4).
+	Power, IdealPower, Utilization float64
+	// Curve is the real-execution convergence trajectory (nil when
+	// MaterializeScale was 0).
+	Curve *metrics.Curve
+	// FinalRMSE is the last point of Curve (0 without real execution).
+	FinalRMSE float64
+	// CommStats accounts real-execution transfers (zero without real
+	// execution).
+	CommStats comm.TransferStats
+	// Model is the trained factor model (nil without real execution). Its
+	// orientation matches TrainedData (transposed when the plan was).
+	Model *mf.Factors
+	// TrainedData is the materialised dataset the model was trained on
+	// (plan orientation), for seen-item exclusion and evaluation.
+	TrainedData *dataset.Dataset
+}
+
+// Run plans, simulates and (optionally) really trains one job.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("core: epochs = %d", cfg.Epochs)
+	}
+	plan, err := PlanRun(cfg.Platform, cfg.Spec, cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := SimulateRun(cfg.Platform, cfg.Spec, plan, cfg.Epochs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Plan: plan, Sim: sim}
+	res.Power = metrics.ComputingPower(cfg.Spec.NNZ, cfg.Epochs, sim.TotalTime)
+	res.IdealPower = metrics.IdealPower(cfg.Platform.Rates(cfg.Spec.Name))
+	res.Utilization = metrics.Utilization(res.Power, res.IdealPower)
+
+	if cfg.MaterializeScale > 0 || cfg.Data != nil {
+		if err := runReal(cfg, plan, sim, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runReal executes the plan on the real parameter server with a
+// materialised (scaled) dataset and attaches the convergence curve.
+func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
+	spec := cfg.Spec
+	ds := cfg.Data
+	if ds == nil {
+		if cfg.MaterializeScale < 1 {
+			spec = spec.Scaled(cfg.MaterializeScale)
+		}
+		var err error
+		ds, err = dataset.Generate(spec, cfg.Seed)
+		if err != nil {
+			return err
+		}
+	}
+	train, test := ds.Train, ds.Test
+	if plan.Transposed {
+		train = train.Transpose()
+		test = test.Transpose()
+	}
+
+	k := cfg.RealK
+	if k <= 0 {
+		k = plan.K
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = comm.NewSharedMem(len(cfg.Platform.Workers))
+	}
+
+	confs, err := buildWorkerConfs(plan.Platform, plan, train)
+	if err != nil {
+		return err
+	}
+	cluster, err := ps.New(ps.Config{
+		M: train.Rows, N: train.Cols, K: k,
+		Hyper: mf.HyperParams{
+			Gamma:   spec.Params.Gamma,
+			Lambda1: spec.Params.Lambda1,
+			Lambda2: spec.Params.Lambda2,
+		},
+		Transport:  transport,
+		Strategy:   plan.Strategy,
+		MeanRating: train.MeanRating(),
+		Seed:       cfg.Seed + 1,
+		Schedule:   cfg.Schedule,
+	}, confs)
+	if err != nil {
+		return err
+	}
+
+	curve := &metrics.Curve{Label: "HCC-MF/" + spec.Name}
+	curve.Append(0, 0, mf.RMSEParallel(cluster.Snapshot(), test.Entries, 4))
+	cum := 0.0
+	err = cluster.Train(cfg.Epochs, func(e int, model *mf.Factors) {
+		if e < len(sim.EpochTimes) {
+			cum += sim.EpochTimes[e]
+		}
+		curve.Append(e+1, cum, mf.RMSEParallel(model, test.Entries, 4))
+	})
+	if err != nil {
+		return err
+	}
+	res.Curve = curve
+	res.FinalRMSE = curve.Final()
+	res.CommStats = cluster.CommStats()
+	res.Model = cluster.Snapshot()
+	res.TrainedData = &dataset.Dataset{Spec: spec, Train: train, Test: test}
+	return nil
+}
+
+// buildWorkerConfs cuts the row grid by the plan's shares and binds each
+// slice to its worker's execution engine.
+func buildWorkerConfs(plat Platform, plan Plan, train *sparse.COO) ([]ps.WorkerConf, error) {
+	csr := sparse.NewCSRFromCOO(train)
+	slices, err := sparse.CutRowGrid(csr, plan.Partition)
+	if err != nil {
+		return nil, err
+	}
+	confs := make([]ps.WorkerConf, len(slices))
+	for i, sl := range slices {
+		shard := sparse.NewCOO(train.Rows, train.Cols, int(sl.NNZ))
+		for _, e := range train.Entries {
+			if int(e.U) >= sl.Lo && int(e.U) < sl.Hi {
+				shard.Entries = append(shard.Entries, e)
+			}
+		}
+		confs[i] = ps.WorkerConf{
+			Name:   plat.Workers[i].Name(),
+			Engine: EngineFor(plat.Workers[i].Device),
+			Shard:  shard,
+			RowLo:  sl.Lo, RowHi: sl.Hi,
+			Weight: plan.Partition[i],
+		}
+	}
+	return confs, nil
+}
+
+// EngineFor picks the execution engine matching a device's character:
+// CPUs run the FPSGD block-scheduled kernel, GPUs the cuMF_SGD-style
+// batched kernel. Thread counts are capped so laptop-scale real runs do
+// not oversubscribe the host.
+func EngineFor(d *device.Device) mf.Engine {
+	const hostCap = 4
+	switch d.Kind {
+	case device.GPU:
+		return mf.Batched{Groups: hostCap, BatchSize: 1 << 14}
+	default:
+		threads := d.Threads
+		if threads > hostCap {
+			threads = hostCap
+		}
+		return &mf.FPSGD{Threads: threads}
+	}
+}

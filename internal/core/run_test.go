@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+	"hccmf/internal/mf"
+	"hccmf/internal/raceflag"
+)
+
+// skipRealTrainingUnderRace: real runs drive GPU workers through the
+// batched Hogwild-style engine, whose lock-free updates are intentional
+// (see internal/raceflag).
+func skipRealTrainingUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("real training uses intentionally lock-free kernels; skipped under -race")
+	}
+}
+
+func TestRunSimulationOnly(t *testing.T) {
+	res, err := Run(RunConfig{
+		Spec:     dataset.Netflix,
+		Platform: PaperPlatformOverall(),
+		Epochs:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve != nil {
+		t.Fatal("simulation-only run produced a convergence curve")
+	}
+	// Table 4 headline: Netflix utilization in the ~86% band.
+	if res.Utilization < 0.80 || res.Utilization > 0.95 {
+		t.Fatalf("netflix utilization = %v, want paper's ~0.86 band", res.Utilization)
+	}
+	if res.Power <= 0 || res.IdealPower <= res.Power {
+		t.Fatalf("power accounting wrong: %v / %v", res.Power, res.IdealPower)
+	}
+}
+
+func TestRunWithRealTraining(t *testing.T) {
+	skipRealTrainingUnderRace(t)
+	res, err := Run(RunConfig{
+		Spec:             dataset.Netflix,
+		Platform:         PaperPlatformOverall(),
+		Epochs:           15,
+		MaterializeScale: 0.002,
+		RealK:            8,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve == nil || len(res.Curve.Points) != 16 { // epoch 0 + 15
+		t.Fatalf("curve missing or wrong length: %+v", res.Curve)
+	}
+	first, last := res.Curve.Points[0], res.Curve.Points[len(res.Curve.Points)-1]
+	if last.RMSE >= first.RMSE {
+		t.Fatalf("real training did not converge: %v → %v", first.RMSE, last.RMSE)
+	}
+	if res.CommStats.BusBytes <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	// Time axis must be the simulated clock, monotonically increasing.
+	for i := 1; i < len(res.Curve.Points); i++ {
+		if res.Curve.Points[i].Time <= res.Curve.Points[i-1].Time {
+			t.Fatal("curve time axis not increasing")
+		}
+	}
+	if res.FinalRMSE != last.RMSE {
+		t.Fatal("FinalRMSE mismatch")
+	}
+}
+
+func TestRunRealTrainingTransposedDataset(t *testing.T) {
+	skipRealTrainingUnderRace(t)
+	// A wider-than-tall dataset exercises the transpose path end to end.
+	wide := dataset.Spec{
+		Name: "wide", M: 300, N: 4000, NNZ: 60000,
+		RatingMin: 1, RatingMax: 5, RatingStep: 0.5, Rank: 8,
+		NoiseStd: 0.3, ZipfTheta: 0.5,
+		Params: dataset.Params{Gamma: 0.01, Lambda1: 0.01, Lambda2: 0.01},
+	}
+	res, err := Run(RunConfig{
+		Spec:             wide,
+		Platform:         PaperPlatformOverall().FirstWorkers(2),
+		Epochs:           10,
+		MaterializeScale: 1,
+		RealK:            8,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Plan.Transposed {
+		t.Fatal("wide dataset not transposed")
+	}
+	if res.Curve.Final() >= res.Curve.Points[0].RMSE {
+		t.Fatal("transposed training did not converge")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunConfig{Spec: dataset.Netflix, Platform: PaperPlatformOverall()}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := Run(RunConfig{Spec: dataset.Netflix, Platform: Platform{}, Epochs: 5}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestEngineForMapping(t *testing.T) {
+	if _, ok := EngineFor(device.RTX2080()).(mf.Batched); !ok {
+		t.Fatal("GPU should map to the batched engine")
+	}
+	if _, ok := EngineFor(device.Xeon6242(24)).(*mf.FPSGD); !ok {
+		t.Fatal("CPU should map to FPSGD")
+	}
+	fp := EngineFor(device.Xeon6242(24)).(*mf.FPSGD)
+	if fp.Threads > 8 {
+		t.Fatalf("host thread cap not applied: %d", fp.Threads)
+	}
+}

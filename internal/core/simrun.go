@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"hccmf/internal/bus"
+	"hccmf/internal/costmodel"
+	"hccmf/internal/dataset"
+	"hccmf/internal/simengine"
+	"hccmf/internal/trace"
+)
+
+// SimResult is the simulated-platform view of a training run.
+type SimResult struct {
+	// TotalTime is the simulated wall clock of the whole run in seconds.
+	TotalTime float64
+	// EpochTimes records each epoch's end-to-end simulated duration.
+	EpochTimes []float64
+	// Trace holds cumulative per-worker pull/compute/push/sync times.
+	Trace *trace.Collector
+	// Timeline records every phase span — the Figure 5 timing-sequence
+	// data, renderable with Timeline.Gantt.
+	Timeline *trace.Timeline
+}
+
+// SimulateRun executes the planned training job on the simulated
+// multi-CPU/GPU platform: every worker is a simengine process (or several,
+// one per async stream) that pulls over its own channel, computes at its
+// calibrated rate, pushes, and has its push folded by the server's
+// serialised sync thread. Epochs are bulk-synchronous. The run produces
+// the timing data behind Figures 3, 7(d–f), 8, 9 and Tables 4–6.
+func SimulateRun(plat Platform, spec dataset.Spec, plan Plan, epochs int) (*SimResult, error) {
+	if len(plan.Platform.Workers) > 0 {
+		plat = plan.Platform // the planner may have dropped time-shared workers
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, err
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("core: epochs = %d", epochs)
+	}
+	if len(plan.Partition) != len(plat.Workers) {
+		return nil, fmt.Errorf("core: plan has %d shares for %d workers",
+			len(plan.Partition), len(plat.Workers))
+	}
+
+	sim := simengine.New()
+	collector := trace.NewCollector()
+	timeline := trace.NewTimeline()
+	syncRes := sim.NewResource(1)
+
+	// Total parties at the epoch barrier: every stream of every worker.
+	totalStreams := 0
+	streamsOf := make([]int, len(plat.Workers))
+	for i, w := range plat.Workers {
+		s := plan.Strategy.EffectiveStreams(w.Device.HasCopyEngine)
+		streamsOf[i] = s
+		totalStreams += s
+	}
+	barrier := sim.NewBarrier(totalStreams)
+	epochEnds := make([]float64, 0, epochs)
+
+	bytesPer := int64(plan.Strategy.Encoding.BytesPerParam())
+	serverBW := plat.Server.MemBandwidth
+	transport := plan.TransportFactor
+	if transport < 1 {
+		transport = 1
+	}
+
+	// Collaboration efficiency: every additional worker adds the framework
+	// costs the paper's Figure 9 exposes — epoch barriers, task dispatch,
+	// and the shuffled-access cache penalty of a shared global model. A
+	// single-worker HCC run matches its standalone baseline (the paper's
+	// Table 6 shows identical totals), and the penalty saturates at the
+	// calibrated 7% for the full 4-worker platform.
+	efficiency := efficiencyFor(len(plat.Workers))
+
+	for wi, w := range plat.Workers {
+		wi, w := wi, w
+		share := plan.Partition[wi]
+		streams := streamsOf[wi]
+		name := w.Name()
+		channel := bus.NewChannel(sim, name+"/"+w.Bus.String(), w.Bus)
+		// Compute is serialised within a worker (one GPU, one CPU worker
+		// pool); only transfers overlap via the copy engine. The copy
+		// engine itself is also a serial device: concurrent streams queue
+		// their DMAs, which is what lets the first chunk arrive after
+		// payload/streams instead of the whole payload time.
+		computeRes := sim.NewResource(1)
+		copyRes := sim.NewResource(1)
+
+		computeTotal := share * float64(spec.NNZ) /
+			(w.Device.EffectiveRate(spec.Name, clampShare(share)) * efficiency)
+		ownedRows := int(share*float64(plan.M) + 0.5)
+
+		for sj := 0; sj < streams; sj++ {
+			sj := sj
+			recordEpochEnd := wi == 0 && sj == 0
+			sim.Go(fmt.Sprintf("%s.s%d", name, sj), func(p *simengine.Proc) {
+				for e := 0; e < epochs; e++ {
+					pullBytes := plan.Strategy.PullParams(plan.K, plan.M, plan.N, e, epochs) * bytesPer
+					pushBytes := plan.Strategy.PushParams(plan.K, plan.M, plan.N, ownedRows, e, epochs) * bytesPer
+					// A slower transport (COMM-P's extra copies and
+					// kernel crossings) shows up as proportionally more
+					// time on the channel.
+					chunkPull := float64(pullBytes) * transport / float64(streams)
+					chunkPush := float64(pushBytes) * transport / float64(streams)
+					chunkCompute := computeTotal / float64(streams)
+
+					t0 := sim.Now()
+					copyRes.Acquire(p)
+					channel.Link.Transfer(p, chunkPull)
+					copyRes.Release()
+					collector.Add(name, trace.Pull, sim.Now()-t0)
+					timeline.Add(name, trace.Pull, t0, sim.Now())
+
+					computeRes.Acquire(p)
+					t0 = sim.Now()
+					p.Delay(chunkCompute)
+					collector.Add(name, trace.Compute, sim.Now()-t0)
+					timeline.Add(name, trace.Compute, t0, sim.Now())
+					computeRes.Release()
+
+					t0 = sim.Now()
+					copyRes.Acquire(p)
+					channel.Link.Transfer(p, chunkPush)
+					copyRes.Release()
+					collector.Add(name, trace.Push, sim.Now()-t0)
+					timeline.Add(name, trace.Push, t0, sim.Now())
+
+					// Server sync: serialised multiply-add over the pushed
+					// payload, 3 memory operations per parameter (Eq. 3).
+					syncRes.Acquire(p)
+					t0 = sim.Now()
+					p.Delay(3 * chunkPush / serverBW)
+					collector.Add(name, trace.Sync, sim.Now()-t0)
+					timeline.Add(name, trace.Sync, t0, sim.Now())
+					syncRes.Release()
+
+					barrier.Arrive(p)
+					if recordEpochEnd {
+						epochEnds = append(epochEnds, sim.Now())
+					}
+				}
+			})
+		}
+	}
+	sim.Run()
+
+	res := &SimResult{
+		TotalTime:  sim.Now(),
+		EpochTimes: make([]float64, len(epochEnds)),
+		Trace:      collector,
+		Timeline:   timeline,
+	}
+	prev := 0.0
+	for i, end := range epochEnds {
+		res.EpochTimes[i] = end - prev
+		prev = end
+	}
+	return res, nil
+}
+
+// collabOverheadShare is the asymptotic per-worker throughput loss in
+// collaborative mode; eff(p) = 1 − share·(p−1)/p gives eff(1)=1 (Table 6's
+// single-worker equality) and eff(4)=0.93, which lands the Netflix and R2
+// utilizations in the paper's 86–88% band (Table 4).
+const collabOverheadShare = 0.0933
+
+// efficiencyFor reports the collaborative throughput retention for a
+// platform of p workers.
+func efficiencyFor(p int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	return 1 - collabOverheadShare*float64(p-1)/float64(p)
+}
+
+func clampShare(x float64) float64 {
+	if x <= 0 {
+		return 1e-9
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SimulateStandalone reports the simulated time for a single device to
+// train the whole dataset alone (no communication, no sync) — the
+// baselines of Figure 3 and the "computing power" denominators of
+// Table 4 / Figure 9.
+func SimulateStandalone(d deviceRater, spec dataset.Spec, epochs int) float64 {
+	return float64(spec.NNZ) * float64(epochs) / d.UpdateRate(spec.Name)
+}
+
+// deviceRater is the slice of device.Device the standalone estimate needs.
+type deviceRater interface {
+	UpdateRate(dataset string) float64
+}
+
+// costServer builds the cost model's server profile for the platform.
+func costServer(plat Platform) costmodel.Server {
+	return costmodel.Server{MemBW: plat.Server.MemBandwidth}
+}

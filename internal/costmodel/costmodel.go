@@ -1,0 +1,214 @@
+// Package costmodel implements the paper's time-cost model of one HCC-MF
+// training epoch (Section 3.2, Equations 1–5):
+//
+//	T = max_i { T_pull,i + T_c,i + T_push,i } + T_sync
+//
+// with per-worker compute time x_i·nnz/rate_i, transfer time
+// bytes/B_bus,i per direction, and a server-side synchronisation term of
+// 3·k(m+n)·4 bytes of memory traffic per synchronised worker. The model is
+// piecewise: when max_i{T_i}/T_sync ≥ λ the synchronisation term is
+// dropped (DP1 territory), otherwise it must be paid or hidden (DP2
+// territory).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultLambda is the paper's threshold (λ=10 in their experiments) above
+// which synchronisation overhead is ignored.
+const DefaultLambda = 10.0
+
+// BytesPerFloat is the FP32 element size the model assumes.
+const BytesPerFloat = 4
+
+// Problem describes the training problem the model is evaluated on.
+type Problem struct {
+	M, N int   // rating matrix dimensions
+	NNZ  int64 // stored ratings
+	K    int   // latent dimension
+}
+
+// FeatureFloats reports the number of float parameters in P plus Q:
+// k(m+n), the per-direction transfer volume without any communication
+// strategy.
+func (p Problem) FeatureFloats() float64 {
+	return float64(p.K) * float64(p.M+p.N)
+}
+
+// Worker is one processor's calibrated profile as the model sees it.
+type Worker struct {
+	Name string
+	// Rate is the worker's SGD throughput in updates/second.
+	Rate float64
+	// BusBW is the bandwidth of the worker↔server channel in bytes/s.
+	BusBW float64
+	// CommBytes is the per-direction feature payload in bytes after the
+	// active communication strategy (P&Q, Q-only, half-Q …).
+	CommBytes float64
+	// Streams is the number of async pull-compute-push pipelines
+	// (Strategy 3); 1 means synchronous transfers.
+	Streams int
+}
+
+// Server is the parameter server's profile.
+type Server struct {
+	// MemBW is the server CPU's memory bandwidth in bytes/s (B_server).
+	MemBW float64
+}
+
+// ComputeTime is T_c,i = x_i·nnz/rate for share x of the problem.
+func ComputeTime(x float64, nnz int64, rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("costmodel: rate %v", rate))
+	}
+	return x * float64(nnz) / rate
+}
+
+// ComputeTimeFull is the unreduced per-worker compute model the paper
+// writes before its simplification: each update costs 7k/P_i FLOP time
+// plus (16k+4)/B_i memory time, so
+//
+//	T_c,i = x·nnz · (7k/P_i + (16k+4)/B_i).
+//
+// The paper drops the 7k/P_i term because P_i ≫ B_i on every processor it
+// measures; ProcessorTermShare quantifies that claim.
+func ComputeTimeFull(x float64, nnz int64, k int, flops, memBW float64) float64 {
+	if flops <= 0 || memBW <= 0 {
+		panic(fmt.Sprintf("costmodel: flops %v memBW %v", flops, memBW))
+	}
+	perUpdate := 7*float64(k)/flops + float64(16*k+4)/memBW
+	return x * float64(nnz) * perUpdate
+}
+
+// ProcessorTermShare reports the fraction of ComputeTimeFull contributed
+// by the 7k/P_i processor term — the quantity the paper argues is
+// negligible (P_i ≫ B_i). flops in FLOP/s, memBW in bytes/s.
+func ProcessorTermShare(k int, flops, memBW float64) float64 {
+	if flops <= 0 || memBW <= 0 {
+		panic(fmt.Sprintf("costmodel: flops %v memBW %v", flops, memBW))
+	}
+	proc := 7 * float64(k) / flops
+	mem := float64(16*k+4) / memBW
+	return proc / (proc + mem)
+}
+
+// TransferTime is the one-direction pull (or push) time of a worker. With
+// s>1 async streams the exposed transfer cost shrinks to 1/s of the
+// payload time, the paper's Figure 6 claim.
+func (w Worker) TransferTime() float64 {
+	if w.BusBW <= 0 {
+		panic(fmt.Sprintf("costmodel: worker %q bus bandwidth %v", w.Name, w.BusBW))
+	}
+	t := w.CommBytes / w.BusBW
+	if w.Streams > 1 {
+		t /= float64(w.Streams)
+	}
+	return t
+}
+
+// WorkerTime is T_i = T_pull + T_c + T_push for share x.
+func (w Worker) WorkerTime(x float64, nnz int64) float64 {
+	return ComputeTime(x, nnz, w.Rate) + 2*w.TransferTime()
+}
+
+// SyncTimePerWorker is the server-side time to fold one worker's push into
+// the global feature matrices: three reads/writes of k(m+n) floats at the
+// server's memory bandwidth (Eq. 3, the multiply-add term dropped because
+// P_server ≫ B_server).
+func SyncTimePerWorker(p Problem, s Server, commBytes float64) float64 {
+	if s.MemBW <= 0 {
+		panic(fmt.Sprintf("costmodel: server memory bandwidth %v", s.MemBW))
+	}
+	_ = p
+	return 3 * commBytes / s.MemBW
+}
+
+// Estimate is the model's decomposition of one epoch.
+type Estimate struct {
+	// PerWorker is T_i for each worker under the given partition.
+	PerWorker []float64
+	// MaxWorker is max_i T_i.
+	MaxWorker float64
+	// SyncTotal is the t·T_sync term: the synchronisations exposed after
+	// the slowest worker finishes.
+	SyncTotal float64
+	// SyncRatio is MaxWorker / SyncTotal (∞ when SyncTotal is zero).
+	SyncRatio float64
+	// SyncHidden reports whether the ratio clears λ and the piecewise
+	// model drops the sync term.
+	SyncHidden bool
+	// Total is the epoch estimate T.
+	Total float64
+}
+
+// EpochTime evaluates the full piecewise model (Eq. 5) for a partition x
+// over the workers. exposedSyncs is the t of Eq. 3: how many workers'
+// synchronisations land after the slowest worker (p for a balanced DP0/DP1
+// schedule, 1 when DP2 has hidden all but the last).
+func EpochTime(p Problem, s Server, workers []Worker, x []float64, exposedSyncs int, lambda float64) (Estimate, error) {
+	if len(workers) == 0 {
+		return Estimate{}, fmt.Errorf("costmodel: no workers")
+	}
+	if len(x) != len(workers) {
+		return Estimate{}, fmt.Errorf("costmodel: partition has %d shares for %d workers", len(x), len(workers))
+	}
+	var sum float64
+	for i, xi := range x {
+		if xi < 0 {
+			return Estimate{}, fmt.Errorf("costmodel: negative share x[%d]=%v", i, xi)
+		}
+		sum += xi
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return Estimate{}, fmt.Errorf("costmodel: shares sum to %v, want 1", sum)
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	if exposedSyncs < 0 {
+		exposedSyncs = 0
+	}
+
+	est := Estimate{PerWorker: make([]float64, len(workers))}
+	for i, w := range workers {
+		ti := w.WorkerTime(x[i], p.NNZ)
+		est.PerWorker[i] = ti
+		if ti > est.MaxWorker {
+			est.MaxWorker = ti
+		}
+	}
+	var syncOne float64
+	for _, w := range workers {
+		// Sync volume follows each worker's own strategy payload.
+		syncOne += SyncTimePerWorker(p, s, w.CommBytes)
+	}
+	syncOne /= float64(len(workers))
+	est.SyncTotal = float64(exposedSyncs) * syncOne
+
+	if est.SyncTotal <= 0 {
+		est.SyncRatio = math.Inf(1)
+	} else {
+		est.SyncRatio = est.MaxWorker / est.SyncTotal
+	}
+	est.SyncHidden = est.SyncRatio >= lambda
+	if est.SyncHidden {
+		est.Total = est.MaxWorker
+	} else {
+		est.Total = est.MaxWorker + est.SyncTotal
+	}
+	return est, nil
+}
+
+// CommComputeRatio reports the paper's Section 3.4 diagnostic: the ratio
+// of communication to computation for a worker holding share x. Ratios
+// near or above 1 mean collaboration cannot pay off (the ML-20m
+// limitation).
+func CommComputeRatio(w Worker, x float64, nnz int64) float64 {
+	c := ComputeTime(x, nnz, w.Rate)
+	if c == 0 {
+		return math.Inf(1)
+	}
+	return 2 * w.TransferTime() / c
+}

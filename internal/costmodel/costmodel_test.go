@@ -1,0 +1,232 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var testProblem = Problem{M: 480190, N: 17771, NNZ: 99072112, K: 32}
+
+func mkWorker(name string, rate, busBW float64) Worker {
+	return Worker{
+		Name: name, Rate: rate, BusBW: busBW,
+		CommBytes: testProblem.FeatureFloats() * BytesPerFloat,
+		Streams:   1,
+	}
+}
+
+func TestFeatureFloats(t *testing.T) {
+	p := Problem{M: 100, N: 50, K: 8}
+	if got := p.FeatureFloats(); got != 8*150 {
+		t.Fatalf("FeatureFloats = %v", got)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	if got := ComputeTime(0.5, 1000, 100); got != 5 {
+		t.Fatalf("ComputeTime = %v, want 5", got)
+	}
+	if got := ComputeTime(0, 1000, 100); got != 0 {
+		t.Fatalf("ComputeTime(0) = %v", got)
+	}
+}
+
+func TestComputeTimePanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	ComputeTime(1, 100, 0)
+}
+
+func TestTransferTimeStreams(t *testing.T) {
+	w := Worker{Name: "w", Rate: 1, BusBW: 100, CommBytes: 400, Streams: 1}
+	if got := w.TransferTime(); got != 4 {
+		t.Fatalf("1-stream transfer = %v, want 4", got)
+	}
+	w.Streams = 4
+	if got := w.TransferTime(); got != 1 {
+		t.Fatalf("4-stream transfer = %v, want 1 (1/streams)", got)
+	}
+	w.Streams = 0 // treated as synchronous
+	if got := w.TransferTime(); got != 4 {
+		t.Fatalf("0-stream transfer = %v, want 4", got)
+	}
+}
+
+func TestWorkerTimeComposition(t *testing.T) {
+	w := Worker{Name: "w", Rate: 1000, BusBW: 100, CommBytes: 200, Streams: 1}
+	// compute: 0.5*10000/1000 = 5; transfers: 2*200/100 = 4.
+	if got := w.WorkerTime(0.5, 10000); got != 9 {
+		t.Fatalf("WorkerTime = %v, want 9", got)
+	}
+}
+
+func TestComputeTimeFullAndProcessorShare(t *testing.T) {
+	// A 2080-class GPU: ~10 TFLOP/s, ~380 GB/s.
+	const flops, memBW = 10e12, 378.6e9
+	const k = 128
+	share := ProcessorTermShare(k, flops, memBW)
+	// The paper's P_i ≫ B_i claim: the processor term is under 2% of the
+	// per-update cost, which is why Eq. 2 drops it.
+	if share > 0.02 {
+		t.Fatalf("processor term share = %v, paper expects negligible", share)
+	}
+	full := ComputeTimeFull(0.5, 1000000, k, flops, memBW)
+	reduced := ComputeTime(0.5, 1000000, memBW/float64(16*k+4))
+	if full <= reduced {
+		t.Fatal("full model must exceed the reduced one")
+	}
+	if (full-reduced)/reduced > 0.02 {
+		t.Fatalf("dropping the term changes compute time by %v", (full-reduced)/reduced)
+	}
+}
+
+func TestComputeTimeFullValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero flops did not panic")
+		}
+	}()
+	ComputeTimeFull(1, 1, 8, 0, 1)
+}
+
+func TestProcessorTermShareValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	ProcessorTermShare(8, 1, 0)
+}
+
+func TestSyncTimePerWorker(t *testing.T) {
+	s := Server{MemBW: 300}
+	if got := SyncTimePerWorker(testProblem, s, 100); got != 1 {
+		t.Fatalf("SyncTimePerWorker = %v, want 1", got)
+	}
+}
+
+func TestEpochTimeBalancedHidesSync(t *testing.T) {
+	// Big compute, fast server: the ratio clears λ and sync is dropped.
+	workers := []Worker{
+		mkWorker("a", 1e9, 16e9),
+		mkWorker("b", 1e9, 16e9),
+	}
+	srv := Server{MemBW: 67.3e9}
+	est, err := EpochTime(testProblem, srv, workers, []float64{0.5, 0.5}, len(workers), DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.SyncHidden {
+		t.Fatalf("sync not hidden: ratio = %v", est.SyncRatio)
+	}
+	if est.Total != est.MaxWorker {
+		t.Fatalf("Total = %v, want MaxWorker %v", est.Total, est.MaxWorker)
+	}
+}
+
+func TestEpochTimeSmallComputeExposesSync(t *testing.T) {
+	// Tiny nnz relative to dimensions: sync dominates.
+	p := Problem{M: 2000000, N: 1000000, NNZ: 1000000, K: 128}
+	payload := p.FeatureFloats() * BytesPerFloat
+	workers := []Worker{
+		{Name: "a", Rate: 1e9, BusBW: 16e9, CommBytes: payload, Streams: 1},
+		{Name: "b", Rate: 1e9, BusBW: 16e9, CommBytes: payload, Streams: 1},
+	}
+	srv := Server{MemBW: 67.3e9}
+	est, err := EpochTime(p, srv, workers, []float64{0.5, 0.5}, len(workers), DefaultLambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SyncHidden {
+		t.Fatalf("sync unexpectedly hidden: ratio = %v", est.SyncRatio)
+	}
+	if est.Total <= est.MaxWorker {
+		t.Fatal("Total does not include sync term")
+	}
+	wantTotal := est.MaxWorker + est.SyncTotal
+	if math.Abs(est.Total-wantTotal) > 1e-12 {
+		t.Fatalf("Total = %v, want %v", est.Total, wantTotal)
+	}
+}
+
+func TestEpochTimeValidation(t *testing.T) {
+	srv := Server{MemBW: 1e9}
+	w := []Worker{mkWorker("a", 1e9, 16e9)}
+	if _, err := EpochTime(testProblem, srv, nil, nil, 0, 10); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	if _, err := EpochTime(testProblem, srv, w, []float64{0.5, 0.5}, 1, 10); err == nil {
+		t.Fatal("mismatched partition accepted")
+	}
+	if _, err := EpochTime(testProblem, srv, w, []float64{0.5}, 1, 10); err == nil {
+		t.Fatal("shares not summing to 1 accepted")
+	}
+	if _, err := EpochTime(testProblem, srv, w, []float64{-1}, 1, 10); err == nil {
+		t.Fatal("negative share accepted")
+	}
+}
+
+func TestEpochTimeZeroExposedSyncs(t *testing.T) {
+	w := []Worker{mkWorker("a", 1e9, 16e9)}
+	srv := Server{MemBW: 1e9}
+	est, err := EpochTime(testProblem, srv, w, []float64{1}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(est.SyncRatio, 1) || !est.SyncHidden {
+		t.Fatalf("zero syncs: ratio = %v hidden = %v", est.SyncRatio, est.SyncHidden)
+	}
+}
+
+func TestEpochTimeMaxIsMax(t *testing.T) {
+	f := func(r1, r2, x1raw uint32) bool {
+		rate1 := 1e8 + float64(r1%1000)*1e6
+		rate2 := 1e8 + float64(r2%1000)*1e6
+		x1 := 0.001 + 0.998*float64(x1raw%1000)/1000.0
+		workers := []Worker{mkWorker("a", rate1, 16e9), mkWorker("b", rate2, 16e9)}
+		srv := Server{MemBW: 67e9}
+		est, err := EpochTime(testProblem, srv, workers, []float64{x1, 1 - x1}, 2, 10)
+		if err != nil {
+			return false
+		}
+		m := math.Max(est.PerWorker[0], est.PerWorker[1])
+		return est.MaxWorker == m && est.Total >= est.MaxWorker
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommComputeRatio(t *testing.T) {
+	w := Worker{Name: "w", Rate: 1000, BusBW: 100, CommBytes: 100, Streams: 1}
+	// compute(x=1, nnz=1000) = 1s; comm = 2*1 = 2s; ratio 2.
+	if got := CommComputeRatio(w, 1, 1000); got != 2 {
+		t.Fatalf("ratio = %v, want 2", got)
+	}
+	if got := CommComputeRatio(w, 0, 1000); !math.IsInf(got, 1) {
+		t.Fatalf("ratio with no compute = %v, want +Inf", got)
+	}
+}
+
+// The paper's own diagnostic: Netflix communication is far below compute,
+// ML-20m's is comparable.
+func TestPaperDimRatioDiagnostic(t *testing.T) {
+	netflix := Problem{M: 480190, N: 17771, NNZ: 99072112, K: 32}
+	ml := Problem{M: 138494, N: 131263, NNZ: 20000260, K: 32}
+	mk := func(p Problem) Worker {
+		return Worker{Name: "gpu", Rate: 1e9, BusBW: 16e9,
+			CommBytes: p.FeatureFloats() * BytesPerFloat, Streams: 1}
+	}
+	rNet := CommComputeRatio(mk(netflix), 0.5, netflix.NNZ)
+	rML := CommComputeRatio(mk(ml), 0.5, ml.NNZ)
+	if rNet >= rML {
+		t.Fatalf("netflix comm ratio %v should be below ml-20m %v", rNet, rML)
+	}
+	if rML < 0.2 {
+		t.Fatalf("ml-20m comm ratio %v should be substantial", rML)
+	}
+}

@@ -1,0 +1,152 @@
+// Package dataset provides the rating datasets used in the paper's
+// evaluation (Table 3). The originals (Netflix, Yahoo! Music R1/R2,
+// MovieLens-20m) are either proprietary or too large to ship, so this
+// package regenerates synthetic equivalents with the exact published
+// dimensions and nnz, skewed popularity distributions, and ratings sampled
+// from a planted low-rank model plus noise — which preserves both the
+// timing behaviour (a function of m, n, nnz only) and the convergence
+// behaviour (SGD can actually drive RMSE down against a planted factor
+// structure, as on the real data).
+package dataset
+
+import (
+	"fmt"
+
+	"hccmf/internal/sparse"
+)
+
+// Params carries the SGD hyper-parameters the paper fixes per dataset
+// (Table 3): regularisers λ1, λ2 and the learning rate γ=0.005.
+type Params struct {
+	Lambda1 float32
+	Lambda2 float32
+	Gamma   float32
+}
+
+// Spec describes one dataset preset: published shape plus generation knobs.
+type Spec struct {
+	Name string
+	M    int   // users (rows)
+	N    int   // items (columns)
+	NNZ  int64 // published number of ratings
+
+	RatingMin  float32 // lowest possible rating
+	RatingMax  float32 // highest possible rating
+	RatingStep float32 // granularity of the rating scale
+
+	Rank      int     // planted latent rank used for generation
+	NoiseStd  float64 // observation noise on top of the planted model
+	ZipfTheta float64 // item-popularity skew exponent (0 = uniform)
+
+	Params Params
+}
+
+// The paper's dataset table (Table 3), γ = 0.005 throughout.
+var (
+	// Netflix: 480190×17771, 99,072,112 ratings on a 1–5 scale.
+	Netflix = Spec{
+		Name: "netflix", M: 480190, N: 17771, NNZ: 99072112,
+		RatingMin: 1, RatingMax: 5, RatingStep: 1,
+		Rank: 16, NoiseStd: 0.45, ZipfTheta: 0.9,
+		Params: Params{Lambda1: 0.01, Lambda2: 0.01, Gamma: 0.005},
+	}
+	// YahooR1: Yahoo! Music R1, 1948883×1101750, 115,579,437 ratings,
+	// 0–100 scale.
+	YahooR1 = Spec{
+		Name: "r1", M: 1948883, N: 1101750, NNZ: 115579437,
+		RatingMin: 0, RatingMax: 100, RatingStep: 1,
+		Rank: 16, NoiseStd: 12, ZipfTheta: 0.8,
+		Params: Params{Lambda1: 1, Lambda2: 1, Gamma: 0.005},
+	}
+	// YahooR1Star: R1 densified with uniformly added entries to
+	// 199,999,997 ratings (the paper's R1* used to stress partitioning).
+	YahooR1Star = Spec{
+		Name: "r1star", M: 1948883, N: 1101750, NNZ: 199999997,
+		RatingMin: 0, RatingMax: 100, RatingStep: 1,
+		Rank: 16, NoiseStd: 12, ZipfTheta: 0.3,
+		Params: Params{Lambda1: 1, Lambda2: 1, Gamma: 0.005},
+	}
+	// YahooR2: Yahoo! Music R2, 1000000×136736, 383,838,609 ratings,
+	// 1–5 scale.
+	YahooR2 = Spec{
+		Name: "r2", M: 1000000, N: 136736, NNZ: 383838609,
+		RatingMin: 1, RatingMax: 5, RatingStep: 0.5,
+		Rank: 16, NoiseStd: 0.5, ZipfTheta: 0.8,
+		Params: Params{Lambda1: 0.01, Lambda2: 0.01, Gamma: 0.005},
+	}
+	// MovieLens20M: 138494×131263, 20,000,260 ratings, 0.5–5 scale. The
+	// near-square shape makes it the paper's limitation case (Section 4.6).
+	MovieLens20M = Spec{
+		Name: "ml-20m", M: 138494, N: 131263, NNZ: 20000260,
+		RatingMin: 0.5, RatingMax: 5, RatingStep: 0.5,
+		Rank: 16, NoiseStd: 0.5, ZipfTheta: 0.9,
+		Params: Params{Lambda1: 0.01, Lambda2: 0.01, Gamma: 0.005},
+	}
+)
+
+// Presets lists every built-in spec by name.
+var Presets = map[string]Spec{
+	Netflix.Name:      Netflix,
+	YahooR1.Name:      YahooR1,
+	YahooR1Star.Name:  YahooR1Star,
+	YahooR2.Name:      YahooR2,
+	MovieLens20M.Name: MovieLens20M,
+}
+
+// Lookup resolves a preset by name.
+func Lookup(name string) (Spec, error) {
+	s, ok := Presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("dataset: unknown preset %q", name)
+	}
+	return s, nil
+}
+
+// Scaled returns a copy of the spec shrunk by factor f (0 < f ≤ 1) along
+// every axis, keeping the density profile. Used to materialise datasets
+// that actually fit in test memory while the full-size spec still drives
+// the simulated-platform timing.
+func (s Spec) Scaled(f float64) Spec {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("dataset: scale factor %v out of (0,1]", f))
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@%.4g", s.Name, f)
+	out.M = max(int(float64(s.M)*f), out.Rank+1)
+	out.N = max(int(float64(s.N)*f), out.Rank+1)
+	out.NNZ = int64(float64(s.NNZ) * f)
+	if maxNNZ := int64(out.M) * int64(out.N); out.NNZ > maxNNZ {
+		out.NNZ = maxNNZ
+	}
+	if out.NNZ < 1 {
+		out.NNZ = 1
+	}
+	return out
+}
+
+// Density reports nnz/(m·n).
+func (s Spec) Density() float64 {
+	return float64(s.NNZ) / (float64(s.M) * float64(s.N))
+}
+
+// DimRatio reports nnz/(m+n), the quantity the paper uses to predict
+// whether communication drowns computation (Section 3.4: trouble when
+// nnz/(m+n) < 1000).
+func (s Spec) DimRatio() float64 {
+	return float64(s.NNZ) / float64(s.M+s.N)
+}
+
+// Dataset is a materialised dataset: a training split, a held-out test
+// split, and the generating spec.
+type Dataset struct {
+	Spec  Spec
+	Train *sparse.COO
+	Test  *sparse.COO
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

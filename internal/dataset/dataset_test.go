@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresetsMatchPaperTable3(t *testing.T) {
+	cases := []struct {
+		name string
+		m, n int
+		nnz  int64
+	}{
+		{"netflix", 480190, 17771, 99072112},
+		{"r1", 1948883, 1101750, 115579437},
+		{"r1star", 1948883, 1101750, 199999997},
+		{"r2", 1000000, 136736, 383838609},
+		{"ml-20m", 138494, 131263, 20000260},
+	}
+	for _, c := range cases {
+		s, err := Lookup(c.name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", c.name, err)
+		}
+		if s.M != c.m || s.N != c.n || s.NNZ != c.nnz {
+			t.Errorf("%s: got (%d,%d,%d), want (%d,%d,%d)", c.name, s.M, s.N, s.NNZ, c.m, c.n, c.nnz)
+		}
+		if s.Params.Gamma != 0.005 {
+			t.Errorf("%s: gamma = %v, want 0.005", c.name, s.Params.Gamma)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown preset succeeded")
+	}
+}
+
+func TestLambdasMatchPaper(t *testing.T) {
+	if Netflix.Params.Lambda1 != 0.01 {
+		t.Errorf("netflix λ = %v, want 0.01", Netflix.Params.Lambda1)
+	}
+	if YahooR1.Params.Lambda1 != 1 {
+		t.Errorf("r1 λ = %v, want 1", YahooR1.Params.Lambda1)
+	}
+	if YahooR2.Params.Lambda1 != 0.01 {
+		t.Errorf("r2 λ = %v, want 0.01", YahooR2.Params.Lambda1)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Netflix.Scaled(0.01)
+	if s.M != 4801 || s.N != 177 {
+		t.Fatalf("scaled dims = (%d,%d)", s.M, s.N)
+	}
+	// 1% of nnz would be 990721, but the shrunken 4801×177 matrix only has
+	// 849777 cells, so the clamp to dense capacity must kick in.
+	if s.NNZ != int64(s.M)*int64(s.N) {
+		t.Fatalf("scaled nnz = %d, want dense clamp %d", s.NNZ, int64(s.M)*int64(s.N))
+	}
+	s2 := Netflix.Scaled(0.1)
+	if s2.NNZ != 9907211 {
+		t.Fatalf("scaled(0.1) nnz = %d, want 9907211", s2.NNZ)
+	}
+	if s.Params != Netflix.Params {
+		t.Fatal("scaling changed hyper-parameters")
+	}
+}
+
+func TestScaledClampsToDense(t *testing.T) {
+	s := YahooR2.Scaled(0.0001) // would be denser than full
+	if s.NNZ > int64(s.M)*int64(s.N) {
+		t.Fatalf("scaled nnz %d exceeds dense capacity %d", s.NNZ, int64(s.M)*int64(s.N))
+	}
+}
+
+func TestScaledPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) did not panic")
+		}
+	}()
+	Netflix.Scaled(0)
+}
+
+func TestDensityAndDimRatio(t *testing.T) {
+	d := Netflix.Density()
+	want := float64(Netflix.NNZ) / (float64(Netflix.M) * float64(Netflix.N))
+	if math.Abs(d-want) > 1e-15 {
+		t.Fatalf("Density = %v, want %v", d, want)
+	}
+	// The paper's limitation analysis: ML-20m has a small nnz/(m+n).
+	if MovieLens20M.DimRatio() > 100 {
+		t.Fatalf("ml-20m DimRatio = %v, expected < 100", MovieLens20M.DimRatio())
+	}
+	if Netflix.DimRatio() < 190 {
+		t.Fatalf("netflix DimRatio = %v, expected ~199", Netflix.DimRatio())
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	spec := Netflix.Scaled(0.002)
+	d, err := Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := d.Train.NNZ() + d.Test.NNZ()
+	if int64(total) != spec.NNZ {
+		t.Fatalf("generated %d entries, want %d", total, spec.NNZ)
+	}
+	if err := d.Train.Validate(); err != nil {
+		t.Fatalf("train invalid: %v", err)
+	}
+	if err := d.Test.Validate(); err != nil {
+		t.Fatalf("test invalid: %v", err)
+	}
+	testFrac := float64(d.Test.NNZ()) / float64(total)
+	if testFrac < 0.07 || testFrac > 0.13 {
+		t.Fatalf("test fraction %v, want ~0.1", testFrac)
+	}
+}
+
+func TestGenerateRatingsInScale(t *testing.T) {
+	spec := YahooR2.Scaled(0.0005)
+	d := MustGenerate(spec, 7)
+	for _, e := range d.Train.Entries {
+		if e.V < spec.RatingMin || e.V > spec.RatingMax {
+			t.Fatalf("rating %v outside [%v,%v]", e.V, spec.RatingMin, spec.RatingMax)
+		}
+		// Quantised to the step grid.
+		steps := float64(e.V-spec.RatingMin) / float64(spec.RatingStep)
+		if math.Abs(steps-math.Round(steps)) > 1e-4 {
+			t.Fatalf("rating %v not on step grid %v", e.V, spec.RatingStep)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Netflix.Scaled(0.001)
+	a := MustGenerate(spec, 99)
+	b := MustGenerate(spec, 99)
+	if a.Train.NNZ() != b.Train.NNZ() {
+		t.Fatal("same-seed generation differs in train size")
+	}
+	for i := range a.Train.Entries {
+		if a.Train.Entries[i] != b.Train.Entries[i] {
+			t.Fatal("same-seed generation produced different entries")
+		}
+	}
+	c := MustGenerate(spec, 100)
+	same := true
+	for i := 0; i < 100 && i < len(a.Train.Entries); i++ {
+		if a.Train.Entries[i] != c.Train.Entries[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical entry prefix")
+	}
+}
+
+func TestGeneratePopularitySkew(t *testing.T) {
+	spec := Netflix.Scaled(0.005)
+	d := MustGenerate(spec, 3)
+	counts := d.Train.ColCounts()
+	// With theta=0.9 the most popular ~1% of items should hold far more
+	// than 1% of ratings.
+	top := spec.N / 100
+	if top < 1 {
+		top = 1
+	}
+	// counts is indexed by item id; the zipf sampler makes low ids popular.
+	var topSum, total int
+	for i, c := range counts {
+		total += c
+		if i < top {
+			topSum += c
+		}
+	}
+	frac := float64(topSum) / float64(total)
+	if frac < 0.05 {
+		t.Fatalf("top 1%% of items hold only %.3f of ratings; skew missing", frac)
+	}
+}
+
+func TestGenerateRejectsOversized(t *testing.T) {
+	if _, err := Generate(YahooR2, 1); err == nil {
+		t.Fatal("full-size R2 generation should refuse (needs >4GiB)")
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	bad := Spec{Name: "bad", M: 0, N: 10, NNZ: 5, Rank: 4}
+	if _, err := Generate(bad, 1); err == nil {
+		t.Fatal("zero-row spec accepted")
+	}
+	bad = Spec{Name: "bad", M: 10, N: 10, NNZ: 5, Rank: 0}
+	if _, err := Generate(bad, 1); err == nil {
+		t.Fatal("zero-rank spec accepted")
+	}
+}
+
+func TestZipfSamplerUniformFallback(t *testing.T) {
+	rngSeed := uint64(5)
+	z := newZipfSampler(newTestRand(rngSeed), 10, 0)
+	var hist [10]int
+	for i := 0; i < 10000; i++ {
+		hist[z.Next()]++
+	}
+	for i, c := range hist {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform fallback bucket %d has %d/10000 draws", i, c)
+		}
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	z := newZipfSampler(newTestRand(5), 1000, 0.99)
+	var first10 int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if z.Next() < 10 {
+			first10++
+		}
+	}
+	if frac := float64(first10) / n; frac < 0.2 {
+		t.Fatalf("zipf(0.99): first 10 of 1000 ids drew %.3f of samples, want > 0.2", frac)
+	}
+}
+
+func TestZipfSamplerSingleItem(t *testing.T) {
+	z := newZipfSampler(newTestRand(1), 1, 0.9)
+	for i := 0; i < 10; i++ {
+		if z.Next() != 0 {
+			t.Fatal("n=1 sampler returned non-zero index")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets double as robustness tests: `go test` runs the seed corpus,
+// `go test -fuzz=FuzzReadText` explores further. The property under fuzz
+// is "never panic, and anything accepted round-trips cleanly".
+
+func FuzzReadText(f *testing.F) {
+	f.Add("2 2 1\n0 1 3.5\n")
+	f.Add("% comment\n3 4 2\n0 0 1\n2 3 5\n")
+	f.Add("")
+	f.Add("1 1\n")
+	f.Add("a b c\n")
+	f.Add("2 2 1\n9 9 9\n")
+	f.Add("9999999 9999999 1\n0 0 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadText(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		// Anything accepted must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NNZ() != m.NNZ() || back.Rows != m.Rows || back.Cols != m.Cols {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and truncations/corruptions of it.
+	m := smallMatrix()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:4])
+	f.Add([]byte("HCMF"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[5] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		m, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+	})
+}
+
+func FuzzReadMovieLensCSV(f *testing.F) {
+	f.Add("userId,movieId,rating,timestamp\n1,296,5.0,1147880044\n")
+	f.Add("userId,movieId,rating\nx,y,z\n")
+	f.Add("")
+	f.Add("userId,movieId,rating,timestamp\n-1,-2,3.0,0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, maps, err := ReadMovieLensCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		if len(maps.Users) != m.Rows || len(maps.Items) != m.Cols {
+			t.Fatalf("id maps inconsistent with matrix dims")
+		}
+	})
+}

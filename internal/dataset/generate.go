@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"hccmf/internal/sparse"
+)
+
+// Generate materialises a dataset from a spec: it plants a rank-Rank factor
+// model (P*, Q* with positive-mean entries so ratings land inside the
+// scale), samples NNZ (user, item) pairs with Zipf-skewed item popularity
+// and mildly skewed user activity, computes the planted rating plus
+// Gaussian noise, clamps and quantises it to the rating scale, shuffles,
+// and splits 90/10 into train/test.
+//
+// Generation is deterministic per (spec, seed).
+func Generate(spec Spec, seed uint64) (*Dataset, error) {
+	if spec.M <= 0 || spec.N <= 0 || spec.NNZ <= 0 {
+		return nil, fmt.Errorf("dataset: invalid spec %+v", spec)
+	}
+	if spec.Rank <= 0 {
+		return nil, fmt.Errorf("dataset: spec %q has no planted rank", spec.Name)
+	}
+	est := spec.NNZ * 12 // bytes per Rating entry
+	if est > 4<<30 {
+		return nil, fmt.Errorf("dataset: %q needs ~%d MiB to materialise; use Scaled() first",
+			spec.Name, est>>20)
+	}
+	rng := sparse.NewRand(seed)
+
+	// Planted factors. Entry scale chosen so that p·q has mean ≈ mid-scale
+	// and stddev ≈ quarter-scale.
+	mid := float64(spec.RatingMin+spec.RatingMax) / 2
+	spread := float64(spec.RatingMax-spec.RatingMin) / 4
+	base := math.Sqrt(mid / float64(spec.Rank))
+	dev := math.Sqrt(spread / float64(spec.Rank))
+	pf := plantFactor(rng, spec.M, spec.Rank, base, dev)
+	qf := plantFactor(rng, spec.N, spec.Rank, base, dev)
+
+	itemSampler := newZipfSampler(rng, spec.N, spec.ZipfTheta)
+	userSampler := newZipfSampler(rng, spec.M, spec.ZipfTheta/2)
+
+	all := sparse.NewCOO(spec.M, spec.N, int(spec.NNZ))
+	for c := int64(0); c < spec.NNZ; c++ {
+		u := userSampler.Next()
+		i := itemSampler.Next()
+		var dot float64
+		pu := pf[u*spec.Rank : (u+1)*spec.Rank]
+		qi := qf[i*spec.Rank : (i+1)*spec.Rank]
+		for f := 0; f < spec.Rank; f++ {
+			dot += float64(pu[f]) * float64(qi[f])
+		}
+		r := dot + spec.NoiseStd*rng.NormFloat64()
+		all.Add(int32(u), int32(i), quantise(r, spec))
+	}
+	all.Shuffle(rng)
+	train, test := all.SplitTrainTest(rng, 0.1)
+	return &Dataset{Spec: spec, Train: train, Test: test}, nil
+}
+
+// MustGenerate is Generate that panics on error, for examples and tests.
+func MustGenerate(spec Spec, seed uint64) *Dataset {
+	d, err := Generate(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func plantFactor(rng *sparse.Rand, n, k int, base, dev float64) []float32 {
+	f := make([]float32, n*k)
+	for i := range f {
+		f[i] = float32(base + dev*rng.NormFloat64())
+	}
+	return f
+}
+
+func quantise(r float64, spec Spec) float32 {
+	if r < float64(spec.RatingMin) {
+		r = float64(spec.RatingMin)
+	}
+	if r > float64(spec.RatingMax) {
+		r = float64(spec.RatingMax)
+	}
+	step := float64(spec.RatingStep)
+	if step > 0 {
+		r = math.Round(r/step) * step
+	}
+	return float32(r)
+}
+
+// zipfSampler draws indexes in [0, n) with probability ∝ 1/(rank+1)^theta
+// using inverse-CDF sampling over a precomputed cumulative table for small
+// n, or the rejection-free approximation of Gray et al. for large n.
+//
+// For theta = 0 it degenerates to a uniform sampler.
+type zipfSampler struct {
+	rng   *sparse.Rand
+	n     int
+	theta float64
+	// Gray approximation constants.
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipfSampler(rng *sparse.Rand, n int, theta float64) *zipfSampler {
+	z := &zipfSampler{rng: rng, n: n, theta: theta}
+	if theta <= 0 || n <= 1 {
+		return z
+	}
+	if theta >= 1 {
+		theta = 0.999 // Gray's closed form needs theta < 1
+		z.theta = theta
+	}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaApprox(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// Next draws the next index. The skewed branch follows the standard YCSB
+// ScrambledZipfian construction (without the scramble: HCC-MF wants the
+// head-heavy rows contiguous so grids see realistic imbalance).
+func (z *zipfSampler) Next() int {
+	if z.theta <= 0 || z.n <= 1 {
+		return z.rng.Intn(maxInt(z.n, 1))
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}
+
+// zetaStatic computes the exact generalised harmonic number H_{n,theta}.
+func zetaStatic(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// zetaApprox approximates H_{n,theta} with the Euler-Maclaurin integral
+// bound for large n (exact summation of 2M terms, analytic tail beyond).
+func zetaApprox(n int, theta float64) float64 {
+	const exact = 1 << 21
+	if n <= exact {
+		return zetaStatic(n, theta)
+	}
+	head := zetaStatic(exact, theta)
+	// ∫_{exact}^{n} x^-theta dx
+	tail := (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	return head + tail
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"hccmf/internal/sparse"
+)
+
+// Text format: a header line "m n nnz" followed by one "user item rating"
+// triple per line (0-based indexes). Lines starting with '%' or '#' are
+// comments. This is compatible with the common MF benchmark layout and a
+// strict subset of MatrixMarket coordinate bodies.
+
+// WriteText writes the matrix in the text triple format.
+func WriteText(w io.Writer, m *sparse.COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for _, e := range m.Entries {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.U, e.I, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text triple format.
+func ReadText(r io.Reader) (*sparse.COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var m *sparse.COO
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' || line[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if m == nil {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: line %d: header wants 'm n nnz', got %q", lineNo, line)
+			}
+			rows, err1 := strconv.Atoi(fields[0])
+			cols, err2 := strconv.Atoi(fields[1])
+			nnz, err3 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad header %q", lineNo, line)
+			}
+			m = sparse.NewCOO(rows, cols, nnz)
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("dataset: line %d: want 'u i r', got %q", lineNo, line)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 32)
+		i, err2 := strconv.ParseInt(fields[1], 10, 32)
+		v, err3 := strconv.ParseFloat(fields[2], 32)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad triple %q", lineNo, line)
+		}
+		if err := m.Append(int32(u), int32(i), float32(v)); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("dataset: empty input")
+	}
+	return m, nil
+}
+
+// Binary format: magic "HCMF", version u32, rows/cols u64, nnz u64, then
+// nnz records of (u int32, i int32, v float32), little endian. ~3x smaller
+// and ~20x faster to load than the text form.
+
+const (
+	binaryMagic   = "HCMF"
+	binaryVersion = 1
+)
+
+// WriteBinary writes the compact binary format.
+func WriteBinary(w io.Writer, m *sparse.COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(m.Cols))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(m.NNZ()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for _, e := range m.Entries {
+		binary.LittleEndian.PutUint32(rec[0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(e.I))
+		binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(e.V))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*sparse.COO, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+8+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("dataset: unsupported version %d", v)
+	}
+	rows := int(binary.LittleEndian.Uint64(hdr[4:]))
+	cols := int(binary.LittleEndian.Uint64(hdr[12:]))
+	nnz := binary.LittleEndian.Uint64(hdr[20:])
+	if rows < 0 || cols < 0 || nnz > 1<<34 {
+		return nil, fmt.Errorf("dataset: implausible header rows=%d cols=%d nnz=%d", rows, cols, nnz)
+	}
+	m := sparse.NewCOO(rows, cols, int(nnz))
+	rec := make([]byte, 12)
+	for c := uint64(0); c < nnz; c++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", c, err)
+		}
+		u := int32(binary.LittleEndian.Uint32(rec[0:]))
+		i := int32(binary.LittleEndian.Uint32(rec[4:]))
+		v := math.Float32frombits(binary.LittleEndian.Uint32(rec[8:]))
+		if err := m.Append(u, i, v); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %v", c, err)
+		}
+	}
+	return m, nil
+}

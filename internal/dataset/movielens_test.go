@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const csvSample = `userId,movieId,rating,timestamp
+1,296,5.0,1147880044
+1,306,3.5,1147868817
+2,296,4.0,1147868828
+3,5952,4.0,1147869100
+`
+
+const uDataSample = "196\t242\t3\t881250949\n186\t302\t3\t891717742\n196\t302\t4\t881250949\n"
+
+func TestReadMovieLensCSV(t *testing.T) {
+	m, maps, err := ReadMovieLensCSV(strings.NewReader(csvSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 3 || m.NNZ() != 4 {
+		t.Fatalf("shape = %dx%d/%d", m.Rows, m.Cols, m.NNZ())
+	}
+	// User 1 and user 2 both rated movie 296 — same dense column.
+	col296 := maps.ItemIndex[296]
+	seen := 0
+	for _, e := range m.Entries {
+		if e.I == col296 {
+			seen++
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("movie 296 has %d ratings, want 2", seen)
+	}
+	if maps.Users[maps.UserIndex[3]] != 3 {
+		t.Fatal("id maps do not invert")
+	}
+	if m.Entries[0].V != 5.0 {
+		t.Fatalf("rating = %v", m.Entries[0].V)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMovieLensUData(t *testing.T) {
+	m, maps, err := ReadMovieLensUData(strings.NewReader(uDataSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 2 || m.NNZ() != 3 {
+		t.Fatalf("shape = %dx%d/%d", m.Rows, m.Cols, m.NNZ())
+	}
+	if _, ok := maps.UserIndex[196]; !ok {
+		t.Fatal("user 196 missing")
+	}
+}
+
+func TestReadMovieLensErrors(t *testing.T) {
+	cases := []string{
+		"",                             // empty
+		"not,a,header\n1,2,3.0,4\n",    // bad header
+		"userId,movieId,rating\na,b\n", // short record
+		"userId,movieId,rating\nx,y,z\n",
+	}
+	for _, in := range cases {
+		if _, _, err := ReadMovieLensCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadMovieLensCSV(%q) succeeded", in)
+		}
+	}
+	if _, _, err := ReadMovieLensUData(strings.NewReader("1 2\n")); err == nil {
+		t.Error("short u.data record accepted")
+	}
+}
+
+func TestReadMovieLensSkipsBlankLines(t *testing.T) {
+	in := "userId,movieId,rating,timestamp\n\n1,10,4.0,0\n\n"
+	m, _, err := ReadMovieLensCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestReadMovieLensDensification(t *testing.T) {
+	// Ids are huge and sparse; dense indexes must stay compact.
+	in := "userId,movieId,rating,timestamp\n900000,7777777,3.0,0\n900001,7777777,2.0,0\n"
+	m, maps, err := ReadMovieLensCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 2 || m.Cols != 1 {
+		t.Fatalf("densification failed: %dx%d", m.Rows, m.Cols)
+	}
+	if maps.Items[0] != 7777777 {
+		t.Fatal("item map wrong")
+	}
+}

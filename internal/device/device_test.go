@@ -1,0 +1,162 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if CPU.String() != "cpu" || GPU.String() != "gpu" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(5).String() != "Kind(5)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+func TestXeon6242CalibrationPoints(t *testing.T) {
+	d24 := Xeon6242(24)
+	if got := d24.UpdateRate("netflix"); got != 348790567 {
+		t.Fatalf("24T netflix rate = %v", got)
+	}
+	if got := d24.UpdateRate("r2"); got != 266293289 {
+		t.Fatalf("24T r2 rate = %v", got)
+	}
+	d16 := Xeon6242(16)
+	if got := d16.UpdateRate("netflix"); math.Abs(got-272502189.3) > 1 {
+		t.Fatalf("16T netflix rate = %v", got)
+	}
+	if d24.Kind != CPU || d16.Threads != 16 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestXeon6242ScalingMonotone(t *testing.T) {
+	prev := 0.0
+	for _, th := range []int{4, 8, 10, 16, 20, 24} {
+		r := Xeon6242(th).UpdateRate("netflix")
+		if r <= prev {
+			t.Fatalf("rate not monotone in threads: %d threads → %v", th, r)
+		}
+		prev = r
+	}
+	// Sublinear: 10T should beat 10/24 of the 24T rate.
+	r10 := Xeon6242(10).UpdateRate("netflix")
+	r24 := Xeon6242(24).UpdateRate("netflix")
+	if r10 <= r24*10/24 {
+		t.Fatalf("thread scaling not sublinear: r10=%v r24=%v", r10, r24)
+	}
+}
+
+func TestXeon6242WeakenedNameAndBandwidth(t *testing.T) {
+	d := Xeon6242(10)
+	if d.Name != "6242l-10T" {
+		t.Fatalf("10T name = %q, want 6242l prefix", d.Name)
+	}
+	// Table 2: 39.3 GB/s at 10 threads, 67.3 at full.
+	if math.Abs(d.MemBandwidth-39.3e9) > 1e6 {
+		t.Fatalf("10T bandwidth = %v", d.MemBandwidth)
+	}
+	if math.Abs(Xeon6242(24).MemBandwidth-67.3e9) > 1e6 {
+		t.Fatal("24T bandwidth wrong")
+	}
+}
+
+func TestXeon6242Validation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("0 threads did not panic")
+		}
+	}()
+	Xeon6242(0)
+}
+
+func TestGPUProfiles(t *testing.T) {
+	g1 := RTX2080()
+	g2 := RTX2080Super()
+	if g1.UpdateRate("netflix") != 918333483.2 {
+		t.Fatalf("2080 netflix = %v", g1.UpdateRate("netflix"))
+	}
+	if g2.UpdateRate("netflix") != 1052866849 {
+		t.Fatalf("2080S netflix = %v", g2.UpdateRate("netflix"))
+	}
+	if !g1.HasCopyEngine || !g2.HasCopyEngine {
+		t.Fatal("GPUs must expose copy engines")
+	}
+	if g1.Kind != GPU || g2.Kind != GPU {
+		t.Fatal("kind wrong")
+	}
+	// Table 4's striking R2 slowdown must be preserved.
+	if r := g1.UpdateRate("r2") / g1.UpdateRate("netflix"); r > 0.5 {
+		t.Fatalf("2080 r2/netflix ratio = %v, want the paper's ~0.37", r)
+	}
+}
+
+func TestUnknownDatasetFallsBack(t *testing.T) {
+	d := RTX2080()
+	if got := d.UpdateRate("custom-data"); got != d.UpdateRate("netflix") {
+		t.Fatalf("fallback rate = %v", got)
+	}
+}
+
+func TestV100FasterThan2080S(t *testing.T) {
+	v := TeslaV100()
+	s := RTX2080Super()
+	for _, ds := range []string{"netflix", "r1", "r2", "ml-20m"} {
+		if v.UpdateRate(ds) <= s.UpdateRate(ds) {
+			t.Fatalf("V100 not faster on %s", ds)
+		}
+	}
+	// Figure 3(b): V100 costs > 3x the 6242+2080S combo parts.
+	combo := Xeon6242(16).PriceUSD + s.PriceUSD
+	if v.PriceUSD < 2.5*combo*0.9 {
+		t.Fatalf("V100 price %v vs combo %v does not reproduce the economics claim", v.PriceUSD, combo)
+	}
+}
+
+func TestEffectiveRateLoadDependence(t *testing.T) {
+	g := RTX2080()
+	full := g.EffectiveRate("netflix", 1)
+	part := g.EffectiveRate("netflix", 0.3)
+	if full != g.UpdateRate("netflix") {
+		t.Fatalf("share-1 rate = %v, want calibration %v", full, g.UpdateRate("netflix"))
+	}
+	if part <= full {
+		t.Fatal("GPU rate must rise for smaller shares (Table 2)")
+	}
+	// CPUs lose efficiency on small shards (fixed per-epoch costs stop
+	// amortising) but never below the floor.
+	c := Xeon6242(16)
+	if c.EffectiveRate("netflix", 0.3) >= c.UpdateRate("netflix") {
+		t.Fatal("CPU rate must drop for small shares")
+	}
+	if c.EffectiveRate("netflix", 0.01) < 0.7*c.UpdateRate("netflix") {
+		t.Fatal("CPU rate fell below the efficiency floor")
+	}
+	if c.EffectiveRate("netflix", 1) != c.UpdateRate("netflix") {
+		t.Fatal("share-1 CPU rate must equal calibration")
+	}
+	// Degenerate shares clamp.
+	if g.EffectiveRate("netflix", 0) != full {
+		t.Fatal("share 0 should clamp to calibration")
+	}
+	if g.EffectiveRate("netflix", 2) != full {
+		t.Fatal("share >1 should clamp")
+	}
+}
+
+func TestEffectiveBandwidthConsistent(t *testing.T) {
+	d := RTX2080()
+	const k = 32
+	want := d.UpdateRate("netflix") * float64(16*k+4)
+	if got := d.EffectiveBandwidth("netflix", k); got != want {
+		t.Fatalf("EffectiveBandwidth = %v, want %v", got, want)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	d := Xeon6242(16)
+	if s := d.String(); s != "6242-16T(cpu,16T)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,39 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4). Each experiment is a pure function returning a
+// typed result with a Format method that prints rows shaped like the
+// paper's; cmd/hccmf-bench and the repository's bench_test.go both drive
+// these functions, so the benchmark harness and the CLI cannot drift
+// apart.
+//
+// Absolute numbers come from the simulated platform (calibrated with the
+// paper's own measurements — see internal/device), so the *shape* of every
+// result is the reproduction target: who wins, by what factor, where the
+// crossovers fall.
+package experiments
+
+import (
+	"fmt"
+
+	"hccmf/internal/core"
+	"hccmf/internal/dataset"
+)
+
+// Epochs is the training length of all timing experiments (the paper
+// reports 20-epoch totals).
+const Epochs = 20
+
+// K is the latent dimension of all timing experiments (cuMF_SGD's 128).
+const K = 128
+
+// hccRun executes one simulated HCC-MF run and returns the result.
+func hccRun(plat core.Platform, spec dataset.Spec, opts core.PlanOptions, epochs int) (*core.Result, error) {
+	return core.Run(core.RunConfig{
+		Spec:     spec,
+		Platform: plat,
+		Epochs:   epochs,
+		Plan:     opts,
+	})
+}
+
+// seconds formats a duration column.
+func seconds(v float64) string { return fmt.Sprintf("%10.4f", v) }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hccmf/internal/baselines"
+	"hccmf/internal/core"
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+	"hccmf/internal/metrics"
+)
+
+// Fig7Curves holds one dataset's convergence comparison: HCC-MF against
+// the FPSGD and cuMF_SGD baselines, all really trained, with simulated
+// full-size clocks on the time axis.
+type Fig7Curves struct {
+	Dataset string
+	HCC     *metrics.Curve
+	FPSGD   *metrics.Curve
+	CuMF    *metrics.Curve
+	// TargetRMSE is the common convergence target used for the speedup
+	// comparison of Figure 7(d–f).
+	TargetRMSE float64
+	// SpeedupVsFPSGD and SpeedupVsCuMF are HCC-MF's time-to-target
+	// advantages (the paper's 3.1x / 2.9x style numbers).
+	SpeedupVsFPSGD float64
+	SpeedupVsCuMF  float64
+}
+
+// Figure7Result reproduces Figure 7.
+type Figure7Result struct {
+	Curves []Fig7Curves
+}
+
+// Figure7 trains HCC-MF, FPSGD and cuMF_SGD for real on scaled instances
+// of Netflix, R1 and R2, recording RMSE per epoch (Figure 7 a–c) and the
+// time-to-target speedups (d–f). scale shrinks the materialised data;
+// epochs/k/seed control the training runs.
+func Figure7(scale float64, epochs, k int, seed uint64) (*Figure7Result, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("figure7: scale %v", scale)
+	}
+	if epochs < 2 {
+		return nil, fmt.Errorf("figure7: epochs %d", epochs)
+	}
+	res := &Figure7Result{}
+	for _, spec := range []dataset.Spec{dataset.Netflix, dataset.YahooR1, dataset.YahooR2} {
+		hccRes, err := core.Run(core.RunConfig{
+			Spec:             spec,
+			Platform:         core.PaperPlatformOverall(),
+			Epochs:           epochs,
+			Plan:             core.PlanOptions{K: K},
+			MaterializeScale: scale,
+			RealK:            k,
+			Seed:             seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure7 hcc %s: %v", spec.Name, err)
+		}
+		fp, err := baselines.FPSGD(24).TrainCurve(spec, scale, epochs, k, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 fpsgd %s: %v", spec.Name, err)
+		}
+		cu, err := baselines.CuMFSGD(device.RTX2080Super()).TrainCurve(spec, scale, epochs, k, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 cumf %s: %v", spec.Name, err)
+		}
+
+		c := Fig7Curves{Dataset: spec.Name, HCC: hccRes.Curve, FPSGD: fp, CuMF: cu}
+		// TargetRMSE records the worst of the three finals (each curve
+		// demonstrably crosses it); speedups use the robust median over
+		// the whole shared descent rather than that single target, which
+		// sits on an epoch boundary and flips with the seed.
+		c.TargetRMSE = math.Max(c.HCC.Final(), math.Max(fp.Final(), cu.Final())) * 1.02
+		c.SpeedupVsFPSGD = speedupVs(c.HCC, fp, c.TargetRMSE)
+		c.SpeedupVsCuMF = speedupVs(c.HCC, cu, c.TargetRMSE)
+		res.Curves = append(res.Curves, c)
+	}
+	return res, nil
+}
+
+// speedupVs prefers the robust median-over-shared-descent speedup and
+// falls back to the single-target ratio when the curves never share an
+// RMSE band (HCC sometimes sits below a baseline's entire descent after
+// one epoch, which is a win the median cannot express).
+func speedupVs(hcc, base *metrics.Curve, target float64) float64 {
+	if s, ok := metrics.RobustSpeedup(hcc, base, 9); ok {
+		return s
+	}
+	if s, ok := metrics.Speedup(hcc, base, target); ok {
+		return s
+	}
+	return 0
+}
+
+// CurvesFor returns the comparison for a dataset (nil if absent).
+func (r *Figure7Result) CurvesFor(ds string) *Fig7Curves {
+	for i := range r.Curves {
+		if r.Curves[i].Dataset == ds {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}
+
+// Format renders final RMSEs and speedups (full curves via each Curve's
+// own Format).
+func (r *Figure7Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: convergence and training-speed comparison\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %12s %12s\n",
+		"dataset", "HCC rmse", "FPSGD", "CuMF_SGD", "vs FPSGD", "vs CuMF")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "%-10s %10.4f %10.4f %10.4f %11.2fx %11.2fx\n",
+			c.Dataset, c.HCC.Final(), c.FPSGD.Final(), c.CuMF.Final(),
+			c.SpeedupVsFPSGD, c.SpeedupVsCuMF)
+	}
+	return b.String()
+}

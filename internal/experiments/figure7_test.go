@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"hccmf/internal/metrics"
+	"hccmf/internal/raceflag"
+)
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func minf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Figure 7 really trains three systems on three datasets; keep the test
+// instance small but meaningful.
+func TestFigure7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training study; skipped in -short")
+	}
+	if raceflag.Enabled {
+		t.Skip("R1 trains with intentionally lock-free async streams; skipped under -race")
+	}
+	r, err := Figure7(0.001, 20, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 3 {
+		t.Fatalf("curves = %d", len(r.Curves))
+	}
+	for _, c := range r.Curves {
+		for _, curve := range []struct {
+			name string
+			pts  int
+		}{
+			{"HCC", len(c.HCC.Points)},
+			{"FPSGD", len(c.FPSGD.Points)},
+			{"CuMF", len(c.CuMF.Points)},
+		} {
+			if curve.pts != 21 { // epoch-0 anchor + 20 epochs
+				t.Fatalf("%s/%s has %d points", c.Dataset, curve.name, curve.pts)
+			}
+		}
+		// Convergence: every method descends below its first-epoch RMSE at
+		// some point, and never blows up. (On the scaled R1 instance the
+		// held-out curve dips then drifts slightly upward — the same
+		// fluctuation the paper's Figure 7(b) shows — so the minimum, not
+		// the final point, carries the descent claim.)
+		for _, m := range []struct {
+			name  string
+			curve *metrics.Curve
+		}{{"HCC", c.HCC}, {"FPSGD", c.FPSGD}, {"CuMF", c.CuMF}} {
+			first := m.curve.Points[0].RMSE
+			min := first
+			for _, pt := range m.curve.Points {
+				if pt.RMSE < min {
+					min = pt.RMSE
+				}
+			}
+			if min >= first {
+				t.Fatalf("%s/%s never descended below its first epoch", c.Dataset, m.name)
+			}
+			if m.curve.Final() > 1.1*first {
+				t.Fatalf("%s/%s diverged: %v → %v", c.Dataset, m.name, first, m.curve.Final())
+			}
+		}
+		// The paper's equivalence claim: all three systems converge to
+		// comparable RMSE.
+		if hi, lo := maxf(c.HCC.Final(), c.FPSGD.Final(), c.CuMF.Final()),
+			minf(c.HCC.Final(), c.FPSGD.Final(), c.CuMF.Final()); hi > 1.25*lo {
+			t.Fatalf("%s: final RMSEs diverge: %v vs %v", c.Dataset, hi, lo)
+		}
+		// Figure 7(d–f): HCC reaches the common target faster than both
+		// baselines (speedups > 1).
+		if c.SpeedupVsFPSGD <= 1 {
+			t.Fatalf("%s: HCC speedup vs FPSGD = %v", c.Dataset, c.SpeedupVsFPSGD)
+		}
+		if c.SpeedupVsCuMF <= 1 {
+			t.Fatalf("%s: HCC speedup vs CuMF = %v", c.Dataset, c.SpeedupVsCuMF)
+		}
+	}
+	// Shape of the headline: speedup vs CPU baseline exceeds... on R2 the
+	// paper reports 2.9x vs CuMF and 3.1x vs FPSGD; our calibrated ratios
+	// must put both clearly above 2.
+	r2 := r.CurvesFor("r2")
+	if r2.SpeedupVsCuMF < 2 {
+		t.Fatalf("r2 speedup vs CuMF = %v, paper 2.9x", r2.SpeedupVsCuMF)
+	}
+	if out := r.Format(); len(out) < 100 {
+		t.Fatalf("Format too small: %q", out)
+	}
+}
+
+func TestFigure7Validation(t *testing.T) {
+	if _, err := Figure7(0, 10, 8, 1); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Figure7(2, 10, 8, 1); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	if _, err := Figure7(0.001, 1, 8, 1); err == nil {
+		t.Fatal("1 epoch accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hccmf/internal/comm"
+	"hccmf/internal/core"
+	"hccmf/internal/dataset"
+)
+
+// Fig9Step is one bar segment of Figure 9: the computing power after
+// adding the n-th worker, with the ideal stack for comparison.
+type Fig9Step struct {
+	Workers      int
+	AddedWorker  string
+	HCCPower     float64
+	DeltaPower   float64 // contribution of the newly added worker
+	IdealPower   float64
+	Contribution float64 // delta / the new worker's standalone power
+}
+
+// Fig9Series is one dataset's build-up.
+type Fig9Series struct {
+	Dataset string
+	Steps   []Fig9Step
+}
+
+// Figure9Result reproduces Figure 9 (utilization under different system
+// scales).
+type Figure9Result struct {
+	Series []Fig9Series
+}
+
+// Figure9 adds workers one by one (in the paper's stacking order: 2080S,
+// 6242, 2080, 6242l) and records the computing-power growth.
+func Figure9() (*Figure9Result, error) {
+	plat := core.PaperPlatformHetero()
+	res := &Figure9Result{}
+	// R1* runs synchronously with DP2 (as in Figure 8), which keeps the
+	// time-shared fourth worker in play — matching the paper's 4-bar
+	// stack in Figure 9(d).
+	syncOnly := comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 1}
+	for _, spec := range []dataset.Spec{
+		dataset.Netflix, dataset.YahooR2, dataset.YahooR1, dataset.YahooR1Star,
+	} {
+		opts := core.PlanOptions{K: K}
+		if spec.Name == dataset.YahooR1Star.Name {
+			opts.ForceStrategy = &syncOnly
+		}
+		series := Fig9Series{Dataset: spec.Name}
+		prevPower := 0.0
+		for n := 1; n <= len(plat.Workers); n++ {
+			sub := plat.FirstWorkers(n)
+			r, err := hccRun(sub, spec, opts, Epochs)
+			if err != nil {
+				return nil, fmt.Errorf("figure9 %s/%dw: %v", spec.Name, n, err)
+			}
+			added := sub.Workers[n-1]
+			standalone := added.Device.UpdateRate(spec.Name)
+			step := Fig9Step{
+				Workers:      n,
+				AddedWorker:  added.Name(),
+				HCCPower:     r.Power,
+				DeltaPower:   r.Power - prevPower,
+				IdealPower:   r.IdealPower,
+				Contribution: (r.Power - prevPower) / standalone,
+			}
+			// The planner may drop the time-shared worker (async mode), in
+			// which case adding it changes nothing; record the honest
+			// delta either way.
+			series.Steps = append(series.Steps, step)
+			prevPower = r.Power
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// SeriesFor returns the series for a dataset (nil if absent).
+func (r *Figure9Result) SeriesFor(ds string) *Fig9Series {
+	for i := range r.Series {
+		if r.Series[i].Dataset == ds {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// Format renders all series.
+func (r *Figure9Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: computing power as workers are added (updates/s)\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "-- %s\n", s.Dataset)
+		fmt.Fprintf(&b, "   %2s %-12s %12s %12s %12s %8s\n",
+			"n", "added", "HCC", "delta", "ideal", "contrib")
+		for _, st := range s.Steps {
+			fmt.Fprintf(&b, "   %2d %-12s %12.3g %12.3g %12.3g %7.0f%%\n",
+				st.Workers, st.AddedWorker, st.HCCPower, st.DeltaPower,
+				st.IdealPower, st.Contribution*100)
+		}
+	}
+	return b.String()
+}

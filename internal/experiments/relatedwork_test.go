@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hccmf/internal/raceflag"
+)
+
+func TestRelatedWorkShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real training; skipped in -short")
+	}
+	if raceflag.Enabled {
+		t.Skip("HCC leg uses lock-free kernels; skipped under -race")
+	}
+	r, err := RelatedWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 5's buckets effect: DSGD's equal split pays a multiple on
+	// the heterogeneous platform.
+	if r.HeterogeneityPenalty < 1.5 {
+		t.Fatalf("DSGD heterogeneity penalty %v too small", r.HeterogeneityPenalty)
+	}
+	// NOMAD's per-column messaging is orders of magnitude finer-grained.
+	if r.Granularity < 1000 {
+		t.Fatalf("granularity gap %v too small", r.Granularity)
+	}
+	if r.NOMADMessages <= r.HCCMessages {
+		t.Fatal("message ordering wrong")
+	}
+	// All three converge to comparable RMSE (within 25%).
+	worst := r.HCCRMSE
+	best := r.HCCRMSE
+	for _, v := range []float64{r.DSGDRMSE, r.NOMADRMSE} {
+		if v > worst {
+			worst = v
+		}
+		if v < best {
+			best = v
+		}
+	}
+	if best <= 0 || worst > 1.25*best {
+		t.Fatalf("convergence parity broken: HCC %v DSGD %v NOMAD %v",
+			r.HCCRMSE, r.DSGDRMSE, r.NOMADRMSE)
+	}
+	if out := r.Format(); !strings.Contains(out, "buckets-effect") {
+		t.Fatalf("Format output: %q", out)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hccmf/internal/device"
+	"hccmf/internal/partition"
+)
+
+// Table2Row is one worker column of Table 2: runtime memory bandwidth when
+// processing the whole input alone ("IW") versus its DP0 share.
+type Table2Row struct {
+	Worker   string
+	IWGBs    float64
+	DP0GBs   float64
+	DP0Share float64
+}
+
+// Table2Result reproduces Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 measures the modelled runtime bandwidths of the heterogeneity
+// platform's workers under IW and DP0 data assignments.
+func Table2() (*Table2Result, error) {
+	devs := []*device.Device{
+		device.Xeon6242(24),
+		device.Xeon6242(10),
+		device.RTX2080(),
+		device.RTX2080Super(),
+	}
+	rates := make([]float64, len(devs))
+	for i, d := range devs {
+		rates[i] = d.UpdateRate("netflix")
+	}
+	shares, err := partition.DP0(rates)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	for i, d := range devs {
+		res.Rows = append(res.Rows, Table2Row{
+			Worker:   d.Name,
+			IWGBs:    d.RuntimeBandwidth(1) / 1e9,
+			DP0GBs:   d.RuntimeBandwidth(shares[i]) / 1e9,
+			DP0Share: shares[i],
+		})
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's orientation.
+func (r *Table2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Memory bandwidth (GB/s) of different data partitions\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s\n", "worker", "IW", "DP0", "share")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f %10.3f\n", row.Worker, row.IWGBs, row.DP0GBs, row.DP0Share)
+	}
+	return b.String()
+}

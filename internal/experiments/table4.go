@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hccmf/internal/core"
+	"hccmf/internal/dataset"
+	"hccmf/internal/device"
+)
+
+// Table4Row is one dataset line of Table 4: standalone computing power per
+// processor, the ideal sum, HCC-MF's achieved power and utilization.
+type Table4Row struct {
+	Dataset     string
+	PerDevice   map[string]float64
+	Ideal       float64
+	HCC         float64
+	Utilization float64
+}
+
+// Table4Result reproduces Table 4 ("computing power" of 20-epoch training).
+type Table4Result struct {
+	Devices []string
+	Rows    []Table4Row
+}
+
+// Table4 runs HCC-MF on the overall-performance platform for each dataset
+// and reports Eq. 8 computing powers.
+func Table4() (*Table4Result, error) {
+	devs := []*device.Device{
+		device.Xeon6242(24),
+		device.Xeon6242(16),
+		device.RTX2080(),
+		device.RTX2080Super(),
+	}
+	res := &Table4Result{}
+	for _, d := range devs {
+		res.Devices = append(res.Devices, d.Name)
+	}
+	plat := core.PaperPlatformOverall()
+	for _, spec := range []dataset.Spec{
+		dataset.Netflix, dataset.YahooR1, dataset.YahooR2, dataset.MovieLens20M,
+	} {
+		r, err := hccRun(plat, spec, core.PlanOptions{K: K}, Epochs)
+		if err != nil {
+			return nil, fmt.Errorf("table4 %s: %v", spec.Name, err)
+		}
+		row := Table4Row{
+			Dataset:   spec.Name,
+			PerDevice: make(map[string]float64, len(devs)),
+			HCC:       r.Power,
+		}
+		for _, d := range devs {
+			p := d.UpdateRate(spec.Name)
+			row.PerDevice[d.Name] = p
+			row.Ideal += p
+		}
+		row.Utilization = row.HCC / row.Ideal
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the table in the paper's column order.
+func (r *Table4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 4: HCC-MF's computing power over 20-epoch training (updates/s)\n")
+	fmt.Fprintf(&b, "%-10s", "dataset")
+	for _, d := range r.Devices {
+		fmt.Fprintf(&b, " %12s", d)
+	}
+	fmt.Fprintf(&b, " %12s %12s %6s\n", "Ideal", "HCC", "util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s", row.Dataset)
+		for _, d := range r.Devices {
+			fmt.Fprintf(&b, " %12.3g", row.PerDevice[d])
+		}
+		fmt.Fprintf(&b, " %12.3g %12.3g %5.0f%%\n", row.Ideal, row.HCC, row.Utilization*100)
+	}
+	return b.String()
+}

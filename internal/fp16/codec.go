@@ -1,0 +1,90 @@
+package fp16
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EncodeSlice compresses src into dst (as raw binary16 bits). dst must have
+// len(src) elements. It is the single-threaded codec; the paper's CPU codec
+// uses AVX lanes plus threads, which EncodeSliceParallel models with
+// goroutines.
+func EncodeSlice(dst []Bits16, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fp16: EncodeSlice length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+}
+
+// DecodeSlice expands src into dst. dst must have len(src) elements.
+func DecodeSlice(dst []float32, src []Bits16) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fp16: DecodeSlice length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = v.ToFloat32()
+	}
+}
+
+// minParallelChunk keeps tiny conversions on one goroutine; below this size
+// the spawn overhead dominates any speedup.
+const minParallelChunk = 1 << 14
+
+// EncodeSliceParallel converts src→dst using up to workers goroutines,
+// mirroring the multi-threaded AVX conversion in the paper's COMM module.
+func EncodeSliceParallel(dst []Bits16, src []float32, workers int) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fp16: EncodeSliceParallel length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	parallelChunks(len(src), workers, func(lo, hi int) {
+		EncodeSlice(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// DecodeSliceParallel converts src→dst using up to workers goroutines.
+func DecodeSliceParallel(dst []float32, src []Bits16, workers int) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("fp16: DecodeSliceParallel length mismatch dst=%d src=%d", len(dst), len(src)))
+	}
+	parallelChunks(len(src), workers, func(lo, hi int) {
+		DecodeSlice(dst[lo:hi], src[lo:hi])
+	})
+}
+
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if n < minParallelChunk || workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RoundTripError returns the absolute error introduced by one FP32→FP16→FP32
+// round trip of v. The partition planner uses it in sanity checks that the
+// half-Q strategy keeps errors below the rating step size.
+func RoundTripError(v float32) float32 {
+	r := FromFloat32(v).ToFloat32()
+	d := v - r
+	if d < 0 {
+		return -d
+	}
+	return d
+}

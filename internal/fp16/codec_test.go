@@ -1,0 +1,128 @@
+package fp16
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, 3.5, 100, -65504}
+	enc := make([]Bits16, len(src))
+	EncodeSlice(enc, src)
+	dec := make([]float32, len(src))
+	DecodeSlice(dec, enc)
+	for i := range src {
+		if dec[i] != src[i] {
+			t.Fatalf("index %d: %v → %v", i, src[i], dec[i])
+		}
+	}
+}
+
+func TestEncodeSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	EncodeSlice(make([]Bits16, 2), make([]float32, 3))
+}
+
+func TestDecodeSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	DecodeSlice(make([]float32, 1), make([]Bits16, 2))
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 100000
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i%1000)/13.0 - 30
+	}
+	serial := make([]Bits16, n)
+	EncodeSlice(serial, src)
+
+	for _, workers := range []int{0, 1, 2, 4, 7, 64} {
+		par := make([]Bits16, n)
+		EncodeSliceParallel(par, src, workers)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d index %d: %#04x != %#04x", workers, i, par[i], serial[i])
+			}
+		}
+		dec := make([]float32, n)
+		DecodeSliceParallel(dec, par, workers)
+		for i := range dec {
+			if dec[i] != serial[i].ToFloat32() {
+				t.Fatalf("decode workers=%d index %d mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelSmallInput(t *testing.T) {
+	src := []float32{1, 2, 3}
+	dst := make([]Bits16, 3)
+	EncodeSliceParallel(dst, src, 8)
+	if dst[0] != 0x3c00 || dst[1] != 0x4000 {
+		t.Fatalf("small parallel encode wrong: %v", dst)
+	}
+}
+
+func TestParallelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("parallel length mismatch did not panic")
+		}
+	}()
+	EncodeSliceParallel(make([]Bits16, 1), make([]float32, 2), 4)
+}
+
+func TestRoundTripErrorRatingScale(t *testing.T) {
+	// 5-point scale with 0.5 steps: all representable values must survive
+	// well under the 0.25 half-step discrimination threshold.
+	for v := float32(0); v <= 5; v += 0.5 {
+		if e := RoundTripError(v); e > 0.01 {
+			t.Fatalf("rating %v loses %v through fp16", v, e)
+		}
+	}
+	// 100-point scale with 1-point steps.
+	for v := float32(0); v <= 100; v += 1 {
+		if e := RoundTripError(v); e > 0.5 {
+			t.Fatalf("rating %v loses %v through fp16", v, e)
+		}
+	}
+}
+
+func BenchmarkEncodeSlice(b *testing.B) {
+	const n = 1 << 16
+	src := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i) * 0.001
+	}
+	dst := make([]Bits16, n)
+	b.SetBytes(n * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeSlice(dst, src)
+	}
+}
+
+func BenchmarkDecodeSlice(b *testing.B) {
+	const n = 1 << 16
+	src := make([]Bits16, n)
+	for i := range src {
+		src[i] = Bits16(i)
+		if src[i].IsNaN() {
+			src[i] = 0
+		}
+	}
+	dst := make([]float32, n)
+	b.SetBytes(n * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecodeSlice(dst, src)
+	}
+}

@@ -1,0 +1,33 @@
+package fp16_test
+
+import (
+	"fmt"
+
+	"hccmf/internal/fp16"
+)
+
+// Compressing a feature vector for the wire (communication Strategy 2):
+// rating-scale values survive the round trip within the scale's step.
+func ExampleFromFloat32() {
+	ratings := []float32{1, 2.5, 3.5, 5}
+	for _, r := range ratings {
+		h := fp16.FromFloat32(r)
+		fmt.Printf("%g → %#04x → %g\n", r, uint16(h), h.ToFloat32())
+	}
+	// Output:
+	// 1 → 0x3c00 → 1
+	// 2.5 → 0x4100 → 2.5
+	// 3.5 → 0x4300 → 3.5
+	// 5 → 0x4500 → 5
+}
+
+func ExampleEncodeSlice() {
+	src := []float32{0.5, -1, 65504}
+	wire := make([]fp16.Bits16, len(src))
+	fp16.EncodeSlice(wire, src)
+	back := make([]float32, len(src))
+	fp16.DecodeSlice(back, wire)
+	fmt.Println(back)
+	// Output:
+	// [0.5 -1 65504]
+}

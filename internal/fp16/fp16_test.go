@@ -1,0 +1,201 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                // max finite
+		{-65504, 0xfbff},               //
+		{5.9604644775390625e-08, 0x01}, // smallest subnormal
+		{6.103515625e-05, 0x0400},      // smallest normal
+		{0.333251953125, 0x3555},       // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := c.bits.ToFloat32(); back != c.f {
+			t.Errorf("ToFloat32(%#04x) = %v, want %v", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestInfinityHandling(t *testing.T) {
+	posInf := float32(math.Inf(1))
+	negInf := float32(math.Inf(-1))
+	if got := FromFloat32(posInf); got != 0x7c00 {
+		t.Fatalf("FromFloat32(+Inf) = %#04x", got)
+	}
+	if got := FromFloat32(negInf); got != 0xfc00 {
+		t.Fatalf("FromFloat32(-Inf) = %#04x", got)
+	}
+	if !Bits16(0x7c00).IsInf() || !Bits16(0xfc00).IsInf() {
+		t.Fatal("IsInf false for infinity encodings")
+	}
+	if v := Bits16(0x7c00).ToFloat32(); !math.IsInf(float64(v), 1) {
+		t.Fatalf("ToFloat32(+Inf bits) = %v", v)
+	}
+	if v := Bits16(0xfc00).ToFloat32(); !math.IsInf(float64(v), -1) {
+		t.Fatalf("ToFloat32(-Inf bits) = %v", v)
+	}
+}
+
+func TestOverflowToInfinity(t *testing.T) {
+	if got := FromFloat32(65520); got != 0x7c00 {
+		// 65520 rounds to 65536 which overflows binary16.
+		t.Fatalf("FromFloat32(65520) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(1e10); got != 0x7c00 {
+		t.Fatalf("FromFloat32(1e10) = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(-1e10); got != 0xfc00 {
+		t.Fatalf("FromFloat32(-1e10) = %#04x, want -Inf", got)
+	}
+	// 65519.996… rounds down to 65504, staying finite.
+	if got := FromFloat32(65519); got != 0x7bff {
+		t.Fatalf("FromFloat32(65519) = %#04x, want 0x7bff", got)
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	nan := float32(math.NaN())
+	h := FromFloat32(nan)
+	if !h.IsNaN() {
+		t.Fatalf("FromFloat32(NaN) = %#04x, not NaN", h)
+	}
+	if v := h.ToFloat32(); !math.IsNaN(float64(v)) {
+		t.Fatalf("NaN did not survive round trip: %v", v)
+	}
+	if h.IsInf() {
+		t.Fatal("NaN classified as Inf")
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat32(1e-10); got != 0 {
+		t.Fatalf("FromFloat32(1e-10) = %#04x, want +0", got)
+	}
+	if got := FromFloat32(-1e-10); got != 0x8000 {
+		t.Fatalf("FromFloat32(-1e-10) = %#04x, want -0", got)
+	}
+	// FP32 subnormals are below FP16 range entirely.
+	tiny := math.Float32frombits(1)
+	if got := FromFloat32(tiny); got != 0 {
+		t.Fatalf("FromFloat32(min subnormal fp32) = %#04x, want 0", got)
+	}
+}
+
+func TestSubnormalRange(t *testing.T) {
+	// 2^-24 is the smallest positive subnormal.
+	v := float32(math.Ldexp(1, -24))
+	if got := FromFloat32(v); got != 0x0001 {
+		t.Fatalf("FromFloat32(2^-24) = %#04x, want 0x0001", got)
+	}
+	// Half of it rounds to even → zero.
+	if got := FromFloat32(v / 2); got != 0x0000 {
+		t.Fatalf("FromFloat32(2^-25) = %#04x, want 0x0000 (ties-to-even)", got)
+	}
+	// 1.5× the smallest subnormal rounds to 2 ulps.
+	if got := FromFloat32(v * 1.5); got != 0x0002 {
+		t.Fatalf("FromFloat32(1.5*2^-24) = %#04x, want 0x0002", got)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1.0 and the next half (1+2^-10);
+	// ties-to-even keeps the even mantissa (1.0).
+	v := float32(1 + math.Ldexp(1, -11))
+	if got := FromFloat32(v); got != 0x3c00 {
+		t.Fatalf("tie at 1+2^-11 = %#04x, want 0x3c00", got)
+	}
+	// (1+2^-10) + 2^-11 ties up to 1+2^-9 (even mantissa 2).
+	v = float32(1 + math.Ldexp(1, -10) + math.Ldexp(1, -11))
+	if got := FromFloat32(v); got != 0x3c02 {
+		t.Fatalf("tie at 1+3*2^-11 = %#04x, want 0x3c02", got)
+	}
+	// Just above the tie rounds up.
+	v = float32(1 + math.Ldexp(1, -11) + math.Ldexp(1, -20))
+	if got := FromFloat32(v); got != 0x3c01 {
+		t.Fatalf("above tie = %#04x, want 0x3c01", got)
+	}
+}
+
+func TestMantissaCarryIntoExponent(t *testing.T) {
+	// 2047/1024 ≈ 1.9990 is the largest half below 2; halfway above it
+	// carries into the exponent → exactly 2.
+	v := float32(2 - math.Ldexp(1, -11)) // 1.99951171875
+	if got := FromFloat32(v); got != 0x4000 {
+		t.Fatalf("carry case = %#04x, want 0x4000 (2.0)", got)
+	}
+}
+
+func TestRoundTripAllFiniteBits(t *testing.T) {
+	// Exhaustive: every finite binary16 value must round-trip exactly
+	// through float32.
+	for b := 0; b < 1<<16; b++ {
+		h := Bits16(b)
+		if h.IsNaN() {
+			continue
+		}
+		f := h.ToFloat32()
+		if back := FromFloat32(f); back != h {
+			t.Fatalf("bits %#04x → %v → %#04x", b, f, back)
+		}
+	}
+}
+
+func TestIsNaNIsInfClassification(t *testing.T) {
+	if Bits16(0x3c00).IsNaN() || Bits16(0x3c00).IsInf() {
+		t.Fatal("1.0 misclassified")
+	}
+	if !Bits16(0x7e00).IsNaN() {
+		t.Fatal("canonical qNaN not detected")
+	}
+	if Bits16(0x7e00).IsInf() {
+		t.Fatal("qNaN classified as Inf")
+	}
+}
+
+// Property: round-tripped values never move by more than half an FP16 ulp
+// for in-range rating-scale values.
+func TestRoundTripErrorBoundProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		// Map to the rating range [0, 100] used by 100-point scales.
+		v := float32(raw%10001) / 100.0
+		err := RoundTripError(v)
+		// FP16 has 11 bits of significand: relative error ≤ 2^-11.
+		bound := float32(math.Ldexp(1, -11))*v + 1e-7
+		return err <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: conversion is monotone on finite positive values.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		fa := Bits16(a & 0x7bff).ToFloat32() // mask to finite positives
+		fb := Bits16(b & 0x7bff).ToFloat32()
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return FromFloat32(fa).ToFloat32() <= FromFloat32(fb).ToFloat32()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

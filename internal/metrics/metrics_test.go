@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputingPowerEq8(t *testing.T) {
+	// Paper Table 4 sanity: 99072112 nnz × 20 epochs in ~0.889s ≈ 2.23G.
+	got := ComputingPower(99072112, 20, 0.889)
+	if got < 2.2e9 || got > 2.3e9 {
+		t.Fatalf("ComputingPower = %v", got)
+	}
+}
+
+func TestComputingPowerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero time did not panic")
+		}
+	}()
+	ComputingPower(1, 1, 0)
+}
+
+func TestComputingPowerNegativeWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative nnz did not panic")
+		}
+	}()
+	ComputingPower(-1, 1, 1)
+}
+
+func TestIdealPowerAndUtilization(t *testing.T) {
+	ideal := IdealPower([]float64{348790567, 272502189.3, 918333483.2, 1052866849})
+	if math.Abs(ideal-2592493088.5) > 1 {
+		t.Fatalf("IdealPower = %v, want Table 4's 2592493089", ideal)
+	}
+	u := Utilization(2228476993, ideal)
+	if u < 0.85 || u > 0.87 {
+		t.Fatalf("Utilization = %v, want ≈ 0.86 (paper: 86%%)", u)
+	}
+}
+
+func TestUtilizationValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero ideal did not panic")
+			}
+		}()
+		Utilization(1, 0)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative actual did not panic")
+		}
+	}()
+	Utilization(-1, 1)
+}
+
+func TestIdealPowerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive device power did not panic")
+		}
+	}()
+	IdealPower([]float64{1, 0})
+}
+
+func TestCurveAppendFinal(t *testing.T) {
+	var c Curve
+	if c.Final() != 0 {
+		t.Fatal("empty curve Final != 0")
+	}
+	c.Label = "HCC"
+	c.Append(1, 0.5, 1.2)
+	c.Append(2, 1.0, 0.95)
+	if c.Final() != 0.95 {
+		t.Fatalf("Final = %v", c.Final())
+	}
+}
+
+func TestTimeToRMSE(t *testing.T) {
+	var c Curve
+	c.Append(1, 1, 1.5)
+	c.Append(2, 2, 1.0)
+	c.Append(3, 3, 0.9)
+	if tt, ok := c.TimeToRMSE(1.0); !ok || tt != 2 {
+		t.Fatalf("TimeToRMSE(1.0) = %v,%v", tt, ok)
+	}
+	if _, ok := c.TimeToRMSE(0.5); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	fast := &Curve{Label: "hcc"}
+	slow := &Curve{Label: "fpsgd"}
+	for e := 1; e <= 10; e++ {
+		fast.Append(e, float64(e)*0.5, 1.5-0.1*float64(e))
+		slow.Append(e, float64(e)*1.5, 1.5-0.1*float64(e))
+	}
+	s, ok := Speedup(fast, slow, 1.0)
+	if !ok {
+		t.Fatal("speedup not computable")
+	}
+	if math.Abs(s-3) > 1e-9 {
+		t.Fatalf("Speedup = %v, want 3", s)
+	}
+	if _, ok := Speedup(fast, slow, 0.01); ok {
+		t.Fatal("unreachable target yielded speedup")
+	}
+}
+
+func TestTimeToRMSEInterp(t *testing.T) {
+	var c Curve
+	c.Append(1, 10, 2.0)
+	c.Append(2, 20, 1.0)
+	c.Append(3, 30, 0.5)
+	// Exactly on a sample.
+	if tt, ok := c.TimeToRMSEInterp(1.0); !ok || tt != 20 {
+		t.Fatalf("interp(1.0) = %v,%v", tt, ok)
+	}
+	// Halfway between samples: RMSE 1.5 sits midway 2.0→1.0, so time 15.
+	if tt, ok := c.TimeToRMSEInterp(1.5); !ok || math.Abs(tt-15) > 1e-12 {
+		t.Fatalf("interp(1.5) = %v,%v", tt, ok)
+	}
+	// Above the first point: reached immediately.
+	if tt, ok := c.TimeToRMSEInterp(3.0); !ok || tt != 10 {
+		t.Fatalf("interp(3.0) = %v,%v", tt, ok)
+	}
+	// Never reached.
+	if _, ok := c.TimeToRMSEInterp(0.1); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+}
+
+func TestTimeToRMSEInterpFlatSegment(t *testing.T) {
+	var c Curve
+	c.Append(1, 10, 1.0)
+	c.Append(2, 20, 1.0) // no descent
+	c.Append(3, 30, 0.5)
+	if tt, ok := c.TimeToRMSEInterp(1.0); !ok || tt != 10 {
+		t.Fatalf("flat-segment interp = %v,%v", tt, ok)
+	}
+}
+
+func TestRobustSpeedupProportionalClocks(t *testing.T) {
+	// Identical descent, 3x slower clock: every target ratio is exactly 3.
+	fast, slow := &Curve{}, &Curve{}
+	for e := 1; e <= 10; e++ {
+		rmse := 2.0 - 0.15*float64(e)
+		fast.Append(e, float64(e), rmse)
+		slow.Append(e, 3*float64(e), rmse)
+	}
+	s, ok := RobustSpeedup(fast, slow, 7)
+	if !ok || math.Abs(s-3) > 1e-9 {
+		t.Fatalf("RobustSpeedup = %v,%v, want 3", s, ok)
+	}
+	// Symmetric: the slow curve is 1/3 as fast.
+	s, ok = RobustSpeedup(slow, fast, 7)
+	if !ok || math.Abs(s-1.0/3.0) > 1e-9 {
+		t.Fatalf("inverse RobustSpeedup = %v", s)
+	}
+}
+
+func TestRobustSpeedupDisjointBands(t *testing.T) {
+	// One curve entirely below the other: no shared band, not computable.
+	low, high := &Curve{}, &Curve{}
+	for e := 1; e <= 5; e++ {
+		low.Append(e, float64(e), 0.5-0.01*float64(e))
+		high.Append(e, float64(e), 2.0-0.01*float64(e))
+	}
+	if _, ok := RobustSpeedup(low, high, 5); ok {
+		t.Fatal("disjoint bands reported a speedup")
+	}
+}
+
+func TestRobustSpeedupDegenerate(t *testing.T) {
+	var empty Curve
+	var one Curve
+	one.Append(1, 1, 1)
+	if _, ok := RobustSpeedup(&empty, &one, 5); ok {
+		t.Fatal("empty curve accepted")
+	}
+	if _, ok := RobustSpeedup(&one, &one, 0); ok {
+		t.Fatal("zero targets accepted")
+	}
+	// A single flat point shares no descent with itself.
+	if _, ok := RobustSpeedup(&one, &one, 5); ok {
+		t.Fatal("flat curve produced a speedup")
+	}
+}
+
+func TestCurveFormat(t *testing.T) {
+	c := Curve{Label: "test-curve"}
+	c.Append(1, 0.25, 0.9)
+	out := c.Format()
+	if !strings.Contains(out, "test-curve") || !strings.Contains(out, "0.9") {
+		t.Fatalf("Format output:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package mf_test
+
+import (
+	"fmt"
+
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// Training a tiny rating matrix with the serial SGD engine.
+func Example() {
+	// Three users, two items, five observed ratings.
+	m := sparse.NewCOO(3, 2, 5)
+	m.Add(0, 0, 5)
+	m.Add(0, 1, 1)
+	m.Add(1, 0, 4)
+	m.Add(2, 0, 5)
+	m.Add(2, 1, 2)
+
+	f := mf.NewFactorsInit(3, 2, 4, m.MeanRating(), sparse.NewRand(1))
+	h := mf.HyperParams{Gamma: 0.05, Lambda1: 0.01, Lambda2: 0.01}
+	for epoch := 0; epoch < 200; epoch++ {
+		mf.Serial{}.Epoch(f, m, h)
+	}
+	fmt.Printf("user0/item0: %.1f (rated 5)\n", f.Predict(0, 0))
+	fmt.Printf("user0/item1: %.1f (rated 1)\n", f.Predict(0, 1))
+	fmt.Printf("train RMSE: %.2f\n", mf.RMSE(f, m.Entries))
+	// Output:
+	// user0/item0: 5.0 (rated 5)
+	// user0/item1: 1.0 (rated 1)
+	// train RMSE: 0.01
+}
+
+// The cuMF_SGD-style inverse-decay learning-rate schedule.
+func ExampleInverseDecay() {
+	s := mf.InverseDecay{Gamma0: 0.01, Beta: 0.3}
+	for _, epoch := range []int{0, 1, 4, 16} {
+		fmt.Printf("epoch %2d: γ = %.5f\n", epoch, s.Gamma(epoch))
+	}
+	// Output:
+	// epoch  0: γ = 0.01000
+	// epoch  1: γ = 0.00769
+	// epoch  4: γ = 0.00294
+	// epoch 16: γ = 0.00050
+}

@@ -1,0 +1,150 @@
+package mf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hccmf/internal/sparse"
+)
+
+func TestNewFactorsShape(t *testing.T) {
+	f := NewFactors(5, 3, 4)
+	if len(f.P) != 20 || len(f.Q) != 12 {
+		t.Fatalf("P/Q lengths = %d/%d", len(f.P), len(f.Q))
+	}
+}
+
+func TestNewFactorsPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFactors(0,1,1) did not panic")
+		}
+	}()
+	NewFactors(0, 1, 1)
+}
+
+func TestNewFactorsInitNearMean(t *testing.T) {
+	rng := sparse.NewRand(3)
+	const mean = 4.0
+	f := NewFactorsInit(200, 200, 16, mean, rng)
+	var sum float64
+	cnt := 0
+	for u := int32(0); u < 200; u += 10 {
+		for i := int32(0); i < 200; i += 10 {
+			sum += float64(f.Predict(u, i))
+			cnt++
+		}
+	}
+	avg := sum / float64(cnt)
+	if avg < 0.5*mean || avg > 2*mean {
+		t.Fatalf("initial mean prediction %v too far from %v", avg, mean)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewFactorsInitNonPositiveMean(t *testing.T) {
+	f := NewFactorsInit(4, 4, 2, -1, sparse.NewRand(1))
+	if err := f.Validate(); err != nil {
+		t.Fatalf("init with negative mean produced %v", err)
+	}
+}
+
+func TestPRowQRowViews(t *testing.T) {
+	f := NewFactors(3, 3, 2)
+	f.PRow(1)[0] = 7
+	if f.P[2] != 7 {
+		t.Fatal("PRow is not a view into P")
+	}
+	f.QRow(2)[1] = 9
+	if f.Q[5] != 9 {
+		t.Fatal("QRow is not a view into Q")
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	rng := sparse.NewRand(5)
+	f := NewFactorsInit(4, 4, 3, 2, rng)
+	c := f.Clone()
+	c.P[0] = 42
+	if f.P[0] == 42 {
+		t.Fatal("Clone shares storage")
+	}
+	g := NewFactors(4, 4, 3)
+	g.CopyFrom(f)
+	for i := range f.P {
+		if g.P[i] != f.P[i] {
+			t.Fatal("CopyFrom did not copy P")
+		}
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with wrong shape did not panic")
+		}
+	}()
+	NewFactors(2, 2, 2).CopyFrom(NewFactors(3, 2, 2))
+}
+
+func TestValidateDetectsNaN(t *testing.T) {
+	f := NewFactors(2, 2, 2)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("zeroed factors invalid: %v", err)
+	}
+	f.P[1] = float32(math.NaN())
+	if err := f.Validate(); err == nil {
+		t.Fatal("NaN in P not detected")
+	}
+	f.P[1] = 0
+	f.Q[3] = float32(math.Inf(1))
+	if err := f.Validate(); err == nil {
+		t.Fatal("Inf in Q not detected")
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%37) + 1
+		rng := sparse.NewRand(seed)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+			b[i] = rng.Float32()*2 - 1
+		}
+		var naive float64
+		for i := range a {
+			naive += float64(a[i]) * float64(b[i])
+		}
+		got := float64(Dot(a, b))
+		return math.Abs(got-naive) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotEmptyAndSingle(t *testing.T) {
+	if Dot(nil, nil) != 0 {
+		t.Fatal("Dot(nil,nil) != 0")
+	}
+	if Dot([]float32{2}, []float32{3}) != 6 {
+		t.Fatal("Dot single element wrong")
+	}
+	if got := Dot([]float32{1, 2, 3, 4, 5}, []float32{1, 1, 1, 1, 1}); got != 15 {
+		t.Fatalf("Dot 5-elem = %v, want 15", got)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	f := NewFactors(2, 2, 2)
+	copy(f.PRow(0), []float32{1, 2})
+	copy(f.QRow(1), []float32{3, 4})
+	if got := f.Predict(0, 1); got != 11 {
+		t.Fatalf("Predict = %v, want 11", got)
+	}
+}

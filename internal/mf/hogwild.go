@@ -1,0 +1,49 @@
+package mf
+
+import (
+	"fmt"
+	"sync"
+
+	"hccmf/internal/sparse"
+)
+
+// Hogwild is the lock-free asynchronous SGD engine of Niu et al. (the
+// paper's reference [21]): Threads goroutines update the shared factors
+// with no synchronisation at all. On sparse data conflicting updates are
+// rare enough that convergence survives; HCC-MF relies on the same argument
+// for its intra-worker asynchrony.
+type Hogwild struct {
+	// Threads is the number of concurrent updaters (≥1).
+	Threads int
+}
+
+// Name implements Engine.
+func (hw Hogwild) Name() string { return fmt.Sprintf("hogwild-%d", hw.Threads) }
+
+// Epoch implements Engine. Each goroutine sweeps a contiguous chunk of the
+// (pre-shuffled) entry stream; races on hot rows are tolerated by design.
+func (hw Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+	threads := hw.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	n := len(train.Entries)
+	if threads == 1 || n < 4*threads {
+		TrainEntries(f, train.Entries, h)
+		return
+	}
+	chunk := (n + threads - 1) / threads
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			TrainEntries(f, train.Entries[lo:hi], h)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

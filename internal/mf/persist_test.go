@@ -1,0 +1,115 @@
+package mf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+func TestFactorsRoundTrip(t *testing.T) {
+	f := NewFactorsInit(37, 23, 8, 3.7, sparse.NewRand(5))
+	var buf bytes.Buffer
+	if err := WriteFactors(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFactors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != f.M || back.N != f.N || back.K != f.K {
+		t.Fatalf("dims changed: %dx%d k=%d", back.M, back.N, back.K)
+	}
+	for i := range f.P {
+		if back.P[i] != f.P[i] {
+			t.Fatalf("P[%d] changed", i)
+		}
+	}
+	for i := range f.Q {
+		if back.Q[i] != f.Q[i] {
+			t.Fatalf("Q[%d] changed", i)
+		}
+	}
+}
+
+func TestBiasedFactorsRoundTrip(t *testing.T) {
+	b := NewBiasedFactorsInit(20, 15, 4, 3.5, sparse.NewRand(6))
+	b.BU[3], b.BI[7] = 0.25, -0.5
+	var buf bytes.Buffer
+	if err := WriteBiasedFactors(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBiasedFactors(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mu != b.Mu || back.BU[3] != 0.25 || back.BI[7] != -0.5 {
+		t.Fatalf("bias terms changed: mu=%v bu=%v bi=%v", back.Mu, back.BU[3], back.BI[7])
+	}
+	// Predictions identical.
+	for u := int32(0); u < 20; u += 5 {
+		for i := int32(0); i < 15; i += 5 {
+			if back.Predict(u, i) != b.Predict(u, i) {
+				t.Fatalf("prediction changed at (%d,%d)", u, i)
+			}
+		}
+	}
+}
+
+func TestReadFactorsRejectsCorruption(t *testing.T) {
+	f := NewFactorsInit(5, 5, 2, 3, sparse.NewRand(1))
+	var buf bytes.Buffer
+	if err := WriteFactors(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	if _, err := ReadFactors(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadFactors(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadFactors(bytes.NewReader(valid[:20])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := ReadFactors(bytes.NewReader(valid[:len(valid)-5])); err == nil {
+		t.Error("truncated floats accepted")
+	}
+	// Version cross-loading is refused in both directions.
+	if _, err := ReadBiasedFactors(bytes.NewReader(valid)); err == nil {
+		t.Error("plain model accepted as biased")
+	}
+	b := NewBiasedFactorsInit(5, 5, 2, 3, sparse.NewRand(1))
+	var bbuf bytes.Buffer
+	if err := WriteBiasedFactors(&bbuf, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFactors(bytes.NewReader(bbuf.Bytes())); err == nil {
+		t.Error("biased model accepted as plain")
+	}
+	// Implausible dims rejected.
+	hacked := append([]byte(nil), valid...)
+	for i := 8; i < 16; i++ {
+		hacked[i] = 0xff
+	}
+	if _, err := ReadFactors(bytes.NewReader(hacked)); err == nil {
+		t.Error("implausible dims accepted")
+	}
+}
+
+func TestPersistRejectsNaNModels(t *testing.T) {
+	f := NewFactorsInit(4, 4, 2, 3, sparse.NewRand(1))
+	var buf bytes.Buffer
+	if err := WriteFactors(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one float to NaN in the payload region.
+	raw := buf.Bytes()
+	off := len(raw) - 4
+	raw[off], raw[off+1], raw[off+2], raw[off+3] = 0x00, 0x00, 0xc0, 0x7f
+	if _, err := ReadFactors(bytes.NewReader(raw)); err == nil {
+		t.Error("NaN payload accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package mf
+
+import (
+	"math"
+	"sync"
+
+	"hccmf/internal/sparse"
+)
+
+// RMSE computes the root mean squared error of the model's predictions
+// over the given entries. An empty entry set yields 0.
+func RMSE(f *Factors, entries []sparse.Rating) float64 {
+	if len(entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range entries {
+		d := float64(e.V - f.Predict(e.U, e.I))
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(entries)))
+}
+
+// RMSEParallel computes RMSE with up to workers goroutines. Results are
+// identical to RMSE up to float64 summation order.
+func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
+	n := len(entries)
+	if n == 0 {
+		return 0
+	}
+	if workers < 2 || n < 1<<14 {
+		return RMSE(f, entries)
+	}
+	chunk := (n + workers - 1) / workers
+	sums := make([]float64, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	for w := 0; w*chunk < n; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for _, e := range entries[lo:hi] {
+				d := float64(e.V - f.Predict(e.U, e.I))
+				s += d * d
+			}
+			sums[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total float64
+	for _, s := range sums {
+		total += s
+	}
+	return math.Sqrt(total / float64(n))
+}
+
+// Loss computes the full regularised objective
+// Σ(r−p·q)² + λ1‖P‖² + λ2‖Q‖², which SGD minimises. Used by tests to
+// assert monotone-ish descent.
+func Loss(f *Factors, entries []sparse.Rating, h HyperParams) float64 {
+	var sum float64
+	for _, e := range entries {
+		d := float64(e.V - f.Predict(e.U, e.I))
+		sum += d * d
+	}
+	var pn, qn float64
+	for _, v := range f.P {
+		pn += float64(v) * float64(v)
+	}
+	for _, v := range f.Q {
+		qn += float64(v) * float64(v)
+	}
+	return sum + float64(h.Lambda1)*pn + float64(h.Lambda2)*qn
+}

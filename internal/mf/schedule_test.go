@@ -1,0 +1,92 @@
+package mf
+
+import (
+	"math"
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant{Rate: 0.005}
+	for _, e := range []int{0, 1, 100} {
+		if s.Gamma(e) != 0.005 {
+			t.Fatalf("Gamma(%d) = %v", e, s.Gamma(e))
+		}
+	}
+	if s.Name() != "const(0.005)" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestInverseDecayMonotone(t *testing.T) {
+	s := InverseDecay{Gamma0: 0.01, Beta: 0.3}
+	if s.Gamma(0) != 0.01 {
+		t.Fatalf("Gamma(0) = %v, want γ0", s.Gamma(0))
+	}
+	prev := s.Gamma(0)
+	for e := 1; e < 50; e++ {
+		g := s.Gamma(e)
+		if g >= prev {
+			t.Fatalf("decay not monotone at epoch %d: %v ≥ %v", e, g, prev)
+		}
+		prev = g
+	}
+	// Closed form at t=4: γ0/(1+β·8).
+	want := 0.01 / (1 + 0.3*math.Pow(4, 1.5))
+	if got := float64(s.Gamma(4)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Gamma(4) = %v, want %v", got, want)
+	}
+	if s.Gamma(-3) != s.Gamma(0) {
+		t.Fatal("negative epoch not clamped")
+	}
+}
+
+func TestBoldDriver(t *testing.T) {
+	b := &BoldDriver{Rate: 0.01}
+	if b.Gamma(0) != 0.01 {
+		t.Fatal("initial rate wrong")
+	}
+	b.Observe(100) // first observation: no change
+	if b.Rate != 0.01 {
+		t.Fatalf("rate changed on first observation: %v", b.Rate)
+	}
+	b.Observe(90) // improvement → grow 1.05
+	if math.Abs(float64(b.Rate)-0.0105) > 1e-6 {
+		t.Fatalf("rate after improvement = %v", b.Rate)
+	}
+	b.Observe(95) // regression → halve
+	if math.Abs(float64(b.Rate)-0.00525) > 1e-6 {
+		t.Fatalf("rate after regression = %v", b.Rate)
+	}
+}
+
+func TestRunScheduledConvergesAndDecays(t *testing.T) {
+	m := trainSet(t, 80, 60, 4000, 41)
+	rng := sparse.NewRand(1)
+	mk := func() (*Trainer, *Factors) {
+		tr := &Trainer{Engine: Serial{}, Train: m,
+			Hyper: HyperParams{Gamma: 0.02, Lambda1: 0.005, Lambda2: 0.005}}
+		return tr, NewFactorsInit(m.Rows, m.Cols, 8, m.MeanRating(), sparse.NewRand(2))
+	}
+	_ = rng
+
+	trC, fC := mk()
+	trC.RunScheduled(fC, 25, Constant{Rate: 0.02})
+	trD, fD := mk()
+	trD.RunScheduled(fD, 25, InverseDecay{Gamma0: 0.02, Beta: 0.1})
+	trB, fB := mk()
+	trB.RunScheduled(fB, 25, &BoldDriver{Rate: 0.02})
+
+	for name, f := range map[string]*Factors{"const": fC, "decay": fD, "bold": fB} {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s produced non-finite factors: %v", name, err)
+		}
+		if rmse := RMSE(f, m.Entries); rmse > 0.4 {
+			t.Fatalf("%s schedule converged poorly: %v", name, rmse)
+		}
+	}
+	if trC.Epochs() != 25 {
+		t.Fatalf("epochs = %d", trC.Epochs())
+	}
+}

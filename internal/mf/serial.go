@@ -1,0 +1,16 @@
+package mf
+
+import "hccmf/internal/sparse"
+
+// Serial is the reference single-threaded SGD engine: one in-order pass
+// over the training entries per epoch. It is the correctness baseline every
+// parallel engine is validated against.
+type Serial struct{}
+
+// Name implements Engine.
+func (Serial) Name() string { return "serial" }
+
+// Epoch implements Engine.
+func (Serial) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+	TrainEntries(f, train.Entries, h)
+}

@@ -1,0 +1,71 @@
+package mf
+
+import "hccmf/internal/sparse"
+
+// HyperParams are the SGD hyper-parameters: learning rate γ and the L2
+// regularisers λ1 (on P) and λ2 (on Q) from the paper's loss
+//
+//	Σ (r_uv − p_u·q_v)² + λ1‖P‖² + λ2‖Q‖².
+type HyperParams struct {
+	Gamma   float32
+	Lambda1 float32
+	Lambda2 float32
+}
+
+// UpdateOne applies one SGD step for the rating r at (p, q):
+//
+//	e  = r − p·q
+//	p += γ(e·q − λ1·p)
+//	q += γ(e·p − λ2·q)
+//
+// using the pre-update value of p in q's gradient (the standard
+// simultaneous update). It returns the signed prediction error e.
+func UpdateOne(p, q []float32, r float32, h HyperParams) float32 {
+	e := r - Dot(p, q)
+	ge := h.Gamma * e
+	gl1 := h.Gamma * h.Lambda1
+	gl2 := h.Gamma * h.Lambda2
+	n := len(p)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		p0, q0 := p[i], q[i]
+		p1, q1 := p[i+1], q[i+1]
+		p2, q2 := p[i+2], q[i+2]
+		p3, q3 := p[i+3], q[i+3]
+		p[i] = p0 + ge*q0 - gl1*p0
+		q[i] = q0 + ge*p0 - gl2*q0
+		p[i+1] = p1 + ge*q1 - gl1*p1
+		q[i+1] = q1 + ge*p1 - gl2*q1
+		p[i+2] = p2 + ge*q2 - gl1*p2
+		q[i+2] = q2 + ge*p2 - gl2*q2
+		p[i+3] = p3 + ge*q3 - gl1*p3
+		q[i+3] = q3 + ge*p3 - gl2*q3
+	}
+	for ; i < n; i++ {
+		p0, q0 := p[i], q[i]
+		p[i] = p0 + ge*q0 - gl1*p0
+		q[i] = q0 + ge*p0 - gl2*q0
+	}
+	return e
+}
+
+// UpdatesPerEntryFLOPs reports the floating-point operations one UpdateOne
+// performs for dimension k: 2k for the dot product, ~5k for the two factor
+// updates. Used by the cost model's "7k/Pi" term.
+func UpdatesPerEntryFLOPs(k int) int { return 7 * k }
+
+// UpdateBytes reports the bytes of memory traffic one update generates for
+// dimension k under the paper's model: p and q are each read twice and
+// written once (16k bytes for FP32 vectors of length k at 4 bytes ×
+// (2 reads + 1 write) rounded the paper's way) plus the 4-byte rating —
+// the (16k + 4) factor in Eq. 2.
+func UpdateBytes(k int) int { return 16*k + 4 }
+
+// TrainEntries runs one in-order SGD pass over entries against f.
+// It is the inner loop shared by the serial engine and each FPSGD block
+// task; callers own any required synchronisation.
+func TrainEntries(f *Factors, entries []sparse.Rating, h HyperParams) {
+	for _, e := range entries {
+		UpdateOne(f.PRow(e.U), f.QRow(e.I), e.V, h)
+	}
+}

@@ -1,0 +1,130 @@
+package mf
+
+import (
+	"math"
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+func TestUpdateOneReducesError(t *testing.T) {
+	p := []float32{0.5, 0.5}
+	q := []float32{0.5, 0.5}
+	h := HyperParams{Gamma: 0.1, Lambda1: 0, Lambda2: 0}
+	const r = 3.0
+	before := math.Abs(float64(r - Dot(p, q)))
+	for i := 0; i < 50; i++ {
+		UpdateOne(p, q, r, h)
+	}
+	after := math.Abs(float64(r - Dot(p, q)))
+	if after >= before {
+		t.Fatalf("error did not shrink: %v → %v", before, after)
+	}
+	if after > 0.01 {
+		t.Fatalf("did not converge to rating: residual %v", after)
+	}
+}
+
+func TestUpdateOneReturnsError(t *testing.T) {
+	p := []float32{1, 0}
+	q := []float32{1, 0}
+	h := HyperParams{Gamma: 0}
+	if e := UpdateOne(p, q, 5, h); e != 4 {
+		t.Fatalf("returned error = %v, want 4", e)
+	}
+}
+
+func TestUpdateOneMatchesScalarReference(t *testing.T) {
+	// The unrolled kernel must match a plain scalar implementation for
+	// every vector length (tail handling).
+	for k := 1; k <= 19; k++ {
+		rng := sparse.NewRand(uint64(k))
+		p := make([]float32, k)
+		q := make([]float32, k)
+		for i := range p {
+			p[i] = rng.Float32()
+			q[i] = rng.Float32()
+		}
+		pr := append([]float32(nil), p...)
+		qr := append([]float32(nil), q...)
+		h := HyperParams{Gamma: 0.01, Lambda1: 0.02, Lambda2: 0.03}
+		const r = 3.5
+
+		UpdateOne(p, q, r, h)
+
+		// Reference: simultaneous update with pre-update values.
+		e := r - Dot(pr, qr)
+		for i := range pr {
+			p0, q0 := pr[i], qr[i]
+			pr[i] = p0 + h.Gamma*(e*q0-h.Lambda1*p0)
+			qr[i] = q0 + h.Gamma*(e*p0-h.Lambda2*q0)
+		}
+		for i := range p {
+			if math.Abs(float64(p[i]-pr[i])) > 1e-6 {
+				t.Fatalf("k=%d: P[%d] = %v, want %v", k, i, p[i], pr[i])
+			}
+			if math.Abs(float64(q[i]-qr[i])) > 1e-6 {
+				t.Fatalf("k=%d: Q[%d] = %v, want %v", k, i, q[i], qr[i])
+			}
+		}
+	}
+}
+
+func TestUpdateOneRegularisationShrinks(t *testing.T) {
+	// With rating 0 and pure regularisation pressure, norms must shrink.
+	p := []float32{1, 1, 1, 1}
+	q := []float32{0, 0, 0, 0}
+	h := HyperParams{Gamma: 0.1, Lambda1: 0.5, Lambda2: 0.5}
+	UpdateOne(p, q, 0, h)
+	for i := range p {
+		if p[i] >= 1 {
+			t.Fatalf("λ1 did not shrink p: %v", p)
+		}
+	}
+}
+
+func TestUpdateBytesMatchesPaperModel(t *testing.T) {
+	if got := UpdateBytes(128); got != 16*128+4 {
+		t.Fatalf("UpdateBytes(128) = %d", got)
+	}
+	if got := UpdatesPerEntryFLOPs(32); got != 224 {
+		t.Fatalf("FLOPs(32) = %d", got)
+	}
+}
+
+func TestTrainEntriesLowersRMSE(t *testing.T) {
+	rng := sparse.NewRand(8)
+	m := sparse.NewCOO(50, 40, 500)
+	for c := 0; c < 500; c++ {
+		m.Add(int32(rng.Intn(50)), int32(rng.Intn(40)), 1+4*rng.Float32())
+	}
+	f := NewFactorsInit(50, 40, 8, m.MeanRating(), rng)
+	h := HyperParams{Gamma: 0.01, Lambda1: 0.01, Lambda2: 0.01}
+	before := RMSE(f, m.Entries)
+	for ep := 0; ep < 30; ep++ {
+		TrainEntries(f, m.Entries, h)
+	}
+	after := RMSE(f, m.Entries)
+	if after >= before {
+		t.Fatalf("training RMSE rose: %v → %v", before, after)
+	}
+}
+
+func TestLossDecreasesUnderSGD(t *testing.T) {
+	rng := sparse.NewRand(9)
+	m := sparse.NewCOO(30, 30, 300)
+	for c := 0; c < 300; c++ {
+		m.Add(int32(rng.Intn(30)), int32(rng.Intn(30)), 1+4*rng.Float32())
+	}
+	f := NewFactorsInit(30, 30, 4, m.MeanRating(), rng)
+	h := HyperParams{Gamma: 0.005, Lambda1: 0.01, Lambda2: 0.01}
+	prev := Loss(f, m.Entries, h)
+	for ep := 0; ep < 10; ep++ {
+		TrainEntries(f, m.Entries, h)
+		cur := Loss(f, m.Entries, h)
+		if cur > prev*1.05 {
+			t.Fatalf("epoch %d: loss rose %v → %v", ep, prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,33 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"hccmf/internal/partition"
+)
+
+// DP0 splits data proportionally to standalone throughput (Eq. 6): a GPU
+// three times faster than a CPU receives three times the rows.
+func ExampleDP0() {
+	shares, err := partition.DP0([]float64{300e6, 900e6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cpu %.2f, gpu %.2f\n", shares[0], shares[1])
+	// Output:
+	// cpu 0.25, gpu 0.75
+}
+
+// DP2 staggers balanced finish times by one synchronization interval so
+// the server folds early finishers while later ones still compute.
+func ExampleDP2() {
+	balanced := []float64{0.5, 0.5}
+	times := []float64{10, 10} // both workers take 10s
+	shares, err := partition.DP2(balanced, times, 2 /* sync takes 2s */)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("early %.2f, late %.2f\n", shares[0], shares[1])
+	// Output:
+	// early 0.45, late 0.55
+}

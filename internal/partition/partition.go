@@ -1,0 +1,362 @@
+// Package partition implements HCC-MF's data partition strategies
+// (paper Section 3.3):
+//
+//   - DP0 — the basic strategy from Theorem 1/Eq. 6: shares proportional
+//     to each worker's standalone throughput, equalising compute time
+//     under the constant-bandwidth assumption.
+//   - DP1 — "data partition with heterogeneous load balance": Algorithm 1's
+//     compensation loop, which re-measures per-worker compute times and
+//     shifts load between the CPU group and the GPU group until their
+//     average times agree within 10%.
+//   - DP2 — "data partition with hidden synchronization": starting from a
+//     balanced partition, worker finish times are staggered by one
+//     synchronisation interval each, so the server folds worker i's push
+//     while worker i+1 is still computing and only the last sync is
+//     exposed.
+package partition
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strategy names the partition strategies for reports and planners.
+type Strategy int
+
+const (
+	// DP0Strategy is the basic Eq. 6 proportional split.
+	DP0Strategy Strategy = iota
+	// DP1Strategy is DP0 plus Algorithm 1 compensation.
+	DP1Strategy
+	// DP2Strategy staggers finish times to hide synchronisation.
+	DP2Strategy
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case DP0Strategy:
+		return "DP0"
+	case DP1Strategy:
+		return "DP1"
+	case DP2Strategy:
+		return "DP2"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// DP0 returns the basic partition of Eq. 6: x_i ∝ rate_i, which equalises
+// compute time when throughput is load-independent.
+func DP0(rates []float64) ([]float64, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("partition: no workers")
+	}
+	var sum float64
+	for i, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("partition: rate[%d] = %v, must be positive", i, r)
+		}
+		sum += r
+	}
+	x := make([]float64, len(rates))
+	for i, r := range rates {
+		x[i] = r / sum
+	}
+	return x, nil
+}
+
+// MeasureFunc runs (or simulates) one training epoch under partition x and
+// returns each worker's measured compute time. DP1 calls it to drive
+// Algorithm 1's feedback loop.
+type MeasureFunc func(x []float64) []float64
+
+// DP1Options tunes the compensation loop.
+type DP1Options struct {
+	// Tolerance is the relative CPU/GPU average-time gap below which the
+	// loop stops; the paper uses 0.1.
+	Tolerance float64
+	// MaxIters bounds the loop; the paper observes one iteration usually
+	// suffices.
+	MaxIters int
+}
+
+func (o *DP1Options) defaults() {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.1
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 8
+	}
+}
+
+// DP1 runs Algorithm 1: starting from partition x0 with measured compute
+// times t0, it transfers load between the CPU group and the GPU group until
+// their average compute times are balanced. isCPU marks the CPU workers.
+// It returns the final partition and the compute times measured for it.
+func DP1(x0, t0 []float64, isCPU []bool, measure MeasureFunc, opts DP1Options) ([]float64, []float64, error) {
+	p := len(x0)
+	if p == 0 {
+		return nil, nil, errors.New("partition: no workers")
+	}
+	if len(t0) != p || len(isCPU) != p {
+		return nil, nil, fmt.Errorf("partition: inconsistent inputs x=%d t=%d cpu=%d", p, len(t0), len(isCPU))
+	}
+	opts.defaults()
+	for i, ti := range t0 {
+		if ti <= 0 {
+			return nil, nil, fmt.Errorf("partition: measured time t[%d]=%v, must be positive", i, ti)
+		}
+	}
+
+	var c, g int
+	for _, b := range isCPU {
+		if b {
+			c++
+		} else {
+			g++
+		}
+	}
+	if c == 0 || g == 0 {
+		// Homogeneous worker set: Algorithm 1's CPU/GPU averaging is
+		// undefined; DP0's proportional split is already balanced.
+		return clone(x0), clone(t0), nil
+	}
+
+	x := clone(x0)
+	t := clone(t0)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		avgCPU, avgGPU := groupAverages(t, isCPU)
+		if relGap(avgCPU, avgGPU) <= opts.Tolerance {
+			break
+		}
+		l := -1.0
+		if avgCPU > avgGPU {
+			l = 1.0
+		}
+		dT := l * (avgCPU - avgGPU) / float64(c+g)
+		for i := range x {
+			if t[i] <= 0 {
+				return nil, nil, fmt.Errorf("partition: measured time t[%d]=%v", i, t[i])
+			}
+			if isCPU[i] {
+				// Lines 5–7: CPUs shed (or gain) g·ΔT of time.
+				x[i] = x[i] * (t[i] - l*float64(g)*dT) / t[i]
+			} else {
+				// Lines 8–10: GPUs absorb (or shed) c·ΔT of time.
+				x[i] = x[i] * (t[i] + l*float64(c)*dT) / t[i]
+			}
+			if x[i] < 0 {
+				x[i] = 0
+			}
+		}
+		if err := normalise(x); err != nil {
+			return nil, nil, err
+		}
+		t = measure(x)
+		if len(t) != p {
+			return nil, nil, fmt.Errorf("partition: measure returned %d times for %d workers", len(t), p)
+		}
+	}
+	return x, t, nil
+}
+
+// DP2 staggers a balanced partition so that consecutive workers finish one
+// syncTime apart (Eq. 7): with the balanced time as the median, the i-th
+// finisher targets T_med + (i − (p−1)/2)·syncTime. The earliest finishers'
+// pushes are folded by the server while later workers still compute, so
+// only the final worker's sync is exposed.
+//
+// Which worker receives which offset is a free choice in the paper; DP2
+// picks the assignment that keeps Σx closest to 1, because the final
+// renormalisation otherwise stretches every worker — including the longest
+// one — and eats the savings. The share change of giving worker i offset o
+// is o·x_i/t_i, so the assignment minimises |Σ o_perm(i)·(x_i/t_i)|
+// (exhaustively for ≤8 workers, greedily beyond).
+func DP2(x1, t1 []float64, syncTime float64) ([]float64, error) {
+	p := len(x1)
+	if p == 0 {
+		return nil, errors.New("partition: no workers")
+	}
+	if len(t1) != p {
+		return nil, fmt.Errorf("partition: %d times for %d workers", len(t1), p)
+	}
+	if syncTime < 0 {
+		return nil, fmt.Errorf("partition: negative sync time %v", syncTime)
+	}
+	for i, ti := range t1 {
+		if ti <= 0 {
+			return nil, fmt.Errorf("partition: measured time t[%d]=%v", i, ti)
+		}
+	}
+	mid := float64(p-1) / 2
+	offsets := make([]float64, p)
+	for i := range offsets {
+		offsets[i] = (float64(i) - mid) * syncTime
+	}
+	weights := make([]float64, p) // share moved per second of offset
+	for i := range weights {
+		weights[i] = x1[i] / t1[i]
+	}
+	perm := bestOffsetAssignment(offsets, weights)
+
+	x := make([]float64, p)
+	for i := range x {
+		target := t1[i] + offsets[perm[i]]
+		if target < 0.1*t1[i] {
+			// Never starve a worker below 10% of its balanced load: if the
+			// stagger would, the sync interval is too large relative to
+			// compute and DP2 is the wrong strategy anyway.
+			target = 0.1 * t1[i]
+		}
+		x[i] = x1[i] * target / t1[i]
+	}
+	if err := normalise(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// bestOffsetAssignment returns perm such that worker i takes
+// offsets[perm[i]], minimising |Σ offsets[perm[i]]·weights[i]|.
+func bestOffsetAssignment(offsets, weights []float64) []int {
+	p := len(offsets)
+	perm := make([]int, p)
+	for i := range perm {
+		perm[i] = i
+	}
+	if p > 8 {
+		// Greedy for large p: heaviest weights take the smallest |offset|.
+		byWeight := make([]iwPair, p)
+		for i, w := range weights {
+			byWeight[i] = iwPair{i, w}
+		}
+		sortByAbsDesc(byWeight)
+		byOff := make([]int, p)
+		for i := range byOff {
+			byOff[i] = i
+		}
+		sortOffsetsByAbs(byOff, offsets)
+		for rank, e := range byWeight {
+			perm[e.idx] = byOff[rank]
+		}
+		return perm
+	}
+	best := make([]int, p)
+	copy(best, perm)
+	bestScore := permScore(perm, offsets, weights)
+	permute(perm, 0, func(cand []int) {
+		if s := permScore(cand, offsets, weights); s < bestScore {
+			bestScore = s
+			copy(best, cand)
+		}
+	})
+	return best
+}
+
+func permScore(perm []int, offsets, weights []float64) float64 {
+	var sum float64
+	for i, o := range perm {
+		sum += offsets[o] * weights[i]
+	}
+	if sum < 0 {
+		return -sum
+	}
+	return sum
+}
+
+func permute(a []int, k int, visit func([]int)) {
+	if k == len(a) {
+		visit(a)
+		return
+	}
+	for i := k; i < len(a); i++ {
+		a[k], a[i] = a[i], a[k]
+		permute(a, k+1, visit)
+		a[k], a[i] = a[i], a[k]
+	}
+}
+
+type iwPair struct {
+	idx int
+	w   float64
+}
+
+func sortByAbsDesc(v []iwPair) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && abs(v[j].w) > abs(v[j-1].w); j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func sortOffsetsByAbs(idx []int, offsets []float64) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && abs(offsets[idx[j]]) < abs(offsets[idx[j-1]]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+func groupAverages(t []float64, isCPU []bool) (avgCPU, avgGPU float64) {
+	var sc, sg float64
+	var nc, ng int
+	for i, ti := range t {
+		if isCPU[i] {
+			sc += ti
+			nc++
+		} else {
+			sg += ti
+			ng++
+		}
+	}
+	if nc > 0 {
+		avgCPU = sc / float64(nc)
+	}
+	if ng > 0 {
+		avgGPU = sg / float64(ng)
+	}
+	return avgCPU, avgGPU
+}
+
+func relGap(a, b float64) float64 {
+	min := a
+	if b < min {
+		min = b
+	}
+	if min <= 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / min
+}
+
+func normalise(x []float64) error {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if sum <= 0 {
+		return errors.New("partition: degenerate partition (all shares zero)")
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+	return nil
+}

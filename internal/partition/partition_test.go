@@ -1,0 +1,277 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// simMeasure builds a MeasureFunc for workers whose throughput is
+// rate[i]·(1+bias[i]·x) — the mild load-dependent bandwidth effect
+// (Table 2) that DP0 cannot see and DP1 compensates for.
+func simMeasure(nnz float64, rates, bias []float64) MeasureFunc {
+	return func(x []float64) []float64 {
+		t := make([]float64, len(x))
+		for i := range x {
+			eff := rates[i] * (1 + bias[i]*x[i])
+			t[i] = x[i] * nnz / eff
+		}
+		return t
+	}
+}
+
+func TestDP0Proportional(t *testing.T) {
+	x, err := DP0([]float64{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.25) > 1e-12 || math.Abs(x[1]-0.75) > 1e-12 {
+		t.Fatalf("DP0 = %v", x)
+	}
+}
+
+func TestDP0EqualComputeTimes(t *testing.T) {
+	rates := []float64{348790567, 918333483, 1052866849}
+	x, err := DP0(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nnz = 99072112.0
+	t0 := x[0] * nnz / rates[0]
+	for i := 1; i < len(x); i++ {
+		ti := x[i] * nnz / rates[i]
+		if math.Abs(ti-t0) > 1e-9 {
+			t.Fatalf("DP0 compute times unequal: %v vs %v", t0, ti)
+		}
+	}
+}
+
+func TestDP0Errors(t *testing.T) {
+	if _, err := DP0(nil); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := DP0([]float64{1, 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := DP0([]float64{1, -2}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if DP0Strategy.String() != "DP0" || DP1Strategy.String() != "DP1" || DP2Strategy.String() != "DP2" {
+		t.Fatal("strategy names wrong")
+	}
+	if Strategy(7).String() != "Strategy(7)" {
+		t.Fatal("unknown strategy string wrong")
+	}
+}
+
+func TestDP1BalancesHeterogeneousBias(t *testing.T) {
+	// CPU slows down with load (negative bias), GPUs speed up slightly —
+	// the Table 2 effect. DP0 leaves a gap; DP1 must close it to <10%.
+	rates := []float64{3.5e8, 9.2e8, 1.05e9}
+	bias := []float64{-0.5, 0.15, 0.15}
+	isCPU := []bool{true, false, false}
+	const nnz = 99072112.0
+	measure := simMeasure(nnz, rates, bias)
+
+	x0, err := DP0(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := measure(x0)
+	cpu0, gpu0 := groupAverages(t0, isCPU)
+	if relGap(cpu0, gpu0) < 0.05 {
+		t.Skipf("bias too weak to create imbalance: %v", relGap(cpu0, gpu0))
+	}
+
+	x1, t1, err := DP1(x0, t0, isCPU, measure, DP1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu1, gpu1 := groupAverages(t1, isCPU)
+	if g := relGap(cpu1, gpu1); g > 0.1 {
+		t.Fatalf("DP1 left gap %v > 0.1 (times %v)", g, t1)
+	}
+	var sum float64
+	for _, v := range x1 {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("DP1 partition sums to %v", sum)
+	}
+	// The slowed-down CPU must have shed load relative to DP0.
+	if x1[0] >= x0[0] {
+		t.Fatalf("overloaded CPU kept share %v ≥ DP0 share %v", x1[0], x0[0])
+	}
+}
+
+func TestDP1ReducesMakespan(t *testing.T) {
+	rates := []float64{2e8, 9e8}
+	bias := []float64{-0.6, 0.1}
+	isCPU := []bool{true, false}
+	const nnz = 1e8
+	measure := simMeasure(nnz, rates, bias)
+	x0, _ := DP0(rates)
+	t0 := measure(x0)
+	x1, t1, err := DP1(x0, t0, isCPU, measure, DP1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxOf(t1) >= maxOf(t0) {
+		t.Fatalf("DP1 makespan %v did not improve on DP0 %v (x=%v)", maxOf(t1), maxOf(t0), x1)
+	}
+}
+
+func TestDP1HomogeneousNoop(t *testing.T) {
+	x0 := []float64{0.5, 0.5}
+	t0 := []float64{1, 1}
+	x, tt, err := DP1(x0, t0, []bool{false, false}, nil, DP1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0.5 || x[1] != 0.5 || tt[0] != 1 {
+		t.Fatalf("homogeneous DP1 changed partition: %v %v", x, tt)
+	}
+}
+
+func TestDP1AlreadyBalancedStops(t *testing.T) {
+	calls := 0
+	measure := func(x []float64) []float64 {
+		calls++
+		return []float64{1, 1}
+	}
+	x, _, err := DP1([]float64{0.5, 0.5}, []float64{1, 1.05}, []bool{true, false}, measure, DP1Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("balanced input still re-measured %d times", calls)
+	}
+	if x[0] != 0.5 {
+		t.Fatalf("balanced input changed: %v", x)
+	}
+}
+
+func TestDP1Validation(t *testing.T) {
+	if _, _, err := DP1(nil, nil, nil, nil, DP1Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := DP1([]float64{1}, []float64{1, 2}, []bool{true}, nil, DP1Options{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	bad := func(x []float64) []float64 { return []float64{1} }
+	if _, _, err := DP1([]float64{0.5, 0.5}, []float64{9, 1}, []bool{true, false}, bad, DP1Options{}); err == nil {
+		t.Fatal("measure returning wrong length accepted")
+	}
+	if _, _, err := DP1([]float64{0.5, 0.5}, []float64{0, 1}, []bool{true, false},
+		func(x []float64) []float64 { return x }, DP1Options{}); err == nil {
+		t.Fatal("non-positive measured time accepted")
+	}
+}
+
+func TestDP2StaggersFinishTimes(t *testing.T) {
+	// Balanced: all compute times 10s; syncTime 1s; 4 workers.
+	x1 := []float64{0.25, 0.25, 0.25, 0.25}
+	t1 := []float64{10, 10, 10, 10}
+	const sync = 1.0
+	x2, err := DP2(x1, t1, sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range x2 {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("DP2 sums to %v", sum)
+	}
+	// New compute times are proportional to new shares (same rates), so
+	// consecutive gaps should be ≈ syncTime (up to renormalisation).
+	nt := make([]float64, 4)
+	for i := range nt {
+		nt[i] = t1[i] * x2[i] / x1[i]
+	}
+	for i := 1; i < 4; i++ {
+		gap := nt[i] - nt[i-1]
+		if math.Abs(gap-sync) > 0.05*sync {
+			t.Fatalf("gap %d = %v, want ≈ %v (times %v)", i, gap, sync, nt)
+		}
+	}
+}
+
+func TestDP2ZeroSyncIsIdentity(t *testing.T) {
+	x1 := []float64{0.3, 0.7}
+	x2, err := DP2(x1, []float64{5, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x2[i]-x1[i]) > 1e-12 {
+			t.Fatalf("DP2 with zero sync changed partition: %v", x2)
+		}
+	}
+}
+
+func TestDP2NeverStarvesWorker(t *testing.T) {
+	// Sync interval much larger than compute: the floor must hold.
+	x1 := []float64{0.5, 0.5}
+	t1 := []float64{1, 1}
+	x2, err := DP2(x1, t1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x2 {
+		if v <= 0 {
+			t.Fatalf("worker %d starved: %v", i, x2)
+		}
+	}
+}
+
+func TestDP2Validation(t *testing.T) {
+	if _, err := DP2(nil, nil, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := DP2([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := DP2([]float64{1}, []float64{1}, -1); err == nil {
+		t.Fatal("negative sync accepted")
+	}
+	if _, err := DP2([]float64{1}, []float64{0}, 1); err == nil {
+		t.Fatal("zero time accepted")
+	}
+}
+
+// Property: DP0 always returns a valid distribution for positive rates.
+func TestDP0DistributionProperty(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		rates := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		x, err := DP0(rates)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range x {
+			if v <= 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

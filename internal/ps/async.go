@@ -1,0 +1,225 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// updateOneLocal applies one SGD step against the worker-local factors.
+func updateOneLocal(f *mf.Factors, e sparse.Rating, h mf.HyperParams) {
+	mf.UpdateOne(f.PRow(e.U), f.QRow(e.I), e.V, h)
+}
+
+// Asynchronous computing-transmission (paper Section 3.4, Strategy 3;
+// Figure 6): each worker runs Streams concurrent pull→compute→push
+// pipelines. A stream owns one item-range slice of Q: it pulls only that
+// slice, trains the shard entries whose items fall inside it, and pushes
+// the slice back — so the per-epoch feature traffic stays one Q per worker
+// while the exposed transfer time drops to ~1/Streams.
+//
+// Two consequences the paper calls out are reproduced faithfully:
+//
+//   - Streams of one worker update the same local P rows concurrently
+//     (a user's ratings span item slices). This is lock-free by design —
+//     the Hogwild! argument — and some updates are overwritten, which is
+//     the "small part of the training results is lost" effect of
+//     Figure 7(b)/(e). Like the Hogwild engines, these races are
+//     intentional; tests exercising them are skipped under -race.
+//   - The server synchronises mid-epoch: a Q slice is folded as soon as
+//     every worker's stream has pushed it, overlapping the remaining
+//     slices' computation instead of queueing after the slowest worker.
+
+// runEpochAsync executes one epoch in asynchronous mode.
+func (c *Cluster) runEpochAsync(epoch, total int) error {
+	streams := c.cfg.Strategy.Streams
+	copy(c.baseQ, c.global.Q)
+
+	slices := itemSlices(c.cfg.N, streams)
+	coord := &sliceCoordinator{
+		cluster: c,
+		slices:  slices,
+		pending: make([]int, len(slices)),
+	}
+	for i := range coord.pending {
+		coord.pending[i] = len(c.workers)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.workers))
+	for wi, ws := range c.workers {
+		wg.Add(1)
+		go func(wi int, ws *workerState) {
+			defer wg.Done()
+			errs[wi] = c.workerEpochAsync(ws, coord, slices, epoch, total)
+		}(wi, ws)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerEpochAsync runs one worker's stream pipelines for one epoch.
+func (c *Cluster) workerEpochAsync(ws *workerState, coord *sliceCoordinator, slices []itemSlice, epoch, total int) error {
+	h := c.hyperFor(epoch)
+	chunks := ws.sliceChunks(slices)
+	var wg sync.WaitGroup
+	errs := make([]error, len(slices))
+	for sj := range slices {
+		wg.Add(1)
+		go func(sj int) {
+			defer wg.Done()
+			errs[sj] = c.streamRun(ws, coord, slices[sj], chunks[sj], sj, h)
+		}(sj)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// The worker's P rows travel once, on the final push (Q-only) or every
+	// epoch (naive mode), after all streams have quiesced.
+	if !c.cfg.Strategy.QOnly || epoch == total-1 {
+		if err := c.pushP(ws, epoch, total); err != nil {
+			return err
+		}
+		c.foldP(ws, epoch, total)
+	}
+	return nil
+}
+
+// streamRun is one pull→compute→push pipeline over an item slice.
+func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSlice, chunk []sparse.Rating, sj int, h mf.HyperParams) error {
+	k := c.cfg.K
+	lo, hi := sl.lo*k, sl.hi*k
+	enc := c.cfg.Strategy.Encoding
+
+	// Pull the Q slice. Safe concurrently: within an epoch a slice is
+	// folded only after every worker (hence this one) has pushed it, and
+	// every push follows the pull, so no fold can precede any pull of the
+	// same slice.
+	st, err := c.cfg.Transport.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], enc)
+	if err != nil {
+		return fmt.Errorf("ps: async pull slice %d for %q: %v", sj, ws.conf.Name, err)
+	}
+	c.account(st)
+
+	// Compute. Concurrent streams share ws.local.P — deliberately
+	// unsynchronised (see the package comment above).
+	for _, e := range chunk {
+		updateOneLocal(ws.local, e, h)
+	}
+
+	// Push the slice into the worker's push buffer.
+	st, err = c.cfg.Transport.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], enc)
+	if err != nil {
+		return fmt.Errorf("ps: async push slice %d for %q: %v", sj, ws.conf.Name, err)
+	}
+	c.account(st)
+
+	// Tell the server; it folds the slice once all workers delivered it.
+	coord.arrive(sj)
+	return nil
+}
+
+// pushP uploads the worker's P rows (final Q-only push, or every naive-
+// mode epoch).
+func (c *Cluster) pushP(ws *workerState, epoch, total int) error {
+	enc := c.cfg.Strategy.Encoding
+	var src []float32
+	if c.cfg.Strategy.QOnly {
+		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
+		src = ws.local.P[lo:hi]
+	} else {
+		src = ws.local.P
+	}
+	st, err := c.cfg.Transport.Push(ws.pushP, src, enc)
+	if err != nil {
+		return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
+	}
+	c.account(st)
+	return nil
+}
+
+// foldP lands the worker's authoritative P rows in the global model.
+// Row-grid ranges are disjoint, so concurrent workers never collide.
+func (c *Cluster) foldP(ws *workerState, epoch, total int) {
+	lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
+	if c.cfg.Strategy.QOnly {
+		copy(c.global.P[lo:hi], ws.pushP)
+	} else {
+		copy(c.global.P[lo:hi], ws.pushP[lo:hi])
+	}
+}
+
+// itemSlice is one stream's contiguous item range [lo, hi).
+type itemSlice struct{ lo, hi int }
+
+// itemSlices cuts n items into s contiguous slices (the last absorbs the
+// remainder). s is clamped to [1, n].
+func itemSlices(n, s int) []itemSlice {
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	out := make([]itemSlice, s)
+	for j := 0; j < s; j++ {
+		out[j] = itemSlice{lo: j * n / s, hi: (j + 1) * n / s}
+	}
+	return out
+}
+
+// sliceChunks buckets the worker's shard entries by item slice, caching
+// the result (the slicing is stable across epochs).
+func (ws *workerState) sliceChunks(slices []itemSlice) [][]sparse.Rating {
+	if len(ws.chunks) == len(slices) {
+		return ws.chunks
+	}
+	chunks := make([][]sparse.Rating, len(slices))
+	sliceOf := func(item int32) int {
+		for j, sl := range slices {
+			if int(item) < sl.hi {
+				return j
+			}
+		}
+		return len(slices) - 1
+	}
+	for _, e := range ws.conf.Shard.Entries {
+		j := sliceOf(e.I)
+		chunks[j] = append(chunks[j], e)
+	}
+	ws.chunks = chunks
+	return chunks
+}
+
+// sliceCoordinator is the server's mid-epoch sync bookkeeping: it counts
+// per-slice pushes and folds a slice conflict-aware once all workers
+// delivered it.
+type sliceCoordinator struct {
+	cluster *Cluster
+	slices  []itemSlice
+	mu      sync.Mutex
+	pending []int
+}
+
+// arrive records one worker's push of slice sj and triggers the fold when
+// it was the last.
+func (sc *sliceCoordinator) arrive(sj int) {
+	sc.mu.Lock()
+	sc.pending[sj]--
+	ready := sc.pending[sj] == 0
+	sc.mu.Unlock()
+	if ready {
+		sl := sc.slices[sj]
+		sc.cluster.foldQRows(sl.lo, sl.hi)
+	}
+}

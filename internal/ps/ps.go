@@ -1,0 +1,374 @@
+// Package ps implements HCC-MF's parameter-server runtime (paper Sections
+// 3.1 and 3.5) with real computation: a server owns the global feature
+// matrices; each worker holds a local replica, and every epoch runs the
+// pull → compute → push → sync cycle. Workers execute concurrently in their
+// own goroutines (data parallelism over a row grid), transfers go through a
+// comm.Transport so copy semantics match the paper's COMM module, and the
+// server's sync thread folds each push into the global model with one
+// multiply-add per parameter.
+//
+// The package deals only in *correctness* (real updates, real RMSE).
+// Simulated timing of the same cycle lives in internal/core, which charges
+// the cost model against a simengine platform.
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hccmf/internal/comm"
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// WorkerConf describes one worker's assignment.
+type WorkerConf struct {
+	// Name identifies the worker in stats.
+	Name string
+	// Engine executes the worker's local SGD pass.
+	Engine mf.Engine
+	// Shard is the worker's training data; every entry must fall inside
+	// [RowLo, RowHi). Dimensions must equal the global matrix.
+	Shard *sparse.COO
+	// RowLo, RowHi delimit the worker's row-grid range.
+	RowLo, RowHi int
+	// Weight is the server's blend factor when folding this worker's Q
+	// push (normalised across workers at construction).
+	Weight float64
+}
+
+// Config is the cluster-wide training configuration.
+type Config struct {
+	M, N, K int
+	Hyper   mf.HyperParams
+	// Transport moves feature data (COMM or COMM-P).
+	Transport comm.Transport
+	// Strategy selects payloads and encodings.
+	Strategy comm.Strategy
+	// MeanRating seeds factor initialisation.
+	MeanRating float64
+	// Seed makes initialisation reproducible.
+	Seed uint64
+	// Schedule, when non-nil, overrides Hyper.Gamma per epoch (e.g.
+	// cuMF_SGD's inverse decay). Regularisers stay fixed.
+	Schedule mf.Schedule
+}
+
+// Cluster is a live parameter-server training instance.
+type Cluster struct {
+	cfg     Config
+	global  *mf.Factors
+	workers []*workerState
+	// baseQ snapshots the global Q each epoch's pulls were served from, so
+	// sync can fold each worker's *delta* against it.
+	baseQ []float32
+
+	mu    sync.Mutex
+	stats comm.TransferStats
+}
+
+type workerState struct {
+	conf  WorkerConf
+	local *mf.Factors
+	// pushQ is the worker's push buffer for Q (and pushP for final P
+	// pushes): the shared region the server folds from.
+	pushQ []float32
+	pushP []float32
+	// chunks caches the shard bucketed by item slice (async mode).
+	chunks [][]sparse.Rating
+}
+
+// New validates the configuration and builds a cluster with initialised
+// global factors.
+func New(cfg Config, workers []WorkerConf) (*Cluster, error) {
+	if cfg.M <= 0 || cfg.N <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("ps: invalid dims m=%d n=%d k=%d", cfg.M, cfg.N, cfg.K)
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("ps: nil transport")
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("ps: no workers")
+	}
+	var wsum float64
+	for i := range workers {
+		w := &workers[i]
+		if w.Engine == nil {
+			return nil, fmt.Errorf("ps: worker %q has no engine", w.Name)
+		}
+		if w.Shard == nil || w.Shard.Rows != cfg.M || w.Shard.Cols != cfg.N {
+			return nil, fmt.Errorf("ps: worker %q shard dims mismatch", w.Name)
+		}
+		if w.RowLo < 0 || w.RowHi > cfg.M || w.RowLo >= w.RowHi {
+			return nil, fmt.Errorf("ps: worker %q row range [%d,%d)", w.Name, w.RowLo, w.RowHi)
+		}
+		for _, e := range w.Shard.Entries {
+			if int(e.U) < w.RowLo || int(e.U) >= w.RowHi {
+				return nil, fmt.Errorf("ps: worker %q entry row %d outside [%d,%d)",
+					w.Name, e.U, w.RowLo, w.RowHi)
+			}
+		}
+		if w.Weight <= 0 {
+			return nil, fmt.Errorf("ps: worker %q weight %v", w.Name, w.Weight)
+		}
+		wsum += w.Weight
+	}
+	// Row ranges must not overlap (overlap would let two workers push the
+	// same P rows — the WAW race the row grid exists to avoid).
+	for i := range workers {
+		for j := i + 1; j < len(workers); j++ {
+			a, b := workers[i], workers[j]
+			if a.RowLo < b.RowHi && b.RowLo < a.RowHi {
+				return nil, fmt.Errorf("ps: workers %q and %q have overlapping row ranges", a.Name, b.Name)
+			}
+		}
+	}
+
+	rng := sparse.NewRand(cfg.Seed)
+	c := &Cluster{
+		cfg:    cfg,
+		global: mf.NewFactorsInit(cfg.M, cfg.N, cfg.K, cfg.MeanRating, rng),
+		baseQ:  make([]float32, cfg.N*cfg.K),
+	}
+	for i := range workers {
+		w := workers[i]
+		w.Weight /= wsum
+		ws := &workerState{
+			conf:  w,
+			local: mf.NewFactors(cfg.M, cfg.N, cfg.K),
+			pushQ: make([]float32, cfg.N*cfg.K),
+		}
+		if cfg.Strategy.QOnly {
+			// Final push carries only the worker's own rows.
+			ws.pushP = make([]float32, (w.RowHi-w.RowLo)*cfg.K)
+			// Preprocessing (workflow step ③): the server hands each
+			// worker its P rows once, before training; not bus-charged.
+			lo, hi := w.RowLo*cfg.K, w.RowHi*cfg.K
+			copy(ws.local.P[lo:hi], c.global.P[lo:hi])
+		} else {
+			// The naive baseline pushes the complete P every epoch.
+			ws.pushP = make([]float32, cfg.M*cfg.K)
+		}
+		c.workers = append(c.workers, ws)
+	}
+	return c, nil
+}
+
+// Global exposes the server's model (read-only by convention; call between
+// epochs only).
+func (c *Cluster) Global() *mf.Factors { return c.global }
+
+// CommStats reports accumulated transfer accounting.
+func (c *Cluster) CommStats() comm.TransferStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Workers reports the number of workers.
+func (c *Cluster) Workers() int { return len(c.workers) }
+
+// RunEpoch executes one full pull → compute → push → sync cycle. epoch is
+// 0-based; total is the planned epoch count (the strategy needs both to
+// place the first full pull and the final full push).
+func (c *Cluster) RunEpoch(epoch, total int) error {
+	if epoch < 0 || total <= 0 || epoch >= total {
+		return fmt.Errorf("ps: epoch %d of %d", epoch, total)
+	}
+	if c.cfg.Strategy.Streams > 1 {
+		return c.runEpochAsync(epoch, total)
+	}
+	// Snapshot the Q every worker is about to pull; sync folds deltas
+	// against it.
+	copy(c.baseQ, c.global.Q)
+	if err := c.parallel(func(ws *workerState) error { return c.pull(ws, epoch) }); err != nil {
+		return err
+	}
+	h := c.hyperFor(epoch)
+	if err := c.parallel(func(ws *workerState) error {
+		ws.conf.Engine.Epoch(ws.local, ws.conf.Shard, h)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := c.parallel(func(ws *workerState) error { return c.push(ws, epoch, total) }); err != nil {
+		return err
+	}
+	// Sync runs on the server thread (the paper's Sync thread), draining
+	// all push buffers.
+	c.syncAll(epoch, total)
+	return nil
+}
+
+// hyperFor applies the learning-rate schedule, if any, to the epoch.
+func (c *Cluster) hyperFor(epoch int) mf.HyperParams {
+	h := c.cfg.Hyper
+	if c.cfg.Schedule != nil {
+		h.Gamma = c.cfg.Schedule.Gamma(epoch)
+	}
+	return h
+}
+
+func (c *Cluster) parallel(fn func(*workerState) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.workers))
+	for i, ws := range c.workers {
+		wg.Add(1)
+		go func(i int, ws *workerState) {
+			defer wg.Done()
+			errs[i] = fn(ws)
+		}(i, ws)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pull downloads the feature data the strategy calls for this epoch.
+func (c *Cluster) pull(ws *workerState, epoch int) error {
+	enc := c.cfg.Strategy.Encoding
+	// Q always travels.
+	st, err := c.cfg.Transport.Pull(ws.local.Q, c.global.Q, enc)
+	if err != nil {
+		return fmt.Errorf("ps: pull Q for %q: %v", ws.conf.Name, err)
+	}
+	c.account(st)
+	if !c.cfg.Strategy.QOnly {
+		// Naive baseline: the complete P every epoch.
+		st, err := c.cfg.Transport.Pull(ws.local.P, c.global.P, enc)
+		if err != nil {
+			return fmt.Errorf("ps: pull P for %q: %v", ws.conf.Name, err)
+		}
+		c.account(st)
+	}
+	return nil
+}
+
+// push uploads the worker's updates into its push buffers.
+func (c *Cluster) push(ws *workerState, epoch, total int) error {
+	enc := c.cfg.Strategy.Encoding
+	st, err := c.cfg.Transport.Push(ws.pushQ, ws.local.Q, enc)
+	if err != nil {
+		return fmt.Errorf("ps: push Q for %q: %v", ws.conf.Name, err)
+	}
+	c.account(st)
+	switch {
+	case !c.cfg.Strategy.QOnly:
+		// Naive baseline: full P every epoch.
+		st, err := c.cfg.Transport.Push(ws.pushP, ws.local.P, enc)
+		if err != nil {
+			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
+		}
+		c.account(st)
+	case epoch == total-1:
+		// Final Q-only push adds the worker's own P rows.
+		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
+		st, err := c.cfg.Transport.Push(ws.pushP, ws.local.P[lo:hi], enc)
+		if err != nil {
+			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
+		}
+		c.account(st)
+	}
+	return nil
+}
+
+// syncAll folds every worker's push buffers into the global model with the
+// paper's one-multiply-add-per-parameter rule, applied conflict-aware per
+// Q row: q ← q + Σ_i (q_i − q_base)/c, where c counts the workers that
+// actually updated the row this epoch. Rows trained by a single worker
+// take its delta verbatim (no damping of the effective learning rate);
+// rows hit by several workers — the WAW conflicts the row grid cannot
+// avoid — are averaged among the actual updaters, which keeps the Zipf
+// head stable. Each worker's own P rows are copied verbatim (row-grid
+// ranges are disjoint, so no blending is needed).
+func (c *Cluster) syncAll(epoch, total int) {
+	c.foldQRows(0, c.cfg.N)
+	for _, ws := range c.workers {
+		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
+		switch {
+		case !c.cfg.Strategy.QOnly:
+			// The push buffer holds the full P; only the worker's own rows
+			// are authoritative — the rest is the stale pull, which the
+			// server ignores (folding it would let workers revert each
+			// other).
+			copy(c.global.P[lo:hi], ws.pushP[lo:hi])
+		case epoch == total-1:
+			copy(c.global.P[lo:hi], ws.pushP)
+		}
+	}
+}
+
+func (c *Cluster) account(st comm.TransferStats) {
+	c.mu.Lock()
+	c.stats.Add(st)
+	c.mu.Unlock()
+}
+
+// foldQRows folds every worker's pushed Q rows in [rowLo, rowHi) into the
+// global model, conflict-aware (see syncAll). Callers must ensure the row
+// range is quiescent: either the bulk-synchronous epoch boundary, or the
+// async slice coordinator's all-workers-pushed condition.
+func (c *Cluster) foldQRows(rowLo, rowHi int) {
+	k := c.cfg.K
+	g := c.global.Q
+	rowDelta := make([]float32, k)
+	for row := rowLo; row < rowHi; row++ {
+		lo := row * k
+		updaters := 0
+		for i := range rowDelta {
+			rowDelta[i] = 0
+		}
+		for _, ws := range c.workers {
+			touched := false
+			for i := 0; i < k; i++ {
+				if d := ws.pushQ[lo+i] - c.baseQ[lo+i]; d != 0 {
+					rowDelta[i] += d
+					touched = true
+				}
+			}
+			if touched {
+				updaters++
+			}
+		}
+		if updaters == 0 {
+			continue
+		}
+		inv := 1 / float32(updaters)
+		for i := 0; i < k; i++ {
+			g[lo+i] += rowDelta[i] * inv
+		}
+	}
+}
+
+// Snapshot assembles the logically complete model for evaluation: global Q
+// plus each worker's authoritative P rows (which, under Q-only, have not
+// been pushed yet). Evaluation is out of band and charges no communication.
+func (c *Cluster) Snapshot() *mf.Factors {
+	out := c.global.Clone()
+	if c.cfg.Strategy.QOnly {
+		for _, ws := range c.workers {
+			lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
+			copy(out.P[lo:hi], ws.local.P[lo:hi])
+		}
+	}
+	return out
+}
+
+// Train runs the full epoch loop, invoking observe (if non-nil) with the
+// 0-based epoch index and a post-sync model snapshot after every epoch.
+func (c *Cluster) Train(epochs int, observe func(epoch int, model *mf.Factors)) error {
+	for e := 0; e < epochs; e++ {
+		if err := c.RunEpoch(e, epochs); err != nil {
+			return err
+		}
+		if observe != nil {
+			observe(e, c.Snapshot())
+		}
+	}
+	return nil
+}

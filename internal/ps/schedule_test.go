@@ -1,0 +1,43 @@
+package ps
+
+import (
+	"testing"
+
+	"hccmf/internal/mf"
+)
+
+func TestClusterScheduleOverridesGamma(t *testing.T) {
+	full, confs := buildProblem(t, 80, 60, 3000, []float64{1}, 51)
+	cfg := defaultConfig(80, 60)
+	cfg.MeanRating = full.MeanRating()
+	cfg.Schedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.3}
+	c, err := New(cfg, confs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rmse := mf.RMSE(c.Snapshot(), full.Entries); rmse > 0.6 {
+		t.Fatalf("scheduled training RMSE %v", rmse)
+	}
+	if err := c.Global().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperForWithoutSchedule(t *testing.T) {
+	_, confs := buildProblem(t, 40, 30, 400, []float64{1}, 52)
+	cfg := defaultConfig(40, 30)
+	c, err := New(cfg, confs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.hyperFor(5); got != cfg.Hyper {
+		t.Fatalf("hyperFor without schedule = %+v", got)
+	}
+	c.cfg.Schedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.5}
+	if got := c.hyperFor(4); got.Gamma >= 0.02 || got.Lambda1 != cfg.Hyper.Lambda1 {
+		t.Fatalf("hyperFor with schedule = %+v", got)
+	}
+}

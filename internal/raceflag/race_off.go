@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package raceflag exposes whether the race detector is compiled in.
+// See race_on.go for why HCC-MF needs to know.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

@@ -1,0 +1,13 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is compiled in.
+// HCC-MF's Hogwild-style kernels are *intentionally* lock-free: concurrent
+// unsynchronised float32 updates are the algorithm (Niu et al., HOGWILD!,
+// the paper's reference [21]), and the rare lost update is the accepted
+// cost of asynchrony. Those code paths are undefined behaviour under the
+// Go race detector by construction, so tests exercising them consult this
+// flag and fall back to single-threaded variants under -race.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

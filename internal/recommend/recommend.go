@@ -1,0 +1,246 @@
+// Package recommend turns trained factor models into what the paper's
+// introduction says MF is for: recommendations. It provides top-N item
+// retrieval over any prediction model (plain or biased factors), seen-item
+// exclusion, parallel batch scoring, and the standard ranking metrics
+// (hit-rate@N, recall@N) for offline evaluation.
+package recommend
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hccmf/internal/sparse"
+)
+
+// Scorer predicts a rating for a (user, item) pair. *mf.Factors and
+// *mf.BiasedFactors both satisfy it.
+type Scorer interface {
+	Predict(u, i int32) float32
+}
+
+// Item is one scored recommendation.
+type Item struct {
+	ID    int32
+	Score float32
+}
+
+// Recommender serves top-N queries against a model.
+type Recommender struct {
+	model Scorer
+	users int
+	items int
+	// seen[u] is the sorted list of items user u has already rated.
+	seen [][]int32
+}
+
+// New builds a recommender for a model covering users×items.
+func New(model Scorer, users, items int) (*Recommender, error) {
+	if model == nil {
+		return nil, fmt.Errorf("recommend: nil model")
+	}
+	if users <= 0 || items <= 0 {
+		return nil, fmt.Errorf("recommend: dims %dx%d", users, items)
+	}
+	return &Recommender{model: model, users: users, items: items,
+		seen: make([][]int32, users)}, nil
+}
+
+// MarkSeen records the training interactions so TopN never recommends an
+// item the user has already rated. May be called multiple times.
+func (r *Recommender) MarkSeen(train *sparse.COO) error {
+	if train.Rows != r.users || train.Cols != r.items {
+		return fmt.Errorf("recommend: matrix %dx%d does not match model %dx%d",
+			train.Rows, train.Cols, r.users, r.items)
+	}
+	for _, e := range train.Entries {
+		r.seen[e.U] = append(r.seen[e.U], e.I)
+	}
+	for u := range r.seen {
+		s := r.seen[u]
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		// Dedup in place.
+		out := s[:0]
+		var prev int32 = -1
+		for _, v := range s {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		r.seen[u] = out
+	}
+	return nil
+}
+
+// hasSeen reports whether user u already rated item i.
+func (r *Recommender) hasSeen(u, i int32) bool {
+	s := r.seen[u]
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == i
+}
+
+// itemHeap is a min-heap on score, so the root is the weakest of the
+// current top-N and cheap to evict.
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// TopN returns the user's n highest-scored unseen items, best first.
+func (r *Recommender) TopN(u int32, n int) ([]Item, error) {
+	if u < 0 || int(u) >= r.users {
+		return nil, fmt.Errorf("recommend: user %d out of range [0,%d)", u, r.users)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("recommend: n = %d", n)
+	}
+	h := make(itemHeap, 0, n+1)
+	for i := 0; i < r.items; i++ {
+		item := int32(i)
+		if r.hasSeen(u, item) {
+			continue
+		}
+		score := r.model.Predict(u, item)
+		if len(h) < n {
+			heap.Push(&h, Item{ID: item, Score: score})
+			continue
+		}
+		if score > h[0].Score {
+			h[0] = Item{ID: item, Score: score}
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract in descending score order.
+	out := make([]Item, len(h))
+	for idx := len(h) - 1; idx >= 0; idx-- {
+		out[idx] = heap.Pop(&h).(Item)
+	}
+	return out, nil
+}
+
+// TopNBatch scores many users with up to workers goroutines; results are
+// indexed like users.
+func (r *Recommender) TopNBatch(users []int32, n, workers int) ([][]Item, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]Item, len(users))
+	errs := make([]error, len(users))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for idx, u := range users {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int, u int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[idx], errs[idx] = r.TopN(u, n)
+		}(idx, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// HitRateAtN evaluates the recommender against held-out interactions: the
+// fraction of test users for whom at least one held-out item appears in
+// their top-N. Users with no test interactions are skipped.
+func (r *Recommender) HitRateAtN(test *sparse.COO, n, workers int) (float64, error) {
+	if test.Rows != r.users || test.Cols != r.items {
+		return 0, fmt.Errorf("recommend: test matrix %dx%d does not match model", test.Rows, test.Cols)
+	}
+	heldOut := make(map[int32]map[int32]bool)
+	for _, e := range test.Entries {
+		m, ok := heldOut[e.U]
+		if !ok {
+			m = make(map[int32]bool)
+			heldOut[e.U] = m
+		}
+		m[e.I] = true
+	}
+	if len(heldOut) == 0 {
+		return 0, fmt.Errorf("recommend: empty test set")
+	}
+	users := make([]int32, 0, len(heldOut))
+	for u := range heldOut {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	recs, err := r.TopNBatch(users, n, workers)
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for idx, u := range users {
+		for _, item := range recs[idx] {
+			if heldOut[u][item.ID] {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(len(users)), nil
+}
+
+// RecallAtN is the average, over test users, of the fraction of each
+// user's held-out items retrieved in their top-N.
+func (r *Recommender) RecallAtN(test *sparse.COO, n, workers int) (float64, error) {
+	if test.Rows != r.users || test.Cols != r.items {
+		return 0, fmt.Errorf("recommend: test matrix %dx%d does not match model", test.Rows, test.Cols)
+	}
+	heldOut := make(map[int32]map[int32]bool)
+	for _, e := range test.Entries {
+		m, ok := heldOut[e.U]
+		if !ok {
+			m = make(map[int32]bool)
+			heldOut[e.U] = m
+		}
+		m[e.I] = true
+	}
+	if len(heldOut) == 0 {
+		return 0, fmt.Errorf("recommend: empty test set")
+	}
+	users := make([]int32, 0, len(heldOut))
+	for u := range heldOut {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool { return users[a] < users[b] })
+	recs, err := r.TopNBatch(users, n, workers)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for idx, u := range users {
+		found := 0
+		for _, item := range recs[idx] {
+			if heldOut[u][item.ID] {
+				found++
+			}
+		}
+		sum += float64(found) / float64(len(heldOut[u]))
+	}
+	return sum / float64(len(users)), nil
+}

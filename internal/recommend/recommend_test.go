@@ -1,0 +1,271 @@
+package recommend
+
+import (
+	"sort"
+	"testing"
+
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// tableScorer predicts from a fixed dense table, making expected rankings
+// exact.
+type tableScorer struct {
+	items  int
+	scores []float32 // row-major users×items
+}
+
+func (s *tableScorer) Predict(u, i int32) float32 {
+	return s.scores[int(u)*s.items+int(i)]
+}
+
+func newTable(users, items int, fill func(u, i int) float32) *tableScorer {
+	s := &tableScorer{items: items, scores: make([]float32, users*items)}
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			s.scores[u*items+i] = fill(u, i)
+		}
+	}
+	return s
+}
+
+func TestTopNExactOrder(t *testing.T) {
+	// Score = item id → top-3 must be the three largest ids, descending.
+	s := newTable(2, 10, func(u, i int) float32 { return float32(i) })
+	r, err := New(s, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := r.TopN(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{9, 8, 7}
+	for idx, it := range top {
+		if it.ID != want[idx] {
+			t.Fatalf("top = %+v, want ids %v", top, want)
+		}
+	}
+	if top[0].Score != 9 {
+		t.Fatalf("score = %v", top[0].Score)
+	}
+}
+
+func TestTopNExcludesSeen(t *testing.T) {
+	s := newTable(1, 6, func(u, i int) float32 { return float32(i) })
+	r, err := New(s, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := sparse.NewCOO(1, 6, 2)
+	train.Add(0, 5, 1)
+	train.Add(0, 4, 1)
+	if err := r.MarkSeen(train); err != nil {
+		t.Fatal(err)
+	}
+	top, err := r.TopN(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0].ID != 3 || top[1].ID != 2 {
+		t.Fatalf("seen items not excluded: %+v", top)
+	}
+}
+
+func TestMarkSeenDedupsAndValidates(t *testing.T) {
+	s := newTable(2, 4, func(u, i int) float32 { return 0 })
+	r, _ := New(s, 2, 4)
+	train := sparse.NewCOO(2, 4, 3)
+	train.Add(0, 2, 1)
+	train.Add(0, 2, 2) // duplicate rating
+	train.Add(0, 1, 1)
+	if err := r.MarkSeen(train); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.seen[0]) != 2 {
+		t.Fatalf("seen = %v, want deduped 2", r.seen[0])
+	}
+	if !r.hasSeen(0, 2) || r.hasSeen(0, 3) || r.hasSeen(1, 2) {
+		t.Fatal("hasSeen wrong")
+	}
+	wrong := sparse.NewCOO(3, 4, 0)
+	if err := r.MarkSeen(wrong); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+}
+
+func TestTopNMoreThanAvailable(t *testing.T) {
+	s := newTable(1, 3, func(u, i int) float32 { return float32(i) })
+	r, _ := New(s, 1, 3)
+	top, err := r.TopN(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d items", len(top))
+	}
+	if !sort.SliceIsSorted(top, func(a, b int) bool { return top[a].Score > top[b].Score }) {
+		t.Fatalf("not sorted: %+v", top)
+	}
+}
+
+func TestTopNValidation(t *testing.T) {
+	s := newTable(2, 2, func(u, i int) float32 { return 0 })
+	r, _ := New(s, 2, 2)
+	if _, err := r.TopN(-1, 1); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if _, err := r.TopN(2, 1); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if _, err := r.TopN(0, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := New(nil, 1, 1); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := New(s, 0, 1); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestTopNBatchMatchesSingle(t *testing.T) {
+	s := newTable(8, 20, func(u, i int) float32 { return float32((u*7 + i*3) % 13) })
+	r, _ := New(s, 8, 20)
+	users := []int32{0, 3, 5, 7}
+	batch, err := r.TopNBatch(users, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, u := range users {
+		single, err := r.TopN(u, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range single {
+			if batch[idx][j].Score != single[j].Score {
+				t.Fatalf("batch diverges for user %d", u)
+			}
+		}
+	}
+}
+
+func TestHitRateAndRecallPerfectModel(t *testing.T) {
+	// A model that scores exactly the held-out items highest must achieve
+	// hit rate and recall 1.
+	const users, items = 5, 30
+	test := sparse.NewCOO(users, items, users)
+	held := map[int]int{0: 7, 1: 12, 2: 3, 3: 29, 4: 0}
+	for u, i := range held {
+		test.Add(int32(u), int32(i), 5)
+	}
+	s := newTable(users, items, func(u, i int) float32 {
+		if held[u] == i {
+			return 100
+		}
+		return float32(i % 7)
+	})
+	r, _ := New(s, users, items)
+	hr, err := r.HitRateAtN(test, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr != 1 {
+		t.Fatalf("hit rate = %v, want 1", hr)
+	}
+	rec, err := r.RecallAtN(test, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != 1 {
+		t.Fatalf("recall = %v, want 1", rec)
+	}
+}
+
+func TestHitRateRandomModelIsLow(t *testing.T) {
+	const users, items = 40, 200
+	rng := sparse.NewRand(9)
+	test := sparse.NewCOO(users, items, users)
+	for u := 0; u < users; u++ {
+		test.Add(int32(u), int32(rng.Intn(items)), 5)
+	}
+	// Constant scorer: top-N is arbitrary (first N item ids).
+	s := newTable(users, items, func(u, i int) float32 { return float32(items - i) })
+	r, _ := New(s, users, items)
+	hr, err := r.HitRateAtN(test, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 of 200 items → expect ~5% hits, certainly below 30%.
+	if hr > 0.3 {
+		t.Fatalf("uninformed model hit rate %v suspiciously high", hr)
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	s := newTable(2, 2, func(u, i int) float32 { return 0 })
+	r, _ := New(s, 2, 2)
+	bad := sparse.NewCOO(3, 2, 0)
+	if _, err := r.HitRateAtN(bad, 1, 1); err == nil {
+		t.Fatal("mismatched test matrix accepted")
+	}
+	empty := sparse.NewCOO(2, 2, 0)
+	if _, err := r.HitRateAtN(empty, 1, 1); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+	if _, err := r.RecallAtN(bad, 1, 1); err == nil {
+		t.Fatal("mismatched recall matrix accepted")
+	}
+	if _, err := r.RecallAtN(empty, 1, 1); err == nil {
+		t.Fatal("empty recall set accepted")
+	}
+}
+
+// End-to-end with a real trained model: recommendations from a factor
+// model trained on planted structure beat chance.
+func TestRecommenderWithTrainedFactors(t *testing.T) {
+	rng := sparse.NewRand(13)
+	const users, items, k = 120, 80, 8
+	// Plant structure and train.
+	pf := make([]float32, users*k)
+	qf := make([]float32, items*k)
+	for i := range pf {
+		pf[i] = 0.5 + rng.Float32()
+	}
+	for i := range qf {
+		qf[i] = 0.5 + rng.Float32()
+	}
+	all := sparse.NewCOO(users, items, 6000)
+	for c := 0; c < 6000; c++ {
+		u, i := rng.Intn(users), rng.Intn(items)
+		var dot float32
+		for f := 0; f < k; f++ {
+			dot += pf[u*k+f] * qf[i*k+f]
+		}
+		all.Add(int32(u), int32(i), dot)
+	}
+	all.Shuffle(rng)
+	train, test := all.SplitTrainTest(rng, 0.2)
+
+	f := mf.NewFactorsInit(users, items, k, train.MeanRating(), rng)
+	h := mf.HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}
+	for e := 0; e < 30; e++ {
+		mf.TrainEntries(f, train.Entries, h)
+	}
+	r, err := New(f, users, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MarkSeen(train); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := r.HitRateAtN(test, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chance for ~10 held-out-ish items in top-10 of 80 is low; a trained
+	// model should clear 25% comfortably.
+	if hr < 0.25 {
+		t.Fatalf("trained model hit rate %v barely beats chance", hr)
+	}
+}

@@ -1,0 +1,152 @@
+package related
+
+import (
+	"fmt"
+	"sync"
+
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// NOMAD (Non-locking stOchastic Multi-machine Alternating Descent) trains
+// MF without locks or epochs-level barriers by circulating *column
+// ownership*: each worker owns a fixed row block; item columns travel
+// between workers as tokens carrying the column's current q vector. A
+// worker receiving column j trains all of its local ratings for item j
+// against its own P rows and the token's q, then forwards the token.
+//
+// The implementation reproduces the properties the paper critiques
+// (Section 5):
+//
+//   - the lock-free mechanism is "completely supported by the transmission
+//     of parameter messages": every hop moves k floats, so the per-epoch
+//     feature traffic is n·p·k parameters versus HCC-MF's n·k per worker
+//     epoch-level pull/push — same order, but NOMAD pays it in n·p tiny
+//     messages whose per-message overhead a batched pull amortises;
+//   - workers never conflict on q (single token) but progress is gated by
+//     token circulation, so an unbalanced rating distribution starves
+//     some workers while others drown.
+type NOMAD struct {
+	// Workers is the number of concurrent workers.
+	Workers int
+	// QueueCap bounds each worker's token inbox (default 4·columns/p).
+	QueueCap int
+}
+
+// Name identifies the system in reports.
+func (n *NOMAD) Name() string { return fmt.Sprintf("nomad-%d", n.Workers) }
+
+// Stats accounts one Run.
+type Stats struct {
+	// Messages is the number of column-token hops.
+	Messages int64
+	// BusBytes is the feature payload moved: Messages · k · 4.
+	BusBytes int64
+}
+
+// token is one circulating column with its live q vector.
+type token struct {
+	col int32
+	q   []float32
+}
+
+// Run trains for the given number of logical epochs: every column makes
+// `epochs` full tours of the worker ring. The factors' Q rows are the
+// token payloads during the run and are written back on completion; P rows
+// are owned per worker (equal row split, as in the original).
+func (n *NOMAD) Run(f *mf.Factors, train *sparse.COO, h mf.HyperParams, epochs int) (Stats, error) {
+	p := n.Workers
+	if p < 1 {
+		p = 1
+	}
+	if epochs < 1 {
+		return Stats{}, fmt.Errorf("related: epochs = %d", epochs)
+	}
+	if p > train.Rows {
+		p = train.Rows
+	}
+
+	// Equal row split; bucket each worker's entries by column for O(1)
+	// token service.
+	perWorkerCol := make([]map[int32][]sparse.Rating, p)
+	for w := 0; w < p; w++ {
+		perWorkerCol[w] = make(map[int32][]sparse.Rating)
+	}
+	rowOf := func(u int32) int {
+		w := int(int64(u) * int64(p) / int64(train.Rows))
+		if w >= p {
+			w = p - 1
+		}
+		return w
+	}
+	for _, e := range train.Entries {
+		w := rowOf(e.U)
+		perWorkerCol[w][e.I] = append(perWorkerCol[w][e.I], e)
+	}
+
+	queueCap := n.QueueCap
+	if queueCap <= 0 {
+		queueCap = 4 * (train.Cols/p + 1)
+	}
+	inboxes := make([]chan token, p)
+	for w := range inboxes {
+		inboxes[w] = make(chan token, train.Cols+queueCap)
+	}
+
+	// Seed: columns start round-robin across workers, each carrying its
+	// q vector out of the shared factors.
+	k := f.K
+	for j := 0; j < train.Cols; j++ {
+		q := make([]float32, k)
+		copy(q, f.QRow(int32(j)))
+		inboxes[j%p] <- token{col: int32(j), q: q}
+	}
+
+	// A column retires after epochs·p hops (one tour visits every worker
+	// once); its q is written back to the shared factors on retirement.
+	// Inbox buffers hold every live token, so forwards never block and
+	// the ring can be closed safely once the last column retires.
+	hopBudget := epochs * p
+	hops := make([]int, train.Cols)
+	live := train.Cols
+	var stats Stats
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			myCols := perWorkerCol[w]
+			for tok := range inboxes[w] {
+				// Train this worker's ratings of the column against the
+				// live q. P rows are worker-owned: no cross-worker races.
+				for _, e := range myCols[tok.col] {
+					mf.UpdateOne(f.PRow(e.U), tok.q, e.V, h)
+				}
+				mu.Lock()
+				stats.Messages++
+				hops[tok.col]++
+				retire := hops[tok.col] >= hopBudget
+				if retire {
+					live--
+				}
+				last := live == 0
+				mu.Unlock()
+				if retire {
+					copy(f.Q[int(tok.col)*k:(int(tok.col)+1)*k], tok.q)
+					if last {
+						for _, ch := range inboxes {
+							close(ch)
+						}
+					}
+					continue
+				}
+				inboxes[(w+1)%p] <- tok
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.BusBytes = stats.Messages * int64(k) * 4
+	return stats, nil
+}

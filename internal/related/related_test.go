@@ -1,0 +1,220 @@
+package related
+
+import (
+	"math"
+	"testing"
+
+	"hccmf/internal/mf"
+	"hccmf/internal/sparse"
+)
+
+// lowRank builds a trainable synthetic matrix.
+func lowRank(t testing.TB, rows, cols, nnz int, seed uint64) *sparse.COO {
+	t.Helper()
+	rng := sparse.NewRand(seed)
+	const rank = 4
+	pf := make([]float32, rows*rank)
+	qf := make([]float32, cols*rank)
+	for i := range pf {
+		pf[i] = 0.5 + rng.Float32()
+	}
+	for i := range qf {
+		qf[i] = 0.5 + rng.Float32()
+	}
+	m := sparse.NewCOO(rows, cols, nnz)
+	for c := 0; c < nnz; c++ {
+		u, i := rng.Intn(rows), rng.Intn(cols)
+		var dot float32
+		for f := 0; f < rank; f++ {
+			dot += pf[u*rank+f] * qf[i*rank+f]
+		}
+		m.Add(int32(u), int32(i), dot+0.05*(rng.Float32()-0.5))
+	}
+	m.Shuffle(rng)
+	return m
+}
+
+func TestDSGDConverges(t *testing.T) {
+	m := lowRank(t, 120, 90, 6000, 1)
+	e := &DSGD{Workers: 4}
+	f := mf.NewFactorsInit(m.Rows, m.Cols, 8, m.MeanRating(), sparse.NewRand(2))
+	h := mf.HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}
+	before := mf.RMSE(f, m.Entries)
+	for ep := 0; ep < 25; ep++ {
+		e.Epoch(f, m, h)
+	}
+	after := mf.RMSE(f, m.Entries)
+	if after >= before || after > 0.4 {
+		t.Fatalf("DSGD RMSE %v → %v", before, after)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "dsgd-4" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+}
+
+func TestDSGDSingleWorkerIsSerial(t *testing.T) {
+	m := lowRank(t, 40, 30, 800, 3)
+	f1 := mf.NewFactorsInit(m.Rows, m.Cols, 4, m.MeanRating(), sparse.NewRand(1))
+	f2 := f1.Clone()
+	h := mf.HyperParams{Gamma: 0.01}
+	(&DSGD{Workers: 1}).Epoch(f1, m, h)
+	mf.Serial{}.Epoch(f2, m, h)
+	for i := range f1.P {
+		if f1.P[i] != f2.P[i] {
+			t.Fatal("1-worker DSGD diverged from serial")
+		}
+	}
+}
+
+func TestDSGDStrataAreConflictFree(t *testing.T) {
+	// The rotation property itself: in any sub-epoch, the p blocks share
+	// no block-row and no block-column.
+	const p = 5
+	for s := 0; s < p; s++ {
+		rows := map[int]bool{}
+		cols := map[int]bool{}
+		for w := 0; w < p; w++ {
+			bc := (w + s) % p
+			if rows[w] || cols[bc] {
+				t.Fatalf("stratum %d has a conflict at worker %d", s, w)
+			}
+			rows[w] = true
+			cols[bc] = true
+		}
+	}
+}
+
+func TestEpochMakespanCritique(t *testing.T) {
+	// The paper's Section 5 point: equal split on heterogeneous rates is
+	// gated by the slowest processor.
+	rates := []float64{1052866849, 918333483, 348790567, 204000000}
+	const nnz = 99072112
+	dsgd, err := EpochMakespan(nnz, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := BalancedMakespan(nnz, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsgd <= balanced {
+		t.Fatalf("DSGD %v not worse than balanced %v", dsgd, balanced)
+	}
+	// Closed forms: nnz/(p·min) vs nnz/Σ.
+	wantDSGD := float64(nnz) / (4 * 204000000)
+	if math.Abs(dsgd-wantDSGD) > 1e-9 {
+		t.Fatalf("makespan = %v, want %v", dsgd, wantDSGD)
+	}
+	// On this platform the slowdown is ~3x — the buckets effect.
+	if ratio := dsgd / balanced; ratio < 2 || ratio > 5 {
+		t.Fatalf("heterogeneity penalty = %vx", ratio)
+	}
+}
+
+func TestMakespanValidation(t *testing.T) {
+	if _, err := EpochMakespan(10, nil); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := EpochMakespan(10, []float64{0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := BalancedMakespan(10, nil); err == nil {
+		t.Fatal("empty rates accepted")
+	}
+	if _, err := BalancedMakespan(10, []float64{-1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestNOMADConvergesAndCounts(t *testing.T) {
+	// Unlike the Hogwild engines, NOMAD is genuinely race-free: P rows are
+	// worker-owned and Q travels inside channel-passed tokens, so this
+	// test runs under -race too.
+	m := lowRank(t, 100, 60, 5000, 5)
+	f := mf.NewFactorsInit(m.Rows, m.Cols, 8, m.MeanRating(), sparse.NewRand(6))
+	h := mf.HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}
+	before := mf.RMSE(f, m.Entries)
+	n := &NOMAD{Workers: 4}
+	const epochs = 25
+	stats, err := n.Run(f, m, h, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := mf.RMSE(f, m.Entries)
+	if after >= before || after > 0.5 {
+		t.Fatalf("NOMAD RMSE %v → %v", before, after)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every column makes epochs·p hops: message count is exact.
+	want := int64(epochs) * 4 * int64(m.Cols)
+	if stats.Messages != want {
+		t.Fatalf("messages = %d, want %d", stats.Messages, want)
+	}
+	if stats.BusBytes != want*8*4 {
+		t.Fatalf("bus bytes = %d", stats.BusBytes)
+	}
+	if n.Name() != "nomad-4" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+}
+
+func TestNOMADSingleWorker(t *testing.T) {
+	m := lowRank(t, 50, 30, 1000, 7)
+	f := mf.NewFactorsInit(m.Rows, m.Cols, 4, m.MeanRating(), sparse.NewRand(8))
+	h := mf.HyperParams{Gamma: 0.01}
+	stats, err := (&NOMAD{Workers: 1}).Run(f, m, h, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != int64(10*m.Cols) {
+		t.Fatalf("messages = %d", stats.Messages)
+	}
+	if rmse := mf.RMSE(f, m.Entries); rmse > 0.5 {
+		t.Fatalf("single-worker NOMAD RMSE %v", rmse)
+	}
+}
+
+func TestNOMADValidation(t *testing.T) {
+	m := lowRank(t, 10, 10, 50, 9)
+	f := mf.NewFactors(10, 10, 4)
+	if _, err := (&NOMAD{Workers: 2}).Run(f, m, mf.HyperParams{}, 0); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+}
+
+// The paper's communication critique, quantified. NOMAD's raw feature
+// bytes are the same order as HCC-MF's Q-only pull/push (n·p·k vs
+// 2·n·p·k per epoch) — the overhead the paper objects to is *granularity*:
+// the bytes arrive in n·p per-column messages per epoch instead of 2·p
+// bulk transfers, so per-message latency and kernel crossings dominate,
+// which is exactly what the COMM-P measurements of Table 5 price at ~6.6×.
+func TestNOMADTrafficGranularity(t *testing.T) {
+	m := lowRank(t, 100, 60, 5000, 10)
+	f := mf.NewFactorsInit(m.Rows, m.Cols, 8, m.MeanRating(), sparse.NewRand(11))
+	h := mf.HyperParams{Gamma: 0.01}
+	const p, epochs = 4, 5
+	stats, err := (&NOMAD{Workers: p}).Run(f, m, h, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same order of bytes as HCC Q-only (within 4x either way).
+	hccBytes := int64(epochs) * p * 2 * int64(m.Cols) * 8 * 4
+	if stats.BusBytes < hccBytes/4 || stats.BusBytes > hccBytes*4 {
+		t.Fatalf("NOMAD bytes %d not the same order as HCC's %d", stats.BusBytes, hccBytes)
+	}
+	// But in vastly more messages: n·p per epoch vs HCC's 2·p.
+	hccMessages := int64(epochs) * p * 2
+	if stats.Messages < 25*hccMessages {
+		t.Fatalf("NOMAD messages %d vs HCC %d: granularity story broken",
+			stats.Messages, hccMessages)
+	}
+	// Average message size is a single column: k floats.
+	if avg := stats.BusBytes / stats.Messages; avg != 8*4 {
+		t.Fatalf("average message = %d bytes, want one k=8 column (32)", avg)
+	}
+}

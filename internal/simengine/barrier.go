@@ -1,0 +1,41 @@
+package simengine
+
+import "fmt"
+
+// Barrier is a reusable n-party synchronisation point: the first n−1
+// processes to Arrive block; the n-th releases everyone and the barrier
+// resets for the next round. HCC-MF's epoch loop uses one to model the
+// bulk-synchronous boundary between sync and the next epoch's pulls.
+type Barrier struct {
+	sim     *Sim
+	parties int
+	arrived int
+	sig     *Signal
+	rounds  int
+}
+
+// NewBarrier creates a barrier for the given number of parties (≥1).
+func (s *Sim) NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("simengine: barrier needs ≥1 party")
+	}
+	return &Barrier{sim: s, parties: parties, sig: s.NewSignal()}
+}
+
+// Arrive blocks p until all parties of the current round have arrived.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived > b.parties {
+		panic(fmt.Sprintf("simengine: barrier overfull (%d/%d)", b.arrived, b.parties))
+	}
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.rounds++
+		b.sig.Fire()
+		return
+	}
+	b.sig.Wait(p)
+}
+
+// Rounds reports completed barrier rounds.
+func (b *Barrier) Rounds() int { return b.rounds }

@@ -1,0 +1,83 @@
+package simengine
+
+import "testing"
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	s := New()
+	b := s.NewBarrier(3)
+	var release []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Go("p", func(p *Proc) {
+			p.Delay(float64(i + 1)) // arrive at t=1,2,3
+			b.Arrive(p)
+			release = append(release, s.Now())
+		})
+	}
+	s.Run()
+	if len(release) != 3 {
+		t.Fatalf("released %d", len(release))
+	}
+	for _, r := range release {
+		if r != 3 {
+			t.Fatalf("release times = %v, want all 3", release)
+		}
+	}
+	if b.Rounds() != 1 {
+		t.Fatalf("Rounds = %d", b.Rounds())
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	s := New()
+	b := s.NewBarrier(2)
+	var log []Time
+	for i := 0; i < 2; i++ {
+		i := i
+		s.Go("p", func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.Delay(float64(i+1) * 0.5)
+				b.Arrive(p)
+				if i == 0 {
+					log = append(log, s.Now())
+				}
+			}
+		})
+	}
+	s.Run()
+	if b.Rounds() != 3 {
+		t.Fatalf("Rounds = %d, want 3", b.Rounds())
+	}
+	if len(log) != 3 {
+		t.Fatalf("log = %v", log)
+	}
+	for r := 1; r < 3; r++ {
+		if log[r] <= log[r-1] {
+			t.Fatalf("rounds not progressing: %v", log)
+		}
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	s := New()
+	b := s.NewBarrier(1)
+	done := false
+	s.Go("p", func(p *Proc) {
+		b.Arrive(p) // must not block
+		done = true
+	})
+	s.Run()
+	if !done {
+		t.Fatal("single-party barrier blocked")
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	s.NewBarrier(0)
+}

@@ -1,0 +1,34 @@
+package simengine_test
+
+import (
+	"fmt"
+
+	"hccmf/internal/simengine"
+)
+
+// A two-worker epoch: both pull over their own channels, compute, then
+// synchronize through the server's single sync thread.
+func Example() {
+	sim := simengine.New()
+	pcie := sim.NewLink("pcie", 16e9) // 16 GB/s
+	upi := sim.NewLink("upi", 20.8e9)
+	server := sim.NewResource(1)
+
+	worker := func(name string, link *simengine.Link, computeSec float64) {
+		sim.Go(name, func(p *simengine.Proc) {
+			link.Transfer(p, 64e6) // pull 64 MB of features
+			p.Delay(computeSec)
+			link.Transfer(p, 64e6) // push
+			server.Acquire(p)
+			p.Delay(0.002) // server folds the push
+			server.Release()
+			fmt.Printf("%s done at %.4fs\n", name, sim.Now())
+		})
+	}
+	worker("gpu", pcie, 0.050)
+	worker("cpu", upi, 0.060)
+	sim.Run()
+	// Output:
+	// gpu done at 0.0600s
+	// cpu done at 0.0682s
+}

@@ -1,0 +1,152 @@
+package simengine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Link models a bandwidth-shared communication channel (a PCIe lane group,
+// a UPI/QPI hop, a memory bus) with a processor-sharing service discipline:
+// when n transfers are in flight each proceeds at Bandwidth/n. This matches
+// how concurrent DMA engines and bus masters split a physical channel and
+// is the contention model the paper's communication analysis assumes.
+type Link struct {
+	sim       *Sim
+	name      string
+	bandwidth float64 // bytes per simulated second
+
+	active     map[*transfer]struct{}
+	lastUpdate Time
+	generation uint64 // invalidates stale completion events
+
+	// accounting
+	bytesMoved float64
+	busyTime   Time
+}
+
+type transfer struct {
+	remaining float64
+	owner     *Proc
+}
+
+// NewLink creates a link with the given bandwidth in bytes/second.
+func (s *Sim) NewLink(name string, bandwidthBytesPerSec float64) *Link {
+	if bandwidthBytesPerSec <= 0 || math.IsNaN(bandwidthBytesPerSec) {
+		panic(fmt.Sprintf("simengine: link %q bandwidth %v", name, bandwidthBytesPerSec))
+	}
+	return &Link{
+		sim:       s,
+		name:      name,
+		bandwidth: bandwidthBytesPerSec,
+		active:    make(map[*transfer]struct{}),
+	}
+}
+
+// Name reports the link name.
+func (l *Link) Name() string { return l.name }
+
+// Bandwidth reports the configured bandwidth in bytes/second.
+func (l *Link) Bandwidth() float64 { return l.bandwidth }
+
+// BytesMoved reports the total bytes completed over the link.
+func (l *Link) BytesMoved() float64 { return l.bytesMoved }
+
+// BusyTime reports the total simulated time during which at least one
+// transfer was in flight.
+func (l *Link) BusyTime() Time { return l.busyTime }
+
+// Utilization reports BusyTime divided by elapsed simulation time.
+func (l *Link) Utilization() float64 {
+	if l.sim.Now() == 0 {
+		return 0
+	}
+	return l.busyTime / l.sim.Now()
+}
+
+// Transfer moves size bytes over the link on behalf of process p, blocking
+// p until the transfer completes under processor sharing. Zero-size
+// transfers complete immediately.
+func (l *Link) Transfer(p *Proc, size float64) {
+	if size < 0 || math.IsNaN(size) {
+		panic(fmt.Sprintf("simengine: transfer of %v bytes", size))
+	}
+	if size == 0 {
+		return
+	}
+	l.advance()
+	tr := &transfer{remaining: size, owner: p}
+	l.active[tr] = struct{}{}
+	l.reschedule()
+	p.yield() // woken by the completion event
+}
+
+// advance applies elapsed time to every active transfer.
+func (l *Link) advance() {
+	now := l.sim.Now()
+	elapsed := now - l.lastUpdate
+	if elapsed > 0 && len(l.active) > 0 {
+		rate := l.bandwidth / float64(len(l.active))
+		for tr := range l.active {
+			moved := rate * elapsed
+			if moved > tr.remaining {
+				moved = tr.remaining
+			}
+			tr.remaining -= moved
+			l.bytesMoved += moved
+		}
+		l.busyTime += elapsed
+	}
+	l.lastUpdate = now
+}
+
+// reschedule plans the next completion event for the current active set.
+func (l *Link) reschedule() {
+	l.generation++
+	if len(l.active) == 0 {
+		return
+	}
+	gen := l.generation
+	minRem := math.Inf(1)
+	for tr := range l.active {
+		if tr.remaining < minRem {
+			minRem = tr.remaining
+		}
+	}
+	perTransferRate := l.bandwidth / float64(len(l.active))
+	delay := minRem / perTransferRate
+	l.sim.Schedule(delay, func() {
+		if gen != l.generation {
+			return // membership changed; a newer event is queued
+		}
+		l.complete()
+	})
+}
+
+// complete finishes every transfer that has drained and wakes its owner.
+func (l *Link) complete() {
+	l.advance()
+	// Completion tolerance: float residue from the delay arithmetic
+	// (remaining/rate, then rate*elapsed) can leave a few micro-bytes on
+	// large transfers. The tolerance must cover the largest residue the
+	// clock can fail to resolve — one ulp of `now` worth of bandwidth —
+	// or a residual transfer whose finish delay rounds to zero would spin
+	// the event loop forever.
+	eps := 1e-3 + l.bandwidth*4*ulp(l.sim.Now())
+	for tr := range l.active {
+		if tr.remaining <= eps {
+			delete(l.active, tr)
+			owner := tr.owner
+			l.sim.Schedule(0, owner.resume)
+		}
+	}
+	l.reschedule()
+}
+
+// ulp reports the distance from t to the next representable float64.
+func ulp(t float64) float64 {
+	next := math.Nextafter(math.Abs(t), math.Inf(1))
+	return next - math.Abs(t)
+}
+
+// InFlight reports the number of active transfers.
+func (l *Link) InFlight() int { return len(l.active) }

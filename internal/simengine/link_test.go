@@ -1,0 +1,230 @@
+package simengine
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestLinkSingleTransfer(t *testing.T) {
+	s := New()
+	l := s.NewLink("pcie", 100) // 100 B/s
+	var done Time
+	s.Go("w", func(p *Proc) {
+		l.Transfer(p, 250)
+		done = s.Now()
+	})
+	s.Run()
+	if !almost(done, 2.5) {
+		t.Fatalf("transfer time = %v, want 2.5", done)
+	}
+	if !almost(l.BytesMoved(), 250) {
+		t.Fatalf("BytesMoved = %v", l.BytesMoved())
+	}
+	if !almost(l.BusyTime(), 2.5) {
+		t.Fatalf("BusyTime = %v", l.BusyTime())
+	}
+}
+
+func TestLinkZeroSizeImmediate(t *testing.T) {
+	s := New()
+	l := s.NewLink("x", 10)
+	var done Time = -1
+	s.Go("w", func(p *Proc) {
+		l.Transfer(p, 0)
+		done = s.Now()
+	})
+	s.Run()
+	if done != 0 {
+		t.Fatalf("zero transfer finished at %v", done)
+	}
+}
+
+func TestLinkFairSharing(t *testing.T) {
+	// Two equal transfers sharing a link take twice as long.
+	s := New()
+	l := s.NewLink("x", 100)
+	var t1, t2 Time
+	s.Go("a", func(p *Proc) {
+		l.Transfer(p, 100)
+		t1 = s.Now()
+	})
+	s.Go("b", func(p *Proc) {
+		l.Transfer(p, 100)
+		t2 = s.Now()
+	})
+	s.Run()
+	if !almost(t1, 2) || !almost(t2, 2) {
+		t.Fatalf("shared transfers finished at %v, %v; want 2, 2", t1, t2)
+	}
+}
+
+func TestLinkUnequalSharing(t *testing.T) {
+	// A 100B and a 300B transfer start together on a 100 B/s link.
+	// Phase 1: both at 50 B/s; the small one finishes at t=2 (the big one
+	// has 200B left). Phase 2: big one alone at 100 B/s, finishes at t=4.
+	s := New()
+	l := s.NewLink("x", 100)
+	var small, big Time
+	s.Go("small", func(p *Proc) {
+		l.Transfer(p, 100)
+		small = s.Now()
+	})
+	s.Go("big", func(p *Proc) {
+		l.Transfer(p, 300)
+		big = s.Now()
+	})
+	s.Run()
+	if !almost(small, 2) {
+		t.Fatalf("small finished at %v, want 2", small)
+	}
+	if !almost(big, 4) {
+		t.Fatalf("big finished at %v, want 4", big)
+	}
+}
+
+func TestLinkLateArrivalSlowsExisting(t *testing.T) {
+	// 200B transfer starts at t=0 on a 100 B/s link; at t=1 (100B left) a
+	// 50B transfer arrives. Phase 2 at 50 B/s each: newcomer done at t=2,
+	// original has 50B left, finishes alone at t=2.5.
+	s := New()
+	l := s.NewLink("x", 100)
+	var first, second Time
+	s.Go("first", func(p *Proc) {
+		l.Transfer(p, 200)
+		first = s.Now()
+	})
+	s.Go("second", func(p *Proc) {
+		p.Delay(1)
+		l.Transfer(p, 50)
+		second = s.Now()
+	})
+	s.Run()
+	if !almost(second, 2) {
+		t.Fatalf("second finished at %v, want 2", second)
+	}
+	if !almost(first, 2.5) {
+		t.Fatalf("first finished at %v, want 2.5", first)
+	}
+}
+
+func TestLinkSequentialTransfersNoInterference(t *testing.T) {
+	s := New()
+	l := s.NewLink("x", 10)
+	var marks []Time
+	s.Go("w", func(p *Proc) {
+		l.Transfer(p, 10)
+		marks = append(marks, s.Now())
+		l.Transfer(p, 20)
+		marks = append(marks, s.Now())
+	})
+	s.Run()
+	if !almost(marks[0], 1) || !almost(marks[1], 3) {
+		t.Fatalf("marks = %v, want [1 3]", marks)
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	s := New()
+	l := s.NewLink("x", 100)
+	s.Go("w", func(p *Proc) {
+		l.Transfer(p, 100) // busy 0..1
+		p.Delay(1)         // idle 1..2
+		l.Transfer(p, 100) // busy 2..3
+	})
+	s.Run()
+	if !almost(l.Utilization(), 2.0/3.0) {
+		t.Fatalf("Utilization = %v, want 2/3", l.Utilization())
+	}
+}
+
+func TestLinkManyConcurrentTransfers(t *testing.T) {
+	// n identical transfers of size B on bandwidth BW all complete at
+	// n*B/BW regardless of n.
+	const n = 10
+	s := New()
+	l := s.NewLink("x", 1000)
+	var finish []Time
+	for i := 0; i < n; i++ {
+		s.Go("w", func(p *Proc) {
+			l.Transfer(p, 100)
+			finish = append(finish, s.Now())
+		})
+	}
+	s.Run()
+	if len(finish) != n {
+		t.Fatalf("finished %d, want %d", len(finish), n)
+	}
+	for _, f := range finish {
+		if !almost(f, 1) {
+			t.Fatalf("finish times = %v, want all 1", finish)
+		}
+	}
+	if l.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain", l.InFlight())
+	}
+}
+
+func TestLinkLargeTransferPrecision(t *testing.T) {
+	// Multi-gigabyte transfer at PCIe bandwidth must not leave the event
+	// loop spinning on float residue.
+	s := New()
+	l := s.NewLink("pcie3", 16e9)
+	var done Time
+	s.Go("w", func(p *Proc) {
+		l.Transfer(p, 64e9)
+		done = s.Now()
+	})
+	s.Run()
+	if !almost(done, 4) {
+		t.Fatalf("64GB over 16GB/s = %v s, want 4", done)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := New()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-bandwidth link did not panic")
+			}
+		}()
+		s.NewLink("bad", 0)
+	}()
+	l := s.NewLink("ok", 10)
+	s.Go("w", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative transfer did not panic")
+			}
+			panic("unwind")
+		}()
+		l.Transfer(p, -5)
+	})
+	defer func() { recover() }()
+	s.Run()
+}
+
+func TestTwoLinksIndependent(t *testing.T) {
+	// Transfers on different links do not contend — the paper's Figure 2
+	// point that independent QPI and PCIe channels move data in parallel.
+	s := New()
+	pcie := s.NewLink("pcie", 100)
+	qpi := s.NewLink("qpi", 100)
+	var a, b Time
+	s.Go("gpu", func(p *Proc) {
+		pcie.Transfer(p, 100)
+		a = s.Now()
+	})
+	s.Go("cpu", func(p *Proc) {
+		qpi.Transfer(p, 100)
+		b = s.Now()
+	})
+	s.Run()
+	if !almost(a, 1) || !almost(b, 1) {
+		t.Fatalf("independent links interfered: %v, %v", a, b)
+	}
+}

@@ -1,0 +1,121 @@
+package simengine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: under any random schedule of transfers, the link conserves
+// bytes (BytesMoved equals the sum of requested sizes) and every transfer
+// completes no earlier than its solo time.
+func TestLinkConservationProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		s := New()
+		l := s.NewLink("x", 1000)
+		const n = 12
+		var total float64
+		ok := true
+		for i := 0; i < n; i++ {
+			size := float64(next()%10000) + 1
+			start := float64(next() % 50)
+			total += size
+			s.Go("w", func(p *Proc) {
+				p.Delay(start)
+				t0 := s.Now()
+				l.Transfer(p, size)
+				elapsed := s.Now() - t0
+				solo := size / l.Bandwidth()
+				if elapsed < solo*(1-1e-9) {
+					ok = false
+				}
+			})
+		}
+		s.Run()
+		if l.InFlight() != 0 {
+			return false
+		}
+		moved := l.BytesMoved()
+		return ok && moved > total*(1-1e-6) && moved < total*(1+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a resource never admits more holders than its capacity, under
+// random hold times.
+func TestResourceCapacityProperty(t *testing.T) {
+	f := func(seed uint32, capRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		rng := seed
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		s := New()
+		res := s.NewResource(capacity)
+		holders, maxHolders := 0, 0
+		for i := 0; i < 10; i++ {
+			hold := float64(next()%20) + 1
+			arrive := float64(next() % 30)
+			s.Go("p", func(p *Proc) {
+				p.Delay(arrive)
+				res.Acquire(p)
+				holders++
+				if holders > maxHolders {
+					maxHolders = holders
+				}
+				p.Delay(hold)
+				holders--
+				res.Release()
+			})
+		}
+		s.Run()
+		return maxHolders <= capacity && holders == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simulated clock never moves backwards across an arbitrary
+// event mix.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := seed
+		next := func() uint32 {
+			rng = rng*1664525 + 1013904223
+			return rng
+		}
+		s := New()
+		last := 0.0
+		monotone := true
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			for i := 0; i < 3; i++ {
+				d := float64(next() % 100)
+				s.Schedule(d, func() {
+					if s.Now() < last {
+						monotone = false
+					}
+					last = s.Now()
+					schedule(depth + 1)
+				})
+			}
+		}
+		schedule(0)
+		s.Run()
+		return monotone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package simengine is a deterministic discrete-event simulation core. It
+// provides a virtual clock with an event queue, lightweight processes
+// (goroutines that the scheduler runs one at a time, so simulations are
+// reproducible), counted resources, condition signals, and bandwidth-shared
+// links with a processor-sharing service model.
+//
+// HCC-MF uses it to model the paper's multi-CPU/GPU workstation: workers
+// and the parameter server are processes, PCIe/UPI interconnects are
+// links, and the server's sync thread is a unit-capacity resource.
+package simengine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// event is one scheduled callback.
+type event struct {
+	t   Time
+	seq uint64 // tie-break so same-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is one simulation instance. Not safe for concurrent use from outside
+// its own processes (which is by design: determinism).
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// paused is signalled by a process when it blocks or finishes,
+	// returning control to the event loop.
+	paused chan struct{}
+
+	running   bool
+	processes int // live (started, unfinished) processes
+
+	// procPanic carries a panic out of a process goroutine so it resurfaces
+	// on the event loop (and therefore in the caller of Run).
+	procPanic interface{}
+}
+
+// New returns an empty simulation at time 0.
+func New() *Sim {
+	return &Sim{paused: make(chan struct{})}
+}
+
+// Now reports the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Schedule runs fn at now+delay. Negative delays panic: the past is fixed.
+func (s *Sim) Schedule(delay Time, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("simengine: schedule with invalid delay %v", delay))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{t: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty. It panics if a process is
+// still blocked when the queue drains (deadlock in the modelled system).
+func (s *Sim) Run() {
+	s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time ≤ limit. Events beyond the limit stay
+// queued. It panics on deadlock (live processes but no runnable events).
+func (s *Sim) RunUntil(limit Time) {
+	if s.running {
+		panic("simengine: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.t > limit {
+			return
+		}
+		heap.Pop(&s.events)
+		if next.t < s.now {
+			panic(fmt.Sprintf("simengine: time went backwards %v -> %v", s.now, next.t))
+		}
+		s.now = next.t
+		next.fn()
+	}
+	if s.processes > 0 {
+		panic(fmt.Sprintf("simengine: deadlock: %d process(es) blocked with no pending events", s.processes))
+	}
+}
+
+// Proc is the handle a process body uses to interact with simulated time.
+// All Proc methods must be called only from inside the process's own
+// body function.
+type Proc struct {
+	sim  *Sim
+	name string
+	wake chan struct{}
+}
+
+// Name reports the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Go starts a new process whose body begins executing at the current
+// simulated time (strictly: at the next event dispatch). The body runs in
+// its own goroutine but only ever concurrently with the event loop's
+// bookkeeping, never with another process.
+func (s *Sim) Go(name string, body func(p *Proc)) {
+	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
+	s.processes++
+	s.Schedule(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.procPanic = r
+				}
+				s.processes--
+				s.paused <- struct{}{}
+			}()
+			body(p)
+		}()
+		s.waitPaused() // wait until the body blocks or finishes
+	})
+}
+
+// yield returns control to the event loop and blocks until the next wake.
+func (p *Proc) yield() {
+	p.sim.paused <- struct{}{}
+	<-p.wake
+}
+
+// resume hands control to the process and waits for it to pause again.
+// Must run on the event-loop side.
+func (p *Proc) resume() {
+	p.wake <- struct{}{}
+	p.sim.waitPaused()
+}
+
+// waitPaused blocks until the active process yields or finishes, then
+// re-raises any panic that escaped its body.
+func (s *Sim) waitPaused() {
+	<-s.paused
+	if s.procPanic != nil {
+		r := s.procPanic
+		s.procPanic = nil
+		panic(r)
+	}
+}
+
+// Delay suspends the process for d simulated seconds.
+func (p *Proc) Delay(d Time) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("simengine: Delay(%v)", d))
+	}
+	p.sim.Schedule(d, p.resume)
+	p.yield()
+}
+
+// Signal is a broadcast condition: processes Wait on it, Fire wakes all
+// current waiters. A Signal may be reused after firing.
+type Signal struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to the simulation.
+func (s *Sim) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Wait blocks the calling process until the next Fire.
+func (sig *Signal) Wait(p *Proc) {
+	sig.waiters = append(sig.waiters, p)
+	p.yield()
+}
+
+// Fire wakes every currently waiting process (in wait order) at the
+// current time. Callable from event callbacks or process bodies.
+func (sig *Signal) Fire() {
+	ws := sig.waiters
+	sig.waiters = nil
+	for _, w := range ws {
+		w := w
+		sig.sim.Schedule(0, w.resume)
+	}
+}
+
+// NWaiting reports the number of processes blocked on the signal.
+func (sig *Signal) NWaiting() int { return len(sig.waiters) }
+
+// Resource is a counted resource with FIFO admission.
+type Resource struct {
+	sim      *Sim
+	capacity int
+	inUse    int
+	queue    []*Proc
+}
+
+// NewResource creates a resource with the given capacity (≥1).
+func (s *Sim) NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("simengine: resource capacity must be ≥ 1")
+	}
+	return &Resource{sim: s, capacity: capacity}
+}
+
+// Acquire blocks the process until a unit is available, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.inUse++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.yield()
+	// Ownership was transferred by Release before the wake.
+}
+
+// Release returns a unit, admitting the head waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("simengine: Release without Acquire")
+	}
+	if len(r.queue) > 0 {
+		head := r.queue[0]
+		r.queue = r.queue[1:]
+		// The unit passes directly to the waiter; inUse stays constant.
+		r.sim.Schedule(0, head.resume)
+		return
+	}
+	r.inUse--
+}
+
+// InUse reports currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.queue) }

@@ -1,0 +1,339 @@
+package simengine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestSameTimeEventsRunInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time order = %v", order)
+		}
+	}
+}
+
+func TestScheduleNegativePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	s := New()
+	ran := 0
+	s.Schedule(1, func() { ran++ })
+	s.Schedule(5, func() { ran++ })
+	s.RunUntil(2)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("Now = %v, want 1", s.Now())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 after Run", ran)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestProcessDelay(t *testing.T) {
+	s := New()
+	var marks []Time
+	s.Go("worker", func(p *Proc) {
+		marks = append(marks, s.Now())
+		p.Delay(2.5)
+		marks = append(marks, s.Now())
+		p.Delay(1.5)
+		marks = append(marks, s.Now())
+	})
+	s.Run()
+	want := []Time{0, 2.5, 4}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestTwoProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		s.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Delay(2)
+				log = append(log, "a")
+			}
+		})
+		s.Go("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Delay(3)
+				log = append(log, "b")
+			}
+		})
+		s.Run()
+		return log
+	}
+	first := run()
+	// t=2,3,4,6,6; at the t=6 tie b wins because its wake event was
+	// scheduled at t=3, before a's at t=4 (FIFO among equal times).
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(first) != len(want) {
+		t.Fatalf("log = %v", first)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("log = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("nondeterministic interleaving on trial %d: %v", trial, got)
+			}
+		}
+	}
+}
+
+func TestProcName(t *testing.T) {
+	s := New()
+	s.Go("gpu0", func(p *Proc) {
+		if p.Name() != "gpu0" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Sim() != s {
+			t.Error("Sim() does not return owner")
+		}
+	})
+	s.Run()
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Go("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	s.Go("firer", func(p *Proc) {
+		p.Delay(5)
+		if sig.NWaiting() != 3 {
+			t.Errorf("NWaiting = %d, want 3", sig.NWaiting())
+		}
+		sig.Fire()
+	})
+	s.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestSignalReusableAfterFire(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	count := 0
+	s.Go("waiter", func(p *Proc) {
+		sig.Wait(p)
+		count++
+		sig.Wait(p)
+		count++
+	})
+	s.Go("firer", func(p *Proc) {
+		p.Delay(1)
+		sig.Fire()
+		p.Delay(1)
+		sig.Fire()
+	})
+	s.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	s := New()
+	res := s.NewResource(1)
+	var inside int
+	var maxInside int
+	for i := 0; i < 4; i++ {
+		s.Go("p", func(p *Proc) {
+			res.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Delay(1)
+			inside--
+			res.Release()
+		})
+	}
+	s.Run()
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	if s.Now() != 4 {
+		t.Fatalf("serialised time = %v, want 4", s.Now())
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	s := New()
+	res := s.NewResource(2)
+	for i := 0; i < 4; i++ {
+		s.Go("p", func(p *Proc) {
+			res.Acquire(p)
+			p.Delay(1)
+			res.Release()
+		})
+	}
+	s.Run()
+	if s.Now() != 2 {
+		t.Fatalf("capacity-2 time = %v, want 2", s.Now())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	s := New()
+	res := s.NewResource(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Go("p", func(p *Proc) {
+			p.Delay(float64(i) * 0.001) // arrive in index order
+			res.Acquire(p)
+			order = append(order, i)
+			p.Delay(1)
+			res.Release()
+		})
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order = %v", order)
+		}
+	}
+}
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	s := New()
+	res := s.NewResource(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	res.Release()
+}
+
+func TestResourceCapacityValidation(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 did not panic")
+		}
+	}()
+	s.NewResource(0)
+}
+
+func TestResourceCounters(t *testing.T) {
+	s := New()
+	res := s.NewResource(1)
+	s.Go("holder", func(p *Proc) {
+		res.Acquire(p)
+		p.Delay(10)
+		res.Release()
+	})
+	s.Go("waiter", func(p *Proc) {
+		p.Delay(1)
+		res.Acquire(p)
+		res.Release()
+	})
+	s.Go("checker", func(p *Proc) {
+		p.Delay(2)
+		if res.InUse() != 1 {
+			t.Errorf("InUse = %d, want 1", res.InUse())
+		}
+		if res.QueueLen() != 1 {
+			t.Errorf("QueueLen = %d, want 1", res.QueueLen())
+		}
+	})
+	s.Run()
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	sig := s.NewSignal()
+	s.Go("stuck", func(p *Proc) {
+		sig.Wait(p) // never fired
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked simulation did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestDelayValidation(t *testing.T) {
+	s := New()
+	s.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Delay(NaN) did not panic")
+			}
+			panic("unwind") // keep the process accounting honest
+		}()
+		p.Delay(math.NaN())
+	})
+	defer func() { recover() }()
+	s.Run()
+}

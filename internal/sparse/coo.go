@@ -1,0 +1,183 @@
+// Package sparse provides the sparse rating-matrix representations used
+// throughout HCC-MF: coordinate (COO) triplet storage for streaming SGD
+// updates, compressed sparse row (CSR) indexes for row-grid partitioning,
+// deterministic shuffling, and the row/column grids that the DataManager
+// hands to workers.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rating is one observed entry of the rating matrix R: user u rated item i
+// with value v. Row/column indexes are 0-based.
+type Rating struct {
+	U int32
+	I int32
+	V float32
+}
+
+// COO is a rating matrix in coordinate form. It is the canonical training
+// container: SGD kernels stream over Entries in storage order, so the order
+// of Entries is significant (shuffling changes training behaviour).
+type COO struct {
+	Rows    int
+	Cols    int
+	Entries []Rating
+}
+
+// NewCOO returns an empty COO with the given dimensions and capacity hint.
+func NewCOO(rows, cols, capHint int) *COO {
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &COO{Rows: rows, Cols: cols, Entries: make([]Rating, 0, capHint)}
+}
+
+// NNZ reports the number of stored entries.
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// Add appends one rating. It panics if the coordinate is out of range; use
+// Append for checked insertion.
+func (m *COO) Add(u, i int32, v float32) {
+	if u < 0 || int(u) >= m.Rows || i < 0 || int(i) >= m.Cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d matrix", u, i, m.Rows, m.Cols))
+	}
+	m.Entries = append(m.Entries, Rating{U: u, I: i, V: v})
+}
+
+// Append appends one rating, reporting an error when the coordinate is out
+// of range.
+func (m *COO) Append(u, i int32, v float32) error {
+	if u < 0 || int(u) >= m.Rows || i < 0 || int(i) >= m.Cols {
+		return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d matrix", u, i, m.Rows, m.Cols)
+	}
+	m.Entries = append(m.Entries, Rating{U: u, I: i, V: v})
+	return nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *COO) Clone() *COO {
+	out := &COO{Rows: m.Rows, Cols: m.Cols, Entries: make([]Rating, len(m.Entries))}
+	copy(out.Entries, m.Entries)
+	return out
+}
+
+// Transpose returns a new COO with rows and columns exchanged. HCC-MF uses
+// it to switch between row-grid and column-grid partitioning (the paper
+// picks the grid along the longer dimension).
+func (m *COO) Transpose() *COO {
+	out := &COO{Rows: m.Cols, Cols: m.Rows, Entries: make([]Rating, len(m.Entries))}
+	for idx, e := range m.Entries {
+		out.Entries[idx] = Rating{U: e.I, I: e.U, V: e.V}
+	}
+	return out
+}
+
+// MeanRating returns the arithmetic mean of all stored ratings, used to
+// initialise feature matrices so that p·q starts near the global mean.
+func (m *COO) MeanRating() float64 {
+	if len(m.Entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range m.Entries {
+		sum += float64(e.V)
+	}
+	return sum / float64(len(m.Entries))
+}
+
+// Validate checks structural invariants: all coordinates in range and no
+// NaN/Inf ratings. It is used by loaders and property tests.
+func (m *COO) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return errors.New("sparse: negative dimension")
+	}
+	for idx, e := range m.Entries {
+		if e.U < 0 || int(e.U) >= m.Rows {
+			return fmt.Errorf("sparse: entry %d row %d out of range [0,%d)", idx, e.U, m.Rows)
+		}
+		if e.I < 0 || int(e.I) >= m.Cols {
+			return fmt.Errorf("sparse: entry %d col %d out of range [0,%d)", idx, e.I, m.Cols)
+		}
+		if math.IsNaN(float64(e.V)) || math.IsInf(float64(e.V), 0) {
+			return fmt.Errorf("sparse: entry %d has non-finite rating %v", idx, e.V)
+		}
+	}
+	return nil
+}
+
+// RowCounts returns, for each row, the number of stored entries. The
+// DataManager uses these histograms to cut balanced row grids.
+func (m *COO) RowCounts() []int {
+	counts := make([]int, m.Rows)
+	for _, e := range m.Entries {
+		counts[e.U]++
+	}
+	return counts
+}
+
+// ColCounts returns per-column entry counts.
+func (m *COO) ColCounts() []int {
+	counts := make([]int, m.Cols)
+	for _, e := range m.Entries {
+		counts[e.I]++
+	}
+	return counts
+}
+
+// SortByRow sorts entries by (row, col). FPSGD-style kernels rely on this
+// "block sorting by row" to improve cache hit rate (the paper applies the
+// same trick to cuMF_SGD's grid problem).
+func (m *COO) SortByRow() {
+	sort.Slice(m.Entries, func(a, b int) bool {
+		ea, eb := m.Entries[a], m.Entries[b]
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		return ea.I < eb.I
+	})
+}
+
+// SortByCol sorts entries by (col, row).
+func (m *COO) SortByCol() {
+	sort.Slice(m.Entries, func(a, b int) bool {
+		ea, eb := m.Entries[a], m.Entries[b]
+		if ea.I != eb.I {
+			return ea.I < eb.I
+		}
+		return ea.U < eb.U
+	})
+}
+
+// Shuffle permutes entries with the Fisher-Yates algorithm driven by the
+// given source, making SGD's sampling order deterministic per seed.
+func (m *COO) Shuffle(rng *Rand) {
+	for i := len(m.Entries) - 1; i > 0; i-- {
+		j := int(rng.Uint64n(uint64(i + 1)))
+		m.Entries[i], m.Entries[j] = m.Entries[j], m.Entries[i]
+	}
+}
+
+// SplitTrainTest deterministically splits the matrix into train and test
+// sets, with approximately testFrac of entries (per the rng) in the test
+// split. Dimensions are preserved.
+func (m *COO) SplitTrainTest(rng *Rand, testFrac float64) (train, test *COO) {
+	if testFrac < 0 || testFrac >= 1 {
+		panic("sparse: testFrac must be in [0,1)")
+	}
+	train = NewCOO(m.Rows, m.Cols, len(m.Entries))
+	test = NewCOO(m.Rows, m.Cols, int(float64(len(m.Entries))*testFrac)+1)
+	threshold := uint64(testFrac * float64(math.MaxUint64))
+	for _, e := range m.Entries {
+		if rng.Uint64() < threshold {
+			test.Entries = append(test.Entries, e)
+		} else {
+			train.Entries = append(train.Entries, e)
+		}
+	}
+	return train, test
+}

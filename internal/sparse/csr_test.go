@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func randomCOO(seed uint64, rows, cols, nnz int) *COO {
+	rng := NewRand(seed)
+	m := NewCOO(rows, cols, nnz)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), 1+4*rng.Float32())
+	}
+	return m
+}
+
+func TestCSRFromCOOBasic(t *testing.T) {
+	m := mkTestCOO(t)
+	c := NewCSRFromCOO(m)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", c.NNZ(), m.NNZ())
+	}
+	wantRowNNZ := []int{2, 1, 1, 2}
+	for r, want := range wantRowNNZ {
+		if got := c.RowNNZ(r); got != want {
+			t.Fatalf("RowNNZ(%d) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestCSRRangeNNZ(t *testing.T) {
+	m := mkTestCOO(t)
+	c := NewCSRFromCOO(m)
+	if got := c.RangeNNZ(0, 4); got != 6 {
+		t.Fatalf("RangeNNZ(0,4) = %d, want 6", got)
+	}
+	if got := c.RangeNNZ(1, 3); got != 2 {
+		t.Fatalf("RangeNNZ(1,3) = %d, want 2", got)
+	}
+	if got := c.RangeNNZ(2, 2); got != 0 {
+		t.Fatalf("RangeNNZ(2,2) = %d, want 0", got)
+	}
+}
+
+func TestCSRToCOORoundTrip(t *testing.T) {
+	m := randomCOO(3, 50, 40, 500)
+	c := NewCSRFromCOO(m)
+	back := c.ToCOO()
+	if back.NNZ() != m.NNZ() {
+		t.Fatalf("round trip NNZ = %d, want %d", back.NNZ(), m.NNZ())
+	}
+	// Round trip through CSR sorts by row (stable within rows); compare to
+	// a row-sorted original. SortByRow also sorts by column within a row,
+	// so compare multisets per row instead.
+	counts := map[Rating]int{}
+	for _, e := range m.Entries {
+		counts[e]++
+	}
+	for _, e := range back.Entries {
+		counts[e]--
+		if counts[e] == 0 {
+			delete(counts, e)
+		}
+	}
+	if len(counts) != 0 {
+		t.Fatalf("round trip changed entry multiset: %d residuals", len(counts))
+	}
+}
+
+func TestCSRStableWithinRow(t *testing.T) {
+	m := NewCOO(2, 4, 4)
+	m.Add(0, 3, 1)
+	m.Add(0, 1, 2)
+	m.Add(0, 2, 3)
+	m.Add(1, 0, 4)
+	c := NewCSRFromCOO(m)
+	want := []int32{3, 1, 2}
+	for i, col := range want {
+		if c.Col[i] != col {
+			t.Fatalf("row 0 not stable: Col[%d]=%d, want %d", i, c.Col[i], col)
+		}
+	}
+}
+
+func TestCSRValidateCatchesCorruption(t *testing.T) {
+	m := mkTestCOO(t)
+	c := NewCSRFromCOO(m)
+
+	c.RowPtr[0] = 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted RowPtr[0] != 0")
+	}
+	c.RowPtr[0] = 0
+
+	old := c.RowPtr[2]
+	c.RowPtr[2] = c.RowPtr[1] - 1
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted non-monotone RowPtr")
+	}
+	c.RowPtr[2] = old
+
+	oldCol := c.Col[0]
+	c.Col[0] = 99
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range column")
+	}
+	c.Col[0] = oldCol
+}
+
+func TestCSREmptyMatrix(t *testing.T) {
+	m := NewCOO(3, 3, 0)
+	c := NewCSRFromCOO(m)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.NNZ() != 0 {
+		t.Fatalf("empty matrix NNZ = %d", c.NNZ())
+	}
+}
+
+// Property: for random matrices, CSR validates and preserves nnz per row.
+func TestCSRPropertyRowCounts(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomCOO(seed, 23, 19, 300)
+		c := NewCSRFromCOO(m)
+		if c.Validate() != nil {
+			return false
+		}
+		counts := m.RowCounts()
+		for r := 0; r < m.Rows; r++ {
+			if c.RowNNZ(r) != counts[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// GridKind selects how the DataManager slices the rating matrix across
+// workers. The paper (Section 3.3) uses a row grid when the matrix has more
+// rows than columns, otherwise a column grid; the framework may also use a
+// 2-D block grid for FPSGD-style exclusive block scheduling.
+type GridKind int
+
+const (
+	// RowGrid assigns contiguous groups of rows to workers.
+	RowGrid GridKind = iota
+	// ColGrid assigns contiguous groups of columns to workers.
+	ColGrid
+	// BlockGrid tiles the matrix into b×b blocks (FPSGD scheduling unit).
+	BlockGrid
+)
+
+// String implements fmt.Stringer.
+func (k GridKind) String() string {
+	switch k {
+	case RowGrid:
+		return "row-grid"
+	case ColGrid:
+		return "col-grid"
+	case BlockGrid:
+		return "block-grid"
+	default:
+		return fmt.Sprintf("GridKind(%d)", int(k))
+	}
+}
+
+// PreferredGrid picks the grid orientation the paper's DataManager would:
+// row grid when rows ≥ cols, else column grid.
+func PreferredGrid(rows, cols int) GridKind {
+	if rows >= cols {
+		return RowGrid
+	}
+	return ColGrid
+}
+
+// Slice describes one worker's shard of the rating matrix under a row or
+// column grid: the half-open index range [Lo, Hi) along the grid dimension
+// and the number of stored entries inside it.
+type Slice struct {
+	Lo  int
+	Hi  int
+	NNZ int64
+}
+
+// Span reports the number of rows (or columns) in the slice.
+func (s Slice) Span() int { return s.Hi - s.Lo }
+
+// CutRowGrid cuts the matrix into len(weights) contiguous row ranges whose
+// nnz counts match the weights as closely as a contiguous cut allows.
+// Weights must be positive and sum to ~1 (they are renormalised). The cut
+// walks rows greedily, closing a slice when its nnz reaches the target.
+func CutRowGrid(c *CSR, weights []float64) ([]Slice, error) {
+	return cutGrid(c.RowPtr, c.Rows, weights)
+}
+
+// CutColGrid cuts a column grid. It requires the caller to supply the CSR of
+// the transposed matrix (column-major index); this keeps the hot path free
+// of an implicit transpose.
+func CutColGrid(ct *CSR, weights []float64) ([]Slice, error) {
+	return cutGrid(ct.RowPtr, ct.Rows, weights)
+}
+
+func cutGrid(ptr []int64, nLines int, weights []float64) ([]Slice, error) {
+	p := len(weights)
+	if p == 0 {
+		return nil, errors.New("sparse: no weights")
+	}
+	if nLines < p {
+		return nil, fmt.Errorf("sparse: cannot cut %d lines into %d slices", nLines, p)
+	}
+	var wsum float64
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("sparse: weight %d is %v, must be positive", i, w)
+		}
+		wsum += w
+	}
+	total := ptr[nLines]
+	slices := make([]Slice, p)
+	line := 0
+	var consumed int64
+	for s := 0; s < p; s++ {
+		remainingSlices := p - s - 1
+		target := consumed + int64(weights[s]/wsum*float64(total)+0.5)
+		if s == p-1 {
+			target = total
+		}
+		lo := line
+		// Every remaining slice must receive at least one line.
+		maxLine := nLines - remainingSlices
+		for line < maxLine && ptr[line] < target {
+			line++
+		}
+		if line == lo { // guarantee non-empty span
+			line++
+		}
+		slices[s] = Slice{Lo: lo, Hi: line, NNZ: ptr[line] - ptr[lo]}
+		consumed = ptr[line]
+	}
+	slices[p-1].Hi = nLines
+	slices[p-1].NNZ = total - ptr[slices[p-1].Lo]
+	return slices, nil
+}
+
+// Block is one tile of a 2-D block grid, identified by its (BR, BC) block
+// coordinates and carrying the entries that fall inside it.
+type Block struct {
+	BR, BC  int
+	Entries []Rating
+}
+
+// BlockGridded tiles the matrix into nbr×nbc blocks and buckets entries
+// into them. Used by the FPSGD baseline's exclusive block scheduler.
+type BlockGridded struct {
+	Rows, Cols int
+	NBR, NBC   int
+	Blocks     []Block // row-major: Blocks[br*NBC+bc]
+}
+
+// NewBlockGrid tiles m into nbr×nbc blocks. Entries inside each block keep
+// their order from m.
+func NewBlockGrid(m *COO, nbr, nbc int) (*BlockGridded, error) {
+	if nbr <= 0 || nbc <= 0 {
+		return nil, errors.New("sparse: block grid dimensions must be positive")
+	}
+	if nbr > m.Rows || nbc > m.Cols {
+		return nil, fmt.Errorf("sparse: grid %dx%d exceeds matrix %dx%d", nbr, nbc, m.Rows, m.Cols)
+	}
+	g := &BlockGridded{Rows: m.Rows, Cols: m.Cols, NBR: nbr, NBC: nbc,
+		Blocks: make([]Block, nbr*nbc)}
+	for i := range g.Blocks {
+		g.Blocks[i].BR = i / nbc
+		g.Blocks[i].BC = i % nbc
+	}
+	rowOf := func(u int32) int {
+		br := int(int64(u) * int64(nbr) / int64(m.Rows))
+		if br >= nbr {
+			br = nbr - 1
+		}
+		return br
+	}
+	colOf := func(c int32) int {
+		bc := int(int64(c) * int64(nbc) / int64(m.Cols))
+		if bc >= nbc {
+			bc = nbc - 1
+		}
+		return bc
+	}
+	for _, e := range m.Entries {
+		idx := rowOf(e.U)*nbc + colOf(e.I)
+		g.Blocks[idx].Entries = append(g.Blocks[idx].Entries, e)
+	}
+	return g, nil
+}
+
+// RowRange reports the row index range [lo, hi) covered by block row br.
+func (g *BlockGridded) RowRange(br int) (lo, hi int) {
+	lo = br * g.Rows / g.NBR
+	hi = (br + 1) * g.Rows / g.NBR
+	return lo, hi
+}
+
+// ColRange reports the column index range [lo, hi) covered by block col bc.
+func (g *BlockGridded) ColRange(bc int) (lo, hi int) {
+	lo = bc * g.Cols / g.NBC
+	hi = (bc + 1) * g.Cols / g.NBC
+	return lo, hi
+}
+
+// NNZ reports total entries across all blocks.
+func (g *BlockGridded) NNZ() int {
+	n := 0
+	for i := range g.Blocks {
+		n += len(g.Blocks[i].Entries)
+	}
+	return n
+}

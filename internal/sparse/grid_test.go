@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPreferredGrid(t *testing.T) {
+	if g := PreferredGrid(100, 10); g != RowGrid {
+		t.Fatalf("PreferredGrid(100,10) = %v, want row-grid", g)
+	}
+	if g := PreferredGrid(10, 100); g != ColGrid {
+		t.Fatalf("PreferredGrid(10,100) = %v, want col-grid", g)
+	}
+	if g := PreferredGrid(50, 50); g != RowGrid {
+		t.Fatalf("PreferredGrid(50,50) = %v, want row-grid on tie", g)
+	}
+}
+
+func TestGridKindString(t *testing.T) {
+	cases := map[GridKind]string{
+		RowGrid: "row-grid", ColGrid: "col-grid", BlockGrid: "block-grid",
+		GridKind(9): "GridKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestCutRowGridCoversAllRows(t *testing.T) {
+	m := randomCOO(11, 1000, 100, 20000)
+	c := NewCSRFromCOO(m)
+	weights := []float64{0.1, 0.2, 0.3, 0.4}
+	slices, err := CutRowGrid(c, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != len(weights) {
+		t.Fatalf("got %d slices, want %d", len(slices), len(weights))
+	}
+	if slices[0].Lo != 0 || slices[len(slices)-1].Hi != c.Rows {
+		t.Fatalf("slices do not cover rows: first=%+v last=%+v", slices[0], slices[len(slices)-1])
+	}
+	var nnz int64
+	for i := 1; i < len(slices); i++ {
+		if slices[i].Lo != slices[i-1].Hi {
+			t.Fatalf("gap between slice %d and %d", i-1, i)
+		}
+	}
+	for _, s := range slices {
+		if s.Span() <= 0 {
+			t.Fatalf("empty slice %+v", s)
+		}
+		nnz += s.NNZ
+	}
+	if nnz != int64(m.NNZ()) {
+		t.Fatalf("slices cover %d nnz, want %d", nnz, m.NNZ())
+	}
+}
+
+func TestCutRowGridRespectsWeights(t *testing.T) {
+	m := randomCOO(13, 10000, 100, 200000)
+	c := NewCSRFromCOO(m)
+	weights := []float64{0.5, 0.25, 0.25}
+	slices, err := CutRowGrid(c, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(m.NNZ())
+	for i, s := range slices {
+		frac := float64(s.NNZ) / total
+		if math.Abs(frac-weights[i]) > 0.03 {
+			t.Fatalf("slice %d holds %.3f of nnz, want %.3f±0.03", i, frac, weights[i])
+		}
+	}
+}
+
+func TestCutRowGridErrors(t *testing.T) {
+	m := randomCOO(17, 10, 10, 50)
+	c := NewCSRFromCOO(m)
+	if _, err := CutRowGrid(c, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := CutRowGrid(c, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := CutRowGrid(c, make11()); err == nil {
+		t.Fatal("more slices than rows accepted")
+	}
+}
+
+func make11() []float64 {
+	w := make([]float64, 11)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestCutRowGridUnnormalisedWeights(t *testing.T) {
+	m := randomCOO(19, 1000, 50, 30000)
+	c := NewCSRFromCOO(m)
+	a, err := CutRowGrid(c, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CutRowGrid(c, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weights not renormalised: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestCutColGrid(t *testing.T) {
+	m := randomCOO(23, 100, 2000, 40000)
+	ct := NewCSRFromCOO(m.Transpose())
+	slices, err := CutColGrid(ct, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices[len(slices)-1].Hi != m.Cols {
+		t.Fatalf("col grid does not cover columns: %+v", slices)
+	}
+}
+
+func TestNewBlockGrid(t *testing.T) {
+	m := randomCOO(29, 64, 64, 1000)
+	g, err := NewBlockGrid(m, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NNZ() != m.NNZ() {
+		t.Fatalf("blocks hold %d entries, want %d", g.NNZ(), m.NNZ())
+	}
+	for _, b := range g.Blocks {
+		rlo, rhi := g.RowRange(b.BR)
+		clo, chi := g.ColRange(b.BC)
+		for _, e := range b.Entries {
+			if int(e.U) < rlo || int(e.U) >= rhi {
+				t.Fatalf("entry %v escaped block row range [%d,%d)", e, rlo, rhi)
+			}
+			if int(e.I) < clo || int(e.I) >= chi {
+				t.Fatalf("entry %v escaped block col range [%d,%d)", e, clo, chi)
+			}
+		}
+	}
+}
+
+func TestNewBlockGridErrors(t *testing.T) {
+	m := randomCOO(31, 4, 4, 8)
+	if _, err := NewBlockGrid(m, 0, 2); err == nil {
+		t.Fatal("zero block rows accepted")
+	}
+	if _, err := NewBlockGrid(m, 2, 0); err == nil {
+		t.Fatal("zero block cols accepted")
+	}
+	if _, err := NewBlockGrid(m, 5, 2); err == nil {
+		t.Fatal("grid larger than matrix accepted")
+	}
+}
+
+func TestBlockGridRangesPartition(t *testing.T) {
+	g := &BlockGridded{Rows: 10, Cols: 7, NBR: 3, NBC: 2}
+	last := 0
+	for br := 0; br < g.NBR; br++ {
+		lo, hi := g.RowRange(br)
+		if lo != last {
+			t.Fatalf("row range gap at block %d: lo=%d want %d", br, lo, last)
+		}
+		if hi <= lo {
+			t.Fatalf("empty row range at block %d", br)
+		}
+		last = hi
+	}
+	if last != g.Rows {
+		t.Fatalf("row ranges end at %d, want %d", last, g.Rows)
+	}
+}
+
+// Property: any valid weight vector yields a contiguous exact partition.
+func TestCutRowGridPartitionProperty(t *testing.T) {
+	f := func(seed uint64, w1, w2, w3 uint8) bool {
+		weights := []float64{float64(w1) + 1, float64(w2) + 1, float64(w3) + 1}
+		m := randomCOO(seed, 200, 50, 5000)
+		c := NewCSRFromCOO(m)
+		slices, err := CutRowGrid(c, weights)
+		if err != nil {
+			return false
+		}
+		if slices[0].Lo != 0 || slices[2].Hi != 200 {
+			return false
+		}
+		var nnz int64
+		for i, s := range slices {
+			if i > 0 && s.Lo != slices[i-1].Hi {
+				return false
+			}
+			nnz += s.NNZ
+		}
+		return nnz == int64(m.NNZ())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

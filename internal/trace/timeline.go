@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one contiguous interval a worker spent in a phase — the raw
+// material of the paper's Figure 5 timing-sequence diagrams.
+type Span struct {
+	Worker string
+	Phase  Phase
+	Start  float64
+	End    float64
+}
+
+// Duration reports the span length.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Timeline records spans; safe for concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTimeline creates an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add records one span. Panics on a negative interval.
+func (t *Timeline) Add(worker string, p Phase, start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("trace: span ends (%v) before it starts (%v)", end, start))
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Worker: worker, Phase: p, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of all spans ordered by (worker, start).
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Window returns the spans overlapping [from, to), clipped to it.
+func (t *Timeline) Window(from, to float64) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.End <= from || s.Start >= to {
+			continue
+		}
+		if s.Start < from {
+			s.Start = from
+		}
+		if s.End > to {
+			s.End = to
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// phaseGlyph is the Gantt fill character per phase.
+func phaseGlyph(p Phase) byte {
+	switch p {
+	case Pull:
+		return '<'
+	case Compute:
+		return '#'
+	case Push:
+		return '>'
+	case Sync:
+		return 'S'
+	default:
+		return '?'
+	}
+}
+
+// Gantt renders the timeline's [from, to) window as an ASCII chart with
+// one row per worker and `width` columns — the textual equivalent of the
+// paper's Figure 5 (`<` pull, `#` compute, `>` push, `S` sync). Later
+// spans overwrite earlier ones in a cell; sub-cell spans still paint one
+// cell so short transfers stay visible.
+func (t *Timeline) Gantt(from, to float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if to <= from {
+		return ""
+	}
+	spans := t.Window(from, to)
+	rows := map[string][]byte{}
+	var workers []string
+	scale := float64(width) / (to - from)
+	for _, s := range spans {
+		row, ok := rows[s.Worker]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[s.Worker] = row
+			workers = append(workers, s.Worker)
+		}
+		lo := int((s.Start - from) * scale)
+		hi := int((s.End - from) * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for i := lo; i < hi; i++ {
+			row[i] = phaseGlyph(s.Phase)
+		}
+	}
+	sort.Strings(workers)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.4fs .. %.4fs   (< pull, # compute, > push, S sync)\n", from, to)
+	for _, w := range workers {
+		fmt.Fprintf(&b, "%-16s |%s|\n", w, rows[w])
+	}
+	return b.String()
+}
+
+// End reports the latest span end (0 when empty).
+func (t *Timeline) End() float64 {
+	var end float64
+	t.mu.Lock()
+	for _, s := range t.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	t.mu.Unlock()
+	return end
+}

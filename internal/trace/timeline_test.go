@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineAddAndSpans(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("b", Compute, 1, 3)
+	tl.Add("a", Pull, 0, 1)
+	tl.Add("a", Compute, 1, 2)
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	// Ordered by (worker, start).
+	if spans[0].Worker != "a" || spans[0].Phase != Pull {
+		t.Fatalf("spans[0] = %+v", spans[0])
+	}
+	if spans[2].Worker != "b" {
+		t.Fatalf("spans[2] = %+v", spans[2])
+	}
+	if spans[0].Duration() != 1 {
+		t.Fatalf("duration = %v", spans[0].Duration())
+	}
+}
+
+func TestTimelineAddValidation(t *testing.T) {
+	tl := NewTimeline()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative span did not panic")
+		}
+	}()
+	tl.Add("w", Pull, 2, 1)
+}
+
+func TestTimelineWindowClips(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("w", Compute, 0, 10)
+	tl.Add("w", Push, 12, 14)
+	win := tl.Window(5, 13)
+	if len(win) != 2 {
+		t.Fatalf("window = %d spans", len(win))
+	}
+	if win[0].Start != 5 || win[0].End != 10 {
+		t.Fatalf("clipped span = %+v", win[0])
+	}
+	if win[1].Start != 12 || win[1].End != 13 {
+		t.Fatalf("clipped span = %+v", win[1])
+	}
+	if len(tl.Window(20, 30)) != 0 {
+		t.Fatal("out-of-range window not empty")
+	}
+}
+
+func TestTimelineEnd(t *testing.T) {
+	tl := NewTimeline()
+	if tl.End() != 0 {
+		t.Fatal("empty End != 0")
+	}
+	tl.Add("w", Pull, 0, 2)
+	tl.Add("w", Sync, 5, 7.5)
+	if tl.End() != 7.5 {
+		t.Fatalf("End = %v", tl.End())
+	}
+}
+
+func TestGanttRendersPhases(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("worker0", Pull, 0, 1)
+	tl.Add("worker0", Compute, 1, 8)
+	tl.Add("worker0", Push, 8, 9)
+	tl.Add("worker0", Sync, 9, 10)
+	out := tl.Gantt(0, 10, 20)
+	if !strings.Contains(out, "worker0") {
+		t.Fatalf("missing worker row:\n%s", out)
+	}
+	row := rowOf(t, out, "worker0")
+	for _, glyph := range []string{"<", "#", ">", "S"} {
+		if !strings.Contains(row, glyph) {
+			t.Fatalf("row missing %q:\n%s", glyph, out)
+		}
+	}
+	// Compute dominates: most cells are '#'.
+	if strings.Count(row, "#") < 10 {
+		t.Fatalf("compute underdrawn:\n%s", out)
+	}
+}
+
+func TestGanttTinySpanStaysVisible(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("w", Compute, 0, 100)
+	tl.Add("w", Sync, 100, 100.0001)
+	out := tl.Gantt(0, 100.0001, 50)
+	if !strings.Contains(rowOf(t, out, "w"), "S") {
+		t.Fatalf("sub-cell sync invisible:\n%s", out)
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	tl := NewTimeline()
+	if out := tl.Gantt(5, 5, 40); out != "" {
+		t.Fatalf("degenerate window output %q", out)
+	}
+	if out := tl.Gantt(0, 10, 40); !strings.Contains(out, "timeline") {
+		t.Fatalf("empty timeline still needs a header: %q", out)
+	}
+}
+
+func TestGanttMinWidthClamp(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("w", Pull, 0, 1)
+	out := tl.Gantt(0, 1, 1)
+	row := rowOf(t, out, "w")
+	if len(row) < 10 {
+		t.Fatalf("width not clamped: %q", row)
+	}
+}
+
+func TestTimelineConcurrentAdds(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tl.Add("w", Compute, float64(i), float64(i)+0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tl.Spans()); got != 4000 {
+		t.Fatalf("spans = %d", got)
+	}
+}
+
+func rowOf(t *testing.T, gantt, worker string) string {
+	t.Helper()
+	for _, line := range strings.Split(gantt, "\n") {
+		if strings.HasPrefix(line, worker) {
+			return line
+		}
+	}
+	t.Fatalf("no row for %q in:\n%s", worker, gantt)
+	return ""
+}

@@ -1,0 +1,169 @@
+// Package trace collects the per-phase timing statistics HCC-MF reports:
+// for each worker, the cumulative simulated time spent in pull, computing,
+// push, and (server-side) sync across a training run — the raw data behind
+// the paper's Figure 8 bars and Table 5/6 rows.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase labels one segment of the epoch loop.
+type Phase int
+
+const (
+	// Pull is the worker's feature download.
+	Pull Phase = iota
+	// Compute is the worker's SGD pass over its shard.
+	Compute
+	// Push is the worker's feature upload.
+	Push
+	// Sync is the server folding a worker's push into the global model.
+	Sync
+	numPhases int = iota
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Pull:
+		return "pull"
+	case Compute:
+		return "computing"
+	case Push:
+		return "push"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Collector accumulates per-worker, per-phase durations. It is safe for
+// concurrent use (real-execution workers report from their own
+// goroutines).
+type Collector struct {
+	mu      sync.Mutex
+	workers []string
+	byPhase map[string]*[4]float64
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byPhase: make(map[string]*[4]float64)}
+}
+
+// Add records d seconds of the phase for the worker.
+func (c *Collector) Add(worker string, p Phase, d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("trace: negative duration %v", d))
+	}
+	if int(p) < 0 || int(p) >= numPhases {
+		panic(fmt.Sprintf("trace: unknown phase %d", int(p)))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row, ok := c.byPhase[worker]
+	if !ok {
+		row = new([4]float64)
+		c.byPhase[worker] = row
+		c.workers = append(c.workers, worker)
+	}
+	row[p] += d
+}
+
+// Get reports the accumulated time of a worker's phase.
+func (c *Collector) Get(worker string, p Phase) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if row, ok := c.byPhase[worker]; ok {
+		return row[p]
+	}
+	return 0
+}
+
+// Workers lists workers in first-report order.
+func (c *Collector) Workers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.workers))
+	copy(out, c.workers)
+	return out
+}
+
+// PhaseTotal sums a phase across all workers.
+func (c *Collector) PhaseTotal(p Phase) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, row := range c.byPhase {
+		sum += row[p]
+	}
+	return sum
+}
+
+// WorkerTotal sums all phases for one worker.
+func (c *Collector) WorkerTotal(worker string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row, ok := c.byPhase[worker]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	return sum
+}
+
+// Row is one worker's line in a report.
+type Row struct {
+	Worker  string
+	Pull    float64
+	Compute float64
+	Push    float64
+	Sync    float64
+}
+
+// Total reports the row sum.
+func (r Row) Total() float64 { return r.Pull + r.Compute + r.Push + r.Sync }
+
+// Rows returns every worker's row, sorted by worker name for stable
+// reports.
+func (c *Collector) Rows() []Row {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Row, 0, len(c.workers))
+	for _, w := range c.workers {
+		row := c.byPhase[w]
+		out = append(out, Row{Worker: w, Pull: row[Pull], Compute: row[Compute],
+			Push: row[Push], Sync: row[Sync]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// Format renders a fixed-width table of all rows (Figure 8 style).
+func (c *Collector) Format() string {
+	rows := c.Rows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %10s %10s %10s %10s %10s\n",
+		"worker", "pull(s)", "comp(s)", "push(s)", "sync(s)", "total(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+			r.Worker, r.Pull, r.Compute, r.Push, r.Sync, r.Total())
+	}
+	return b.String()
+}
+
+// Reset clears all accumulated data.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers = c.workers[:0]
+	c.byPhase = make(map[string]*[4]float64)
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{Pull: "pull", Compute: "computing", Push: "push", Sync: "sync"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase string wrong")
+	}
+}
+
+func TestAddAndGet(t *testing.T) {
+	c := NewCollector()
+	c.Add("gpu0", Pull, 1.5)
+	c.Add("gpu0", Pull, 0.5)
+	c.Add("gpu0", Compute, 3)
+	c.Add("cpu1", Sync, 0.25)
+	if got := c.Get("gpu0", Pull); got != 2 {
+		t.Fatalf("Get(gpu0,pull) = %v", got)
+	}
+	if got := c.Get("gpu0", Push); got != 0 {
+		t.Fatalf("Get(gpu0,push) = %v", got)
+	}
+	if got := c.Get("unknown", Pull); got != 0 {
+		t.Fatalf("Get(unknown) = %v", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := NewCollector()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative duration did not panic")
+			}
+		}()
+		c.Add("w", Pull, -1)
+	}()
+	defer func() {
+		if recover() == nil {
+			t.Error("bad phase did not panic")
+		}
+	}()
+	c.Add("w", Phase(7), 1)
+}
+
+func TestTotals(t *testing.T) {
+	c := NewCollector()
+	c.Add("a", Pull, 1)
+	c.Add("a", Compute, 2)
+	c.Add("b", Pull, 3)
+	if got := c.PhaseTotal(Pull); got != 4 {
+		t.Fatalf("PhaseTotal(pull) = %v", got)
+	}
+	if got := c.WorkerTotal("a"); got != 3 {
+		t.Fatalf("WorkerTotal(a) = %v", got)
+	}
+	if got := c.WorkerTotal("zzz"); got != 0 {
+		t.Fatalf("WorkerTotal(zzz) = %v", got)
+	}
+}
+
+func TestRowsSortedAndComplete(t *testing.T) {
+	c := NewCollector()
+	c.Add("z", Pull, 1)
+	c.Add("a", Push, 2)
+	c.Add("m", Sync, 3)
+	rows := c.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Worker != "a" || rows[1].Worker != "m" || rows[2].Worker != "z" {
+		t.Fatalf("rows not sorted: %+v", rows)
+	}
+	if rows[0].Push != 2 || rows[0].Total() != 2 {
+		t.Fatalf("row a = %+v", rows[0])
+	}
+}
+
+func TestWorkersFirstReportOrder(t *testing.T) {
+	c := NewCollector()
+	c.Add("w2", Pull, 1)
+	c.Add("w1", Pull, 1)
+	c.Add("w2", Push, 1)
+	ws := c.Workers()
+	if len(ws) != 2 || ws[0] != "w2" || ws[1] != "w1" {
+		t.Fatalf("Workers = %v", ws)
+	}
+}
+
+func TestFormatContainsData(t *testing.T) {
+	c := NewCollector()
+	c.Add("gpu0", Compute, 1.2345)
+	out := c.Format()
+	if !strings.Contains(out, "gpu0") || !strings.Contains(out, "1.2345") {
+		t.Fatalf("Format output missing data:\n%s", out)
+	}
+	if !strings.Contains(out, "pull(s)") {
+		t.Fatal("Format missing header")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.Add("w", Pull, 1)
+	c.Reset()
+	if c.Get("w", Pull) != 0 || len(c.Workers()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("shared", Compute, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	got := c.Get("shared", Compute)
+	if got < 7.99 || got > 8.01 {
+		t.Fatalf("concurrent total = %v, want 8", got)
+	}
+}
