@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"hccmf/internal/comm"
 	"hccmf/internal/core"
 	"hccmf/internal/dataset"
 	"hccmf/internal/mf"
@@ -33,6 +35,11 @@ func main() {
 	decay := flag.Float64("decay", 0, "learning-rate decay β for γ_t = γ0/(1+β·t^1.5); 0 keeps the paper's constant rate")
 	save := flag.String("save", "", "write the trained factor model to this file")
 	recN := flag.Int("recommend", 0, "print top-N recommendations for a few sample users")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient transport failures with this per-transfer probability (chaos testing)")
+	faultTrunc := flag.Float64("fault-trunc", 0, "inject payload truncation with this per-transfer probability")
+	faultSeed := flag.Uint64("fault-seed", 42, "seed of the injected fault schedule")
+	retries := flag.Int("retries", 0, "per-transfer attempt budget with capped exponential backoff; <2 disables retry")
+	evict := flag.Bool("evict", false, "evict workers that exhaust the retry budget instead of aborting the run")
 	flag.Parse()
 
 	plat := core.PaperPlatformOverall().FirstWorkers(*workers)
@@ -73,6 +80,17 @@ func main() {
 		Data:             data,
 		Schedule:         schedule,
 		Seed:             *seed,
+		Fault: comm.FaultSpec{
+			Transient: *faultRate,
+			Truncate:  *faultTrunc,
+			Seed:      *faultSeed,
+		},
+		Retry: comm.RetryPolicy{
+			Attempts:  *retries,
+			BaseDelay: time.Millisecond,
+			MaxDelay:  100 * time.Millisecond,
+		},
+		EvictOnFailure: *evict,
 	})
 	if err != nil {
 		fatal(err)
@@ -87,8 +105,12 @@ func main() {
 		fmt.Printf("%6d %12.4f %10.6f\n", p.Epoch, p.Time, p.RMSE)
 	}
 	fmt.Printf("\nfinal RMSE: %.6f\n", res.FinalRMSE)
-	fmt.Printf("communication: %.1f MiB over the bus, %d copies\n",
-		float64(res.CommStats.BusBytes)/(1<<20), res.CommStats.Copies)
+	fmt.Printf("communication: %.1f MiB over the bus, %d copies, %d retries\n",
+		float64(res.CommStats.BusBytes)/(1<<20), res.CommStats.Copies, res.CommStats.Retries)
+	for _, ev := range res.Evictions {
+		fmt.Printf("evicted worker %s in epoch %d (rows [%d,%d) → %s): %v\n",
+			ev.Worker, ev.Epoch, ev.RowLo, ev.RowHi, ev.InheritedBy, ev.Err)
+	}
 	fmt.Println("\nper-phase simulated time:")
 	fmt.Print(res.Sim.Trace.Format())
 

@@ -1,0 +1,157 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultSpec configures deterministic fault injection on a Transport. Rates
+// are per-transfer probabilities in [0, 1]; the injected fault sequence is
+// driven by a seeded generator, so a single-goroutine caller sees an exactly
+// reproducible schedule and concurrent callers a reproducible aggregate.
+type FaultSpec struct {
+	// Transient is the probability a transfer fails outright before any
+	// data moves (a dropped message, a reset connection).
+	Transient float64
+	// Truncate is the probability a transfer is cut mid-payload: a prefix
+	// of the data crosses (and is charged to BusBytes) before the error.
+	Truncate float64
+	// Delay is the probability of a latency spike of DelayFor.
+	Delay float64
+	// DelayFor is the spike duration (default 1ms when Delay > 0).
+	DelayFor time.Duration
+	// Seed drives the fault schedule.
+	Seed uint64
+}
+
+// Active reports whether the spec injects anything at all.
+func (s FaultSpec) Active() bool {
+	return s.Transient > 0 || s.Truncate > 0 || s.Delay > 0
+}
+
+// Validate checks that every rate is a probability.
+func (s FaultSpec) Validate() error {
+	for _, r := range [...]struct {
+		name string
+		rate float64
+	}{{"Transient", s.Transient}, {"Truncate", s.Truncate}, {"Delay", s.Delay}} {
+		if r.rate < 0 || r.rate > 1 {
+			return fmt.Errorf("comm: fault rate %s = %v, want a probability in [0,1]", r.name, r.rate)
+		}
+	}
+	return nil
+}
+
+// FaultCounts tallies the faults a Faulty transport has injected.
+type FaultCounts struct {
+	Transient int
+	Truncated int
+	Delayed   int
+}
+
+// Faulty wraps a Transport and injects transient errors, payload
+// truncation, and latency spikes at the configured rates. It exists so the
+// parameter server's retry and eviction paths are testable without a real
+// lossy link: production deployments of ps-lite-style parameter servers
+// assume exactly these failure modes.
+type Faulty struct {
+	inner Transport
+	spec  FaultSpec
+
+	mu     sync.Mutex
+	state  uint64
+	counts FaultCounts
+}
+
+// NewFaulty wraps inner with fault injection per spec.
+func NewFaulty(inner Transport, spec FaultSpec) *Faulty {
+	if inner == nil {
+		panic("comm: NewFaulty needs a transport")
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if spec.Delay > 0 && spec.DelayFor <= 0 {
+		spec.DelayFor = time.Millisecond
+	}
+	return &Faulty{inner: inner, spec: spec, state: spec.Seed}
+}
+
+// Name implements Transport.
+func (f *Faulty) Name() string { return f.inner.Name() + "+faulty" }
+
+// CopiesPerTransfer implements Transport.
+func (f *Faulty) CopiesPerTransfer() int { return f.inner.CopiesPerTransfer() }
+
+// Pull implements Transport.
+func (f *Faulty) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
+	return f.transfer("pull", dst, src, enc, f.inner.Pull)
+}
+
+// Push implements Transport.
+func (f *Faulty) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
+	return f.transfer("push", dst, src, enc, f.inner.Push)
+}
+
+// Counts reports the faults injected so far.
+func (f *Faulty) Counts() FaultCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+func (f *Faulty) transfer(dir string, dst, src []float32, enc Encoding,
+	op func(dst, src []float32, enc Encoding) (TransferStats, error)) (TransferStats, error) {
+	delayed, transient, cut := f.decide(len(dst))
+	if delayed {
+		time.Sleep(f.spec.DelayFor)
+	}
+	if transient {
+		return TransferStats{}, fmt.Errorf("comm: injected transient %s failure", dir)
+	}
+	if cut >= 0 {
+		// The prefix crossed the bus before the cut; charge it honestly.
+		st, err := op(dst[:cut], src[:cut], enc)
+		if err != nil {
+			return st, err
+		}
+		return st, fmt.Errorf("comm: injected truncation: %s cut at %d/%d params", dir, cut, len(dst))
+	}
+	return op(dst, src, enc)
+}
+
+// decide draws this transfer's fate. cut is -1 when the payload survives
+// intact, else the number of leading params that cross before the cut.
+func (f *Faulty) decide(n int) (delayed, transient bool, cut int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cut = -1
+	if f.roll() < f.spec.Delay {
+		delayed = true
+		f.counts.Delayed++
+	}
+	if f.roll() < f.spec.Transient {
+		transient = true
+		f.counts.Transient++
+		return
+	}
+	if n > 1 && f.roll() < f.spec.Truncate {
+		cut = 1 + int(f.next()%uint64(n-1))
+		f.counts.Truncated++
+	}
+	return
+}
+
+// next advances the splitmix64 generator; roll maps it to [0, 1).
+func (f *Faulty) next() uint64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (f *Faulty) roll() float64 {
+	return float64(f.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,199 @@
+package comm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// downTransport always fails, counting the attempts it swallowed.
+type downTransport struct{ calls int }
+
+func (d *downTransport) Name() string           { return "down" }
+func (d *downTransport) CopiesPerTransfer() int { return 1 }
+func (d *downTransport) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
+	d.calls++
+	return TransferStats{}, errors.New("link down")
+}
+func (d *downTransport) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
+	d.calls++
+	return TransferStats{}, errors.New("link down")
+}
+
+func faultPayload(n int) ([]float32, []float32) {
+	src := make([]float32, n)
+	dst := make([]float32, n)
+	for i := range src {
+		src[i] = float32(i) + 0.25
+	}
+	return dst, src
+}
+
+func TestFaultyPassthroughWhenInactive(t *testing.T) {
+	f := NewFaulty(NewSharedMem(1), FaultSpec{Seed: 1})
+	if (FaultSpec{}).Active() {
+		t.Fatal("zero spec reported active")
+	}
+	dst, src := faultPayload(64)
+	for i := 0; i < 50; i++ {
+		st, err := f.Pull(dst, src, FP32)
+		if err != nil {
+			t.Fatalf("inactive faulty errored: %v", err)
+		}
+		if st.BusBytes != 4*64 || st.Copies != 1 {
+			t.Fatalf("stats distorted: %+v", st)
+		}
+	}
+	if c := f.Counts(); c != (FaultCounts{}) {
+		t.Fatalf("inactive faulty injected: %+v", c)
+	}
+	if f.Name() != "COMM+faulty" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if f.CopiesPerTransfer() != 1 {
+		t.Fatal("copies not delegated")
+	}
+}
+
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	spec := FaultSpec{Transient: 0.3, Truncate: 0.2, Seed: 99}
+	sequence := func() []bool {
+		f := NewFaulty(NewSharedMem(1), spec)
+		dst, src := faultPayload(32)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			_, err := f.Push(dst, src, FP32)
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := sequence(), sequence()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule diverged at transfer %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	// Roughly Transient + (1-Transient)·Truncate ≈ 44% of 200 transfers.
+	if faults < 50 || faults > 140 {
+		t.Fatalf("injected %d faults in 200 transfers at combined rate ~0.44", faults)
+	}
+}
+
+func TestFaultyTruncationIsPartial(t *testing.T) {
+	f := NewFaulty(NewSharedMem(1), FaultSpec{Truncate: 1, Seed: 7})
+	dst, src := faultPayload(32)
+	st, err := f.Pull(dst, src, FP32)
+	if err == nil || !strings.Contains(err.Error(), "truncation") {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+	if st.BusBytes <= 0 || st.BusBytes >= 4*32 {
+		t.Fatalf("truncated transfer charged %d bytes, want a proper prefix", st.BusBytes)
+	}
+	// The prefix landed, the tail did not.
+	cut := int(st.BusBytes / 4)
+	for i := 0; i < cut; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("prefix param %d not delivered", i)
+		}
+	}
+	for i := cut; i < len(dst); i++ {
+		if dst[i] != 0 {
+			t.Fatalf("param %d written past the cut", i)
+		}
+	}
+	if c := f.Counts(); c.Truncated != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestFaultyDelaySpikes(t *testing.T) {
+	f := NewFaulty(NewSharedMem(1), FaultSpec{Delay: 1, DelayFor: time.Millisecond, Seed: 3})
+	dst, src := faultPayload(8)
+	start := time.Now()
+	if _, err := f.Pull(dst, src, FP32); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay spike not applied")
+	}
+	if c := f.Counts(); c.Delayed != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestRetryingRecoversFromTransients(t *testing.T) {
+	inner := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 11})
+	tr := NewRetrying(inner, RetryPolicy{Attempts: 20})
+	dst, src := faultPayload(16)
+	var total TransferStats
+	for i := 0; i < 40; i++ {
+		for j := range dst {
+			dst[j] = 0
+		}
+		st, err := tr.Pull(dst, src, FP32)
+		if err != nil {
+			t.Fatalf("transfer %d not recovered: %v", i, err)
+		}
+		total.Add(st)
+		for j := range dst {
+			if dst[j] != src[j] {
+				t.Fatalf("transfer %d delivered corrupt data", i)
+			}
+		}
+	}
+	if total.Retries == 0 {
+		t.Fatal("no retries accounted at 50% transient rate")
+	}
+}
+
+func TestRetryingExhaustsBudget(t *testing.T) {
+	down := &downTransport{}
+	tr := NewRetrying(down, RetryPolicy{Attempts: 4})
+	dst, src := faultPayload(8)
+	st, err := tr.Push(dst, src, FP32)
+	if err == nil || !strings.Contains(err.Error(), "4 attempts") {
+		t.Fatalf("want exhaustion error, got %v", err)
+	}
+	if down.calls != 4 {
+		t.Fatalf("inner called %d times, want 4", down.calls)
+	}
+	if st.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3 (failed attempts)", st.Retries)
+	}
+}
+
+func TestRetryingBackoffCapped(t *testing.T) {
+	var sleeps []time.Duration
+	tr := NewRetrying(&downTransport{}, RetryPolicy{
+		Attempts:  6,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  4 * time.Millisecond,
+		Sleep:     func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	dst, src := faultPayload(4)
+	if _, err := tr.Pull(dst, src, FP32); err == nil {
+		t.Fatal("down transport succeeded")
+	}
+	want := []time.Duration{1, 2, 4, 4, 4}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %d times, want %d", len(sleeps), len(want))
+	}
+	for i, w := range want {
+		if sleeps[i] != w*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want %v", i, sleeps[i], w*time.Millisecond)
+		}
+	}
+}
+
+func TestTransferStatsAddIncludesRetries(t *testing.T) {
+	a := TransferStats{BusBytes: 10, Copies: 1, Retries: 2}
+	a.Add(TransferStats{BusBytes: 5, Copies: 3, Retries: 1})
+	if a.Retries != 3 {
+		t.Fatalf("Retries = %d, want 3", a.Retries)
+	}
+}

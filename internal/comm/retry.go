@@ -1,0 +1,89 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds a Retrying decorator: at most Attempts tries per
+// transfer, sleeping BaseDelay·2^i between tries, capped at MaxDelay.
+type RetryPolicy struct {
+	// Attempts is the per-transfer attempt budget (first try included);
+	// values below 2 disable retrying.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; 0 retries
+	// immediately (the right setting for in-memory tests).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff; 0 leaves it uncapped.
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep in tests; nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.Attempts > 1 }
+
+// Retrying decorates a Transport with capped exponential backoff. Every
+// failed attempt is accounted in TransferStats.Retries (and its partial
+// bus traffic in BusBytes), so the cost model can charge what a lossy link
+// really costs. When the budget is exhausted the last error is returned
+// wrapped, together with the accumulated stats — the parameter server
+// accounts those even on failure.
+type Retrying struct {
+	inner Transport
+	pol   RetryPolicy
+}
+
+// NewRetrying wraps inner with the given policy.
+func NewRetrying(inner Transport, pol RetryPolicy) *Retrying {
+	if inner == nil {
+		panic("comm: NewRetrying needs a transport")
+	}
+	if pol.Attempts < 1 {
+		pol.Attempts = 1
+	}
+	if pol.Sleep == nil {
+		pol.Sleep = time.Sleep
+	}
+	return &Retrying{inner: inner, pol: pol}
+}
+
+// Name implements Transport.
+func (r *Retrying) Name() string { return r.inner.Name() + "+retry" }
+
+// CopiesPerTransfer implements Transport.
+func (r *Retrying) CopiesPerTransfer() int { return r.inner.CopiesPerTransfer() }
+
+// Pull implements Transport.
+func (r *Retrying) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
+	return r.do(func() (TransferStats, error) { return r.inner.Pull(dst, src, enc) })
+}
+
+// Push implements Transport.
+func (r *Retrying) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
+	return r.do(func() (TransferStats, error) { return r.inner.Push(dst, src, enc) })
+}
+
+func (r *Retrying) do(op func() (TransferStats, error)) (TransferStats, error) {
+	var total TransferStats
+	delay := r.pol.BaseDelay
+	var lastErr error
+	for attempt := 1; attempt <= r.pol.Attempts; attempt++ {
+		st, err := op()
+		total.Add(st)
+		if err == nil {
+			total.Retries += attempt - 1
+			return total, nil
+		}
+		lastErr = err
+		if attempt < r.pol.Attempts && delay > 0 {
+			r.pol.Sleep(delay)
+			delay *= 2
+			if r.pol.MaxDelay > 0 && delay > r.pol.MaxDelay {
+				delay = r.pol.MaxDelay
+			}
+		}
+	}
+	total.Retries += r.pol.Attempts - 1
+	return total, fmt.Errorf("comm: %s: giving up after %d attempts: %w", r.inner.Name(), r.pol.Attempts, lastErr)
+}

@@ -11,16 +11,21 @@ import (
 // worker↔server channel, and how many times the payload was copied through
 // memory end to end. COMM's shared buffers need one copy; COMM-P's
 // marshal/send/unmarshal path needs three. The simulated platform charges
-// bus time from BusBytes and memory time from Copies.
+// bus time from BusBytes and memory time from Copies. Retries counts
+// failed attempts a Retrying decorator repeated; their bus traffic (e.g. a
+// truncated payload's prefix) stays in BusBytes, so the cost model can
+// charge the waste of a lossy link.
 type TransferStats struct {
 	BusBytes int64
 	Copies   int
+	Retries  int
 }
 
 // Add accumulates other into s.
 func (s *TransferStats) Add(other TransferStats) {
 	s.BusBytes += other.BusBytes
 	s.Copies += other.Copies
+	s.Retries += other.Retries
 }
 
 // Transport moves float32 feature vectors between a worker and the server.

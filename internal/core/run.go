@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"hccmf/internal/comm"
 	"hccmf/internal/dataset"
@@ -46,6 +47,16 @@ type RunConfig struct {
 	Schedule mf.Schedule
 	// Seed drives dataset generation and factor initialisation.
 	Seed uint64
+	// Fault, when active, wraps the real-execution transport with seeded
+	// fault injection (chaos testing the PS runtime against a lossy link).
+	Fault comm.FaultSpec
+	// Retry, when enabled (Attempts > 1), wraps the transport with capped
+	// exponential backoff; retries are accounted in CommStats.Retries.
+	Retry comm.RetryPolicy
+	// EvictOnFailure lets the cluster evict a worker whose transfers fail
+	// even after retries, reassigning its rows to survivors instead of
+	// aborting the run. Evictions are recorded in Result.Evictions.
+	EvictOnFailure bool
 }
 
 // Result is everything a run produces.
@@ -66,6 +77,9 @@ type Result struct {
 	// CommStats accounts real-execution transfers (zero without real
 	// execution).
 	CommStats comm.TransferStats
+	// Evictions records workers removed mid-run by fault tolerance
+	// (empty on a fault-free run).
+	Evictions []ps.Eviction
 	// Model is the trained factor model (nil without real execution). Its
 	// orientation matches TrainedData (transposed when the plan was).
 	Model *mf.Factors
@@ -78,6 +92,13 @@ type Result struct {
 func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("core: epochs = %d", cfg.Epochs)
+	}
+	if cfg.MaterializeScale < 0 || cfg.MaterializeScale > 1 {
+		return nil, fmt.Errorf("core: MaterializeScale = %v, want 0 (simulate only) or a shrink factor in (0,1]",
+			cfg.MaterializeScale)
+	}
+	if err := cfg.Fault.Validate(); err != nil {
+		return nil, err
 	}
 	plan, err := PlanRun(cfg.Platform, cfg.Spec, cfg.Plan)
 	if err != nil {
@@ -130,6 +151,15 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	if transport == nil {
 		transport = comm.NewSharedMem(len(cfg.Platform.Workers))
 	}
+	// The fault-tolerance stack wraps outside-in: faults are injected on
+	// the raw link, retries absorb them above, eviction (in ps) catches
+	// whatever the retry budget cannot.
+	if cfg.Fault.Active() {
+		transport = comm.NewFaulty(transport, cfg.Fault)
+	}
+	if cfg.Retry.Enabled() {
+		transport = comm.NewRetrying(transport, cfg.Retry)
+	}
 
 	confs, err := buildWorkerConfs(plan.Platform, plan, train)
 	if err != nil {
@@ -142,24 +172,26 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 			Lambda1: spec.Params.Lambda1,
 			Lambda2: spec.Params.Lambda2,
 		},
-		Transport:  transport,
-		Strategy:   plan.Strategy,
-		MeanRating: train.MeanRating(),
-		Seed:       cfg.Seed + 1,
-		Schedule:   cfg.Schedule,
+		Transport:      transport,
+		Strategy:       plan.Strategy,
+		MeanRating:     train.MeanRating(),
+		Seed:           cfg.Seed + 1,
+		Schedule:       cfg.Schedule,
+		EvictOnFailure: cfg.EvictOnFailure,
 	}, confs)
 	if err != nil {
 		return err
 	}
 
+	threads := evalThreads()
 	curve := &metrics.Curve{Label: "HCC-MF/" + spec.Name}
-	curve.Append(0, 0, mf.RMSEParallel(cluster.Snapshot(), test.Entries, 4))
+	curve.Append(0, 0, mf.RMSEParallel(cluster.Snapshot(), test.Entries, threads))
 	cum := 0.0
 	err = cluster.Train(cfg.Epochs, func(e int, model *mf.Factors) {
 		if e < len(sim.EpochTimes) {
 			cum += sim.EpochTimes[e]
 		}
-		curve.Append(e+1, cum, mf.RMSEParallel(model, test.Entries, 4))
+		curve.Append(e+1, cum, mf.RMSEParallel(model, test.Entries, threads))
 	})
 	if err != nil {
 		return err
@@ -167,9 +199,24 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	res.Curve = curve
 	res.FinalRMSE = curve.Final()
 	res.CommStats = cluster.CommStats()
+	res.Evictions = cluster.Evictions()
 	res.Model = cluster.Snapshot()
 	res.TrainedData = &dataset.Dataset{Spec: spec, Train: train, Test: test}
 	return nil
+}
+
+// evalThreads derives evaluation parallelism from the host instead of a
+// hard-coded constant: all of GOMAXPROCS, bounded by the same cap
+// EngineFor applies so laptop-scale runs are not oversubscribed.
+func evalThreads() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > hostCap {
+		n = hostCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // buildWorkerConfs cuts the row grid by the plan's shares and binds each
@@ -182,10 +229,13 @@ func buildWorkerConfs(plat Platform, plan Plan, train *sparse.COO) ([]ps.WorkerC
 	}
 	confs := make([]ps.WorkerConf, len(slices))
 	for i, sl := range slices {
+		// One bucketing pass: the CSR already has entries grouped by row,
+		// so each shard is a direct walk of its row span instead of a
+		// rescan of the full entry list per worker (O(workers × NNZ)).
 		shard := sparse.NewCOO(train.Rows, train.Cols, int(sl.NNZ))
-		for _, e := range train.Entries {
-			if int(e.U) >= sl.Lo && int(e.U) < sl.Hi {
-				shard.Entries = append(shard.Entries, e)
+		for r := sl.Lo; r < sl.Hi; r++ {
+			for p := csr.RowPtr[r]; p < csr.RowPtr[r+1]; p++ {
+				shard.Entries = append(shard.Entries, sparse.Rating{U: int32(r), I: csr.Col[p], V: csr.Val[p]})
 			}
 		}
 		confs[i] = ps.WorkerConf{
@@ -199,12 +249,14 @@ func buildWorkerConfs(plat Platform, plan Plan, train *sparse.COO) ([]ps.WorkerC
 	return confs, nil
 }
 
+// hostCap bounds per-engine (and evaluation) thread counts so
+// laptop-scale real runs do not oversubscribe the host.
+const hostCap = 4
+
 // EngineFor picks the execution engine matching a device's character:
 // CPUs run the FPSGD block-scheduled kernel, GPUs the cuMF_SGD-style
-// batched kernel. Thread counts are capped so laptop-scale real runs do
-// not oversubscribe the host.
+// batched kernel.
 func EngineFor(d *device.Device) mf.Engine {
-	const hostCap = 4
 	switch d.Kind {
 	case device.GPU:
 		return mf.Batched{Groups: hostCap, BatchSize: 1 << 14}

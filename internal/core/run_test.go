@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math"
+	"strings"
 	"testing"
 
+	"hccmf/internal/comm"
 	"hccmf/internal/dataset"
 	"hccmf/internal/device"
 	"hccmf/internal/mf"
@@ -108,6 +111,69 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := Run(RunConfig{Spec: dataset.Netflix, Platform: Platform{}, Epochs: 5}); err == nil {
 		t.Fatal("invalid platform accepted")
+	}
+	// MaterializeScale outside [0, 1] used to be silently ignored (> 1
+	// trained full-size; Spec.Scaled would panic on it elsewhere). It must
+	// be a descriptive error now.
+	for _, scale := range []float64{1.5, 2, -0.1} {
+		_, err := Run(RunConfig{
+			Spec: dataset.Netflix, Platform: PaperPlatformOverall(),
+			Epochs: 5, MaterializeScale: scale,
+		})
+		if err == nil {
+			t.Fatalf("MaterializeScale %v accepted", scale)
+		}
+		if !strings.Contains(err.Error(), "MaterializeScale") {
+			t.Fatalf("MaterializeScale %v: undescriptive error %v", scale, err)
+		}
+	}
+	// Out-of-range fault rates must be a descriptive error at Run, not a
+	// panic from the transport wrapper deep inside runReal.
+	for _, rate := range []float64{1.5, -0.2} {
+		_, err := Run(RunConfig{
+			Spec: dataset.Netflix, Platform: PaperPlatformOverall(),
+			Epochs: 5, MaterializeScale: 0.002,
+			Fault: comm.FaultSpec{Transient: rate},
+		})
+		if err == nil || !strings.Contains(err.Error(), "fault rate") {
+			t.Fatalf("fault rate %v: want descriptive error, got %v", rate, err)
+		}
+	}
+}
+
+// A run under seeded fault injection with retries must complete with no
+// run-level error, account its retries, and converge like the fault-free
+// run.
+func TestRunSurvivesInjectedFaults(t *testing.T) {
+	skipRealTrainingUnderRace(t)
+	run := func(rate float64) *Result {
+		res, err := Run(RunConfig{
+			Spec:             dataset.Netflix,
+			Platform:         PaperPlatformOverall(),
+			Epochs:           10,
+			MaterializeScale: 0.002,
+			RealK:            8,
+			Seed:             3,
+			Fault:            comm.FaultSpec{Transient: rate, Seed: 77},
+			Retry:            comm.RetryPolicy{Attempts: 10},
+			EvictOnFailure:   true,
+		})
+		if err != nil {
+			t.Fatalf("rate %v: %v", rate, err)
+		}
+		return res
+	}
+	base := run(0)
+	faulted := run(0.10)
+	if faulted.CommStats.Retries == 0 {
+		t.Fatal("no retries accounted at 10% fault rate")
+	}
+	if len(faulted.Evictions) != 0 {
+		t.Fatalf("unexpected evictions: %+v", faulted.Evictions)
+	}
+	if diff := math.Abs(faulted.FinalRMSE-base.FinalRMSE) / base.FinalRMSE; diff > 0.02 {
+		t.Fatalf("faulted RMSE %v vs fault-free %v (%.1f%% off)",
+			faulted.FinalRMSE, base.FinalRMSE, diff*100)
 	}
 }
 

@@ -35,32 +35,31 @@ func updateOneLocal(f *mf.Factors, e sparse.Rating, h mf.HyperParams) {
 // runEpochAsync executes one epoch in asynchronous mode.
 func (c *Cluster) runEpochAsync(epoch, total int) error {
 	streams := c.cfg.Strategy.Streams
-	copy(c.baseQ, c.global.Q)
+	c.snapshotBaseQ()
 
 	slices := itemSlices(c.cfg.N, streams)
 	coord := &sliceCoordinator{
 		cluster: c,
 		slices:  slices,
 		pending: make([]int, len(slices)),
+		arrived: make([]map[*workerState]bool, len(slices)),
 	}
 	for i := range coord.pending {
 		coord.pending[i] = len(c.workers)
+		coord.arrived[i] = make(map[*workerState]bool, len(c.workers))
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, len(c.workers))
-	for wi, ws := range c.workers {
-		wg.Add(1)
-		go func(wi int, ws *workerState) {
-			defer wg.Done()
-			errs[wi] = c.workerEpochAsync(ws, coord, slices, epoch, total)
-		}(wi, ws)
+	workers, errs := c.runPhase(func(ws *workerState) error {
+		return c.workerEpochAsync(ws, coord, slices, epoch, total)
+	})
+	evicted, err := c.settle(epoch, workers, errs)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	// Slices an evicted worker never delivered must still fold — the
+	// survivors' pushes are in the buffers waiting on its arrival count.
+	for _, ws := range evicted {
+		coord.drop(ws)
 	}
 	return nil
 }
@@ -100,16 +99,17 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 	k := c.cfg.K
 	lo, hi := sl.lo*k, sl.hi*k
 	enc := c.cfg.Strategy.Encoding
+	tr := c.transportFor(ws)
 
 	// Pull the Q slice. Safe concurrently: within an epoch a slice is
 	// folded only after every worker (hence this one) has pushed it, and
 	// every push follows the pull, so no fold can precede any pull of the
 	// same slice.
-	st, err := c.cfg.Transport.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], enc)
+	st, err := tr.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], enc)
+	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: async pull slice %d for %q: %v", sj, ws.conf.Name, err)
 	}
-	c.account(st)
 
 	// Compute. Concurrent streams share ws.local.P — deliberately
 	// unsynchronised (see the package comment above).
@@ -118,14 +118,14 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 	}
 
 	// Push the slice into the worker's push buffer.
-	st, err = c.cfg.Transport.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], enc)
+	st, err = tr.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], enc)
+	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: async push slice %d for %q: %v", sj, ws.conf.Name, err)
 	}
-	c.account(st)
 
 	// Tell the server; it folds the slice once all workers delivered it.
-	coord.arrive(sj)
+	coord.arrive(ws, sj)
 	return nil
 }
 
@@ -140,11 +140,11 @@ func (c *Cluster) pushP(ws *workerState, epoch, total int) error {
 	} else {
 		src = ws.local.P
 	}
-	st, err := c.cfg.Transport.Push(ws.pushP, src, enc)
+	st, err := c.transportFor(ws).Push(ws.pushP, src, enc)
+	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
 	}
-	c.account(st)
 	return nil
 }
 
@@ -203,23 +203,48 @@ func (ws *workerState) sliceChunks(slices []itemSlice) [][]sparse.Rating {
 
 // sliceCoordinator is the server's mid-epoch sync bookkeeping: it counts
 // per-slice pushes and folds a slice conflict-aware once all workers
-// delivered it.
+// delivered it. arrived remembers who pushed what, so evicting a worker
+// can release exactly the slices it never delivered.
 type sliceCoordinator struct {
 	cluster *Cluster
 	slices  []itemSlice
 	mu      sync.Mutex
 	pending []int
+	arrived []map[*workerState]bool
 }
 
 // arrive records one worker's push of slice sj and triggers the fold when
 // it was the last.
-func (sc *sliceCoordinator) arrive(sj int) {
+func (sc *sliceCoordinator) arrive(ws *workerState, sj int) {
 	sc.mu.Lock()
+	sc.arrived[sj][ws] = true
 	sc.pending[sj]--
 	ready := sc.pending[sj] == 0
 	sc.mu.Unlock()
 	if ready {
 		sl := sc.slices[sj]
 		sc.cluster.foldQRows(sl.lo, sl.hi)
+	}
+}
+
+// drop releases an evicted worker's outstanding arrivals: every slice it
+// never pushed is decremented, and slices that were waiting only on it
+// fold now, from the survivors' pushes. Called after the epoch's worker
+// goroutines have quiesced and the worker has been removed from the
+// cluster, so the fold no longer reads its push buffer.
+func (sc *sliceCoordinator) drop(ws *workerState) {
+	for sj := range sc.slices {
+		sc.mu.Lock()
+		release := sc.pending[sj] > 0 && !sc.arrived[sj][ws]
+		if release {
+			sc.arrived[sj][ws] = true
+			sc.pending[sj]--
+			release = sc.pending[sj] == 0
+		}
+		sc.mu.Unlock()
+		if release {
+			sl := sc.slices[sj]
+			sc.cluster.foldQRows(sl.lo, sl.hi)
+		}
 	}
 }

@@ -1,0 +1,217 @@
+package ps
+
+import (
+	"math"
+	"testing"
+
+	"hccmf/internal/comm"
+	"hccmf/internal/mf"
+)
+
+// chaosTransport is the canonical fault-tolerant stack: shared memory with
+// seeded fault injection, wrapped in bounded retries (no real sleeping).
+func chaosTransport(rate float64, seed uint64, attempts int) comm.Transport {
+	faulty := comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{
+		Transient: rate * 0.8,
+		Truncate:  rate * 0.2,
+		Seed:      seed,
+	})
+	return comm.NewRetrying(faulty, comm.RetryPolicy{Attempts: attempts})
+}
+
+// Training under seeded transient faults with retry enabled must complete
+// with zero run-level errors, bounded retries, and (since a retried
+// in-memory transfer is eventually exact) the very model the fault-free
+// run computes.
+func TestChaosTransientFaultRates(t *testing.T) {
+	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.3, 0.3, 0.4}, 41)
+	run := func(rate float64) (float64, comm.TransferStats) {
+		cfg := defaultConfig(120, 80)
+		cfg.MeanRating = full.MeanRating()
+		cfg.Transport = chaosTransport(rate, 1234, 12)
+		cfg.EvictOnFailure = true
+		c, err := New(cfg, confs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Train(15, nil); err != nil {
+			t.Fatalf("rate %v: run failed: %v", rate, err)
+		}
+		if ev := c.Evictions(); len(ev) != 0 {
+			t.Fatalf("rate %v: unexpected evictions %+v", rate, ev)
+		}
+		return mf.RMSE(c.Snapshot(), full.Entries), c.CommStats()
+	}
+	base, baseStats := run(0)
+	if baseStats.Retries != 0 {
+		t.Fatalf("fault-free run accounted %d retries", baseStats.Retries)
+	}
+	for _, rate := range []float64{0.05, 0.10, 0.20} {
+		rmse, stats := run(rate)
+		if diff := math.Abs(rmse-base) / base; diff > 0.02 {
+			t.Fatalf("rate %v: RMSE %v vs fault-free %v (%.1f%% off)", rate, rmse, base, diff*100)
+		}
+		if stats.Retries == 0 {
+			t.Fatalf("rate %v: no retries accounted", rate)
+		}
+		// Retry budget must stay bounded: nowhere near attempts × transfers.
+		transfers := int64(3 /*workers*/ * 15 /*epochs*/ * 4 /*pull+push ×2 matrices*/)
+		if int64(stats.Retries) > 12*transfers {
+			t.Fatalf("rate %v: %d retries for ~%d transfers", rate, stats.Retries, transfers)
+		}
+	}
+}
+
+// A worker whose link is permanently down exhausts its retry budget and is
+// evicted; the survivors absorb its rows and the run completes with a
+// model that covers all of P.
+func TestEvictionReassignsRowsSync(t *testing.T) {
+	for _, mode := range []struct {
+		name  string
+		strat comm.Strategy
+	}{
+		{"naive", comm.Strategy{Encoding: comm.FP32, Streams: 1}},
+		{"q-only", comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 1}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			full, confs := buildProblem(t, 120, 80, 6000, []float64{0.3, 0.3, 0.4}, 42)
+			confs[1].Transport = comm.NewRetrying(
+				comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 5}),
+				comm.RetryPolicy{Attempts: 3})
+			cfg := defaultConfig(120, 80)
+			cfg.Strategy = mode.strat
+			cfg.MeanRating = full.MeanRating()
+			cfg.EvictOnFailure = true
+			c, err := New(cfg, confs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Train(25, nil); err != nil {
+				t.Fatalf("run did not survive a dead worker: %v", err)
+			}
+			ev := c.Evictions()
+			if len(ev) != 1 || ev[0].Worker != confs[1].Name || ev[0].Epoch != 0 {
+				t.Fatalf("evictions = %+v", ev)
+			}
+			if c.Workers() != 2 {
+				t.Fatalf("workers = %d after eviction", c.Workers())
+			}
+			// Survivor ranges must cover [0, M) with no overlap.
+			covered := make([]int, 120)
+			for _, ws := range c.workers {
+				for r := ws.conf.RowLo; r < ws.conf.RowHi; r++ {
+					covered[r]++
+				}
+			}
+			for r, n := range covered {
+				if n != 1 {
+					t.Fatalf("row %d owned by %d workers after eviction", r, n)
+				}
+			}
+			if err := c.Global().Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The final model must cover the evicted rows: training on the
+			// full entry set still converges.
+			if rmse := mf.RMSE(c.Snapshot(), full.Entries); rmse > 0.5 {
+				t.Fatalf("model incomplete after eviction: RMSE %v", rmse)
+			}
+			if rmse := mf.RMSE(c.Global(), full.Entries); rmse > 0.5 {
+				t.Fatalf("global model incomplete after eviction: RMSE %v", rmse)
+			}
+		})
+	}
+}
+
+// Eviction in asynchronous mode: the coordinator must release the dead
+// worker's undelivered slices so the survivors' pushes still fold.
+func TestEvictionReassignsRowsAsync(t *testing.T) {
+	skipAsyncUnderRace(t)
+	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.5, 0.5}, 43)
+	confs[1].Transport = comm.NewRetrying(
+		comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 6}),
+		comm.RetryPolicy{Attempts: 2})
+	cfg := defaultConfig(120, 80)
+	cfg.Strategy = comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 4}
+	cfg.MeanRating = full.MeanRating()
+	cfg.EvictOnFailure = true
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(25, nil); err != nil {
+		t.Fatalf("async run did not survive a dead worker: %v", err)
+	}
+	ev := c.Evictions()
+	if len(ev) != 1 || ev[0].InheritedBy != confs[0].Name {
+		t.Fatalf("evictions = %+v", ev)
+	}
+	if rmse := mf.RMSE(c.Snapshot(), full.Entries); rmse > 0.6 {
+		t.Fatalf("async model incomplete after eviction: RMSE %v", rmse)
+	}
+	if rmse := mf.RMSE(c.Global(), full.Entries); rmse > 0.6 {
+		t.Fatalf("async global model incomplete after eviction: RMSE %v", rmse)
+	}
+}
+
+// Without the opt-in, a dead worker still aborts the run (the seed
+// behaviour), and the error names the worker.
+func TestDeadWorkerAbortsWithoutOptIn(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 1000, []float64{0.5, 0.5}, 44)
+	confs[1].Transport = comm.NewRetrying(
+		comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 7}),
+		comm.RetryPolicy{Attempts: 2})
+	cfg := defaultConfig(60, 40)
+	cfg.MeanRating = full.MeanRating()
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(5, nil); err == nil {
+		t.Fatal("dead worker did not abort without EvictOnFailure")
+	}
+	if len(c.Evictions()) != 0 {
+		t.Fatal("eviction recorded without opt-in")
+	}
+}
+
+// When every worker is dead there is nobody to degrade to: the run must
+// fail with a clear error rather than spin.
+func TestAllWorkersDeadFails(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 1000, []float64{1}, 45)
+	confs[0].Transport = comm.NewRetrying(
+		comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 8}),
+		comm.RetryPolicy{Attempts: 2})
+	cfg := defaultConfig(60, 40)
+	cfg.MeanRating = full.MeanRating()
+	cfg.EvictOnFailure = true
+	c, err := New(cfg, confs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(5, nil); err == nil {
+		t.Fatal("run with zero surviving workers reported success")
+	}
+}
+
+// Retries consumed by transfers that eventually fail are still accounted,
+// so the cost model sees the waste of the dead link.
+func TestEvictionAccountsFailedRetries(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 1000, []float64{0.5, 0.5}, 46)
+	confs[1].Transport = comm.NewRetrying(
+		comm.NewFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 9}),
+		comm.RetryPolicy{Attempts: 4})
+	cfg := defaultConfig(60, 40)
+	cfg.MeanRating = full.MeanRating()
+	cfg.EvictOnFailure = true
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommStats().Retries; got != 3 {
+		t.Fatalf("Retries = %d, want 3 (one exhausted budget of 4 attempts)", got)
+	}
+}

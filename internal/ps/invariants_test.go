@@ -82,6 +82,46 @@ func TestUntouchedQRowsUnchanged(t *testing.T) {
 	}
 }
 
+// Regression for the FP16 baseQ bug: the fold must diff pushes against the
+// encoding round-trip of the base Q, not the raw base. Diffing against the
+// raw base made FP16 quantization error look like an update from every
+// worker, so rows no worker trained drifted toward their FP16 rounding
+// each epoch. An untouched row must be bit-identical after an FP16 epoch.
+func TestUntouchedQRowFP16BitIdentical(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 800, []float64{0.5, 0.5}, 65)
+	// Strip items 0 and 39 from every shard so no worker touches them.
+	for _, conf := range confs {
+		kept := conf.Shard.Entries[:0]
+		for _, e := range conf.Shard.Entries {
+			if e.I != 0 && e.I != 39 {
+				kept = append(kept, e)
+			}
+		}
+		conf.Shard.Entries = kept
+	}
+	cfg := defaultConfig(60, 40)
+	cfg.Strategy = comm.Strategy{Encoding: comm.FP16, Streams: 1}
+	cfg.MeanRating = full.MeanRating()
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cfg.K
+	q0 := append([]float32(nil), c.Global().Q[0*k:1*k]...)
+	q39 := append([]float32(nil), c.Global().Q[39*k:40*k]...)
+	if err := c.Train(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if got := c.Global().Q[i]; got != q0[i] {
+			t.Fatalf("untouched item 0 row drifted under FP16 at %d: %v → %v", i, q0[i], got)
+		}
+		if got := c.Global().Q[39*k+i]; got != q39[i] {
+			t.Fatalf("untouched item 39 row drifted under FP16 at %d: %v → %v", i, q39[i], got)
+		}
+	}
+}
+
 // With a single worker, the delta fold reduces to "take the worker's Q
 // verbatim": training through the cluster equals training directly.
 func TestSingleWorkerClusterMatchesDirectTraining(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"hccmf/internal/comm"
+	"hccmf/internal/fp16"
 	"hccmf/internal/mf"
 	"hccmf/internal/sparse"
 )
@@ -36,6 +37,10 @@ type WorkerConf struct {
 	// Weight is the server's blend factor when folding this worker's Q
 	// push (normalised across workers at construction).
 	Weight float64
+	// Transport, when non-nil, overrides Config.Transport for this worker.
+	// It models a per-worker link, letting one worker's channel degrade
+	// (or die) independently of the rest of the cluster.
+	Transport comm.Transport
 }
 
 // Config is the cluster-wide training configuration.
@@ -53,6 +58,11 @@ type Config struct {
 	// Schedule, when non-nil, overrides Hyper.Gamma per epoch (e.g.
 	// cuMF_SGD's inverse decay). Regularisers stay fixed.
 	Schedule mf.Schedule
+	// EvictOnFailure enables graceful degradation: a worker whose
+	// transfers still fail after the transport's own retries is evicted —
+	// its row range and shard move to a survivor — instead of aborting
+	// the whole run. Off by default (a failure aborts, as before).
+	EvictOnFailure bool
 }
 
 // Cluster is a live parameter-server training instance.
@@ -61,8 +71,13 @@ type Cluster struct {
 	global  *mf.Factors
 	workers []*workerState
 	// baseQ snapshots the global Q each epoch's pulls were served from, so
-	// sync can fold each worker's *delta* against it.
+	// sync can fold each worker's *delta* against it. Under FP16 it holds
+	// the encode/decode round-trip of the global Q (see snapshotBaseQ).
 	baseQ []float32
+	// baseQStage is the FP16 staging buffer for snapshotBaseQ.
+	baseQStage []fp16.Bits16
+	// evictions records workers removed by fault tolerance.
+	evictions []Eviction
 
 	mu    sync.Mutex
 	stats comm.TransferStats
@@ -181,24 +196,46 @@ func (c *Cluster) RunEpoch(epoch, total int) error {
 	}
 	// Snapshot the Q every worker is about to pull; sync folds deltas
 	// against it.
-	copy(c.baseQ, c.global.Q)
-	if err := c.parallel(func(ws *workerState) error { return c.pull(ws, epoch) }); err != nil {
+	c.snapshotBaseQ()
+	// A worker that fails a phase is settled — evicted or fatal — before
+	// the next phase starts, so an evicted worker never computes or pushes
+	// and its heir trains the absorbed shard the same epoch.
+	if err := c.phase(epoch, func(ws *workerState) error { return c.pull(ws, epoch) }); err != nil {
 		return err
 	}
 	h := c.hyperFor(epoch)
-	if err := c.parallel(func(ws *workerState) error {
+	if err := c.phase(epoch, func(ws *workerState) error {
 		ws.conf.Engine.Epoch(ws.local, ws.conf.Shard, h)
 		return nil
 	}); err != nil {
 		return err
 	}
-	if err := c.parallel(func(ws *workerState) error { return c.push(ws, epoch, total) }); err != nil {
+	if err := c.phase(epoch, func(ws *workerState) error { return c.push(ws, epoch, total) }); err != nil {
 		return err
 	}
 	// Sync runs on the server thread (the paper's Sync thread), draining
 	// all push buffers.
 	c.syncAll(epoch, total)
 	return nil
+}
+
+// snapshotBaseQ records the Q this epoch's pulls are served from. Under
+// FP16 the snapshot takes the same encode/decode round-trip the pulls see:
+// a worker that never touches a row pushes back exactly roundtrip(global
+// Q), so diffing against the round-tripped base leaves untouched rows at
+// delta zero. Diffing against the raw global Q (the old behaviour) made
+// quantization error look like an update from every worker — dragging
+// untouched rows toward their FP16 rounding each epoch and inflating the
+// updater count that divides real conflicting deltas.
+func (c *Cluster) snapshotBaseQ() {
+	copy(c.baseQ, c.global.Q)
+	if c.cfg.Strategy.Encoding == comm.FP16 {
+		if c.baseQStage == nil {
+			c.baseQStage = make([]fp16.Bits16, len(c.baseQ))
+		}
+		fp16.EncodeSlice(c.baseQStage, c.baseQ)
+		fp16.DecodeSlice(c.baseQ, c.baseQStage)
+	}
 }
 
 // hyperFor applies the learning-rate schedule, if any, to the epoch.
@@ -210,10 +247,14 @@ func (c *Cluster) hyperFor(epoch int) mf.HyperParams {
 	return h
 }
 
-func (c *Cluster) parallel(fn func(*workerState) error) error {
+// runPhase executes fn once per current worker concurrently, returning the
+// worker snapshot the results are aligned to (evictions mutate c.workers,
+// so callers must not index into it with the phase's error slice).
+func (c *Cluster) runPhase(fn func(*workerState) error) ([]*workerState, []error) {
+	workers := append([]*workerState(nil), c.workers...)
+	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.workers))
-	for i, ws := range c.workers {
+	for i, ws := range workers {
 		wg.Add(1)
 		go func(i int, ws *workerState) {
 			defer wg.Done()
@@ -221,30 +262,44 @@ func (c *Cluster) parallel(fn func(*workerState) error) error {
 		}(i, ws)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	return workers, errs
+}
+
+// phase runs one bulk-synchronous phase and settles its failures.
+func (c *Cluster) phase(epoch int, fn func(*workerState) error) error {
+	workers, errs := c.runPhase(fn)
+	_, err := c.settle(epoch, workers, errs)
+	return err
+}
+
+// transportFor resolves the worker's link (per-worker override or the
+// cluster-wide transport).
+func (c *Cluster) transportFor(ws *workerState) comm.Transport {
+	if ws.conf.Transport != nil {
+		return ws.conf.Transport
 	}
-	return nil
+	return c.cfg.Transport
 }
 
 // pull downloads the feature data the strategy calls for this epoch.
+// Transfer stats are accounted even when the transfer fails: a retried or
+// truncated attempt consumed real bus time.
 func (c *Cluster) pull(ws *workerState, epoch int) error {
 	enc := c.cfg.Strategy.Encoding
+	tr := c.transportFor(ws)
 	// Q always travels.
-	st, err := c.cfg.Transport.Pull(ws.local.Q, c.global.Q, enc)
+	st, err := tr.Pull(ws.local.Q, c.global.Q, enc)
+	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: pull Q for %q: %v", ws.conf.Name, err)
 	}
-	c.account(st)
 	if !c.cfg.Strategy.QOnly {
 		// Naive baseline: the complete P every epoch.
-		st, err := c.cfg.Transport.Pull(ws.local.P, c.global.P, enc)
+		st, err := tr.Pull(ws.local.P, c.global.P, enc)
+		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: pull P for %q: %v", ws.conf.Name, err)
 		}
-		c.account(st)
 	}
 	return nil
 }
@@ -252,27 +307,28 @@ func (c *Cluster) pull(ws *workerState, epoch int) error {
 // push uploads the worker's updates into its push buffers.
 func (c *Cluster) push(ws *workerState, epoch, total int) error {
 	enc := c.cfg.Strategy.Encoding
-	st, err := c.cfg.Transport.Push(ws.pushQ, ws.local.Q, enc)
+	tr := c.transportFor(ws)
+	st, err := tr.Push(ws.pushQ, ws.local.Q, enc)
+	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: push Q for %q: %v", ws.conf.Name, err)
 	}
-	c.account(st)
 	switch {
 	case !c.cfg.Strategy.QOnly:
 		// Naive baseline: full P every epoch.
-		st, err := c.cfg.Transport.Push(ws.pushP, ws.local.P, enc)
+		st, err := tr.Push(ws.pushP, ws.local.P, enc)
+		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
 		}
-		c.account(st)
 	case epoch == total-1:
 		// Final Q-only push adds the worker's own P rows.
 		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
-		st, err := c.cfg.Transport.Push(ws.pushP, ws.local.P[lo:hi], enc)
+		st, err := tr.Push(ws.pushP, ws.local.P[lo:hi], enc)
+		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
 		}
-		c.account(st)
 	}
 	return nil
 }
