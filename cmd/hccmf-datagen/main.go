@@ -47,7 +47,10 @@ func main() {
 			fatal(err)
 		}
 		if *scale < 1 {
-			spec = spec.Scaled(*scale)
+			spec, err = spec.Scaled(*scale)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		ds, err := dataset.Generate(spec, *seed)
 		if err != nil {

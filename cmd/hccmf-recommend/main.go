@@ -53,7 +53,10 @@ func main() {
 				ratings.Rows, ratings.Cols, model.M, model.N))
 		}
 		if *evalHitRate {
-			train, test := ratings.SplitTrainTest(sparse.NewRand(1), 0.1)
+			train, test, err := ratings.SplitTrainTest(sparse.NewRand(1), 0.1)
+			if err != nil {
+				fatal(err)
+			}
 			if err := rec.MarkSeen(train); err != nil {
 				fatal(err)
 			}

@@ -51,7 +51,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		train, test := m.SplitTrainTest(sparse.NewRand(*seed), 0.1)
+		train, test, err := m.SplitTrainTest(sparse.NewRand(*seed), 0.1)
+		if err != nil {
+			fatal(err)
+		}
 		spec = dataset.Spec{
 			Name: "file", M: m.Rows, N: m.Cols, NNZ: int64(m.NNZ()),
 			Rank:   *k,

@@ -1,0 +1,84 @@
+// Command hccmf-vet runs HCC-MF's custom analyzer suite (internal/lint)
+// over the given packages, in the shape of a x/tools multichecker:
+//
+//	hccmf-vet ./...
+//	hccmf-vet -list
+//	hccmf-vet -run simtime,seededrand ./internal/comm
+//
+// The suite mechanically enforces the reproduction's determinism
+// invariants: no wall clock in simulated-platform packages (simtime), no
+// global math/rand in library code (seededrand), no undocumented panics
+// in exported API (panicpolicy), and Hogwild races quarantined behind
+// raceflag (raceguard). Exit status 1 when any analyzer reports a
+// finding, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hccmf/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main separated from os.Exit so the smoke tests can drive the
+// full multichecker in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hccmf-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "hccmf-vet: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "hccmf-vet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "hccmf-vet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hccmf-vet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The multichecker must report the known-bad fixture (exit 1, findings
+// from every tripped analyzer on stdout) and pass the known-good one.
+func TestVetReportsKnownBadFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./testdata/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"(simtime)", "(seededrand)", "(panicpolicy)", "time.Now", "rand.Intn", "panic in exported"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestVetPassesKnownGoodFixture(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"./testdata/good"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output: %s%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected findings on good fixture:\n%s", out.String())
+	}
+}
+
+func TestVetListsAnalyzers(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"simtime", "seededrand", "panicpolicy", "raceguard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}
+
+func TestVetRejectsUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "nope", "./testdata/good"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errb.String())
+	}
+}

@@ -1,0 +1,20 @@
+// Package costmodel is a known-bad smoke fixture: its name places it in
+// the simulated-platform set and it trips three analyzers at once.
+package costmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Jitter reads the wall clock and the global generator, and panics on
+// misuse — one finding per analyzer.
+func Jitter(n int) time.Duration {
+	if n <= 0 {
+		panic(fmt.Sprintf("costmodel: n = %d", n))
+	}
+	start := time.Now()
+	d := time.Duration(rand.Intn(n)) * time.Millisecond
+	return time.Since(start) + d
+}

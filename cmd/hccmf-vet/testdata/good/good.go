@@ -1,0 +1,17 @@
+// Package costmodel is a known-good smoke fixture: simulated time only,
+// seeded randomness, errors instead of panics.
+package costmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Jitter draws from an explicitly seeded generator and reports misuse as
+// an error.
+func Jitter(r *rand.Rand, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("costmodel: n = %d", n)
+	}
+	return float64(r.Intn(n)), nil
+}

@@ -29,7 +29,7 @@ func main() {
 		ratings = m
 		source = path
 	} else {
-		ds, err := dataset.Generate(dataset.MovieLens20M.Scaled(0.002), 7)
+		ds, err := dataset.Generate(dataset.MovieLens20M.MustScaled(0.002), 7)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +40,10 @@ func main() {
 	fmt.Printf("MovieLens study — %s: %d users × %d items, %d ratings\n\n",
 		source, ratings.Rows, ratings.Cols, ratings.NNZ())
 
-	train, test := ratings.SplitTrainTest(sparse.NewRand(11), 0.1)
+	train, test, err := ratings.SplitTrainTest(sparse.NewRand(11), 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	spec := dataset.Spec{
 		Name: "ml-20m", // reuse the calibrated device rates for this shape
 		M:    ratings.Rows, N: ratings.Cols, NNZ: int64(ratings.NNZ()),

@@ -45,6 +45,7 @@ func FPSGD(threads int) Standalone {
 // (panics when handed a CPU profile).
 func CuMFSGD(d *device.Device) Standalone {
 	if d.Kind != device.GPU {
+		// lint:invariant baseline wiring is experiment code, not user config; handing a CPU profile to cuMF_SGD is a broken experiment definition.
 		panic(fmt.Sprintf("baselines: cuMF_SGD needs a GPU, got %v", d))
 	}
 	return Standalone{
@@ -60,6 +61,7 @@ func CuMFSGD(d *device.Device) Standalone {
 // per-epoch transfer cost applies).
 func (s Standalone) SimTime(spec dataset.Spec, epochs int) float64 {
 	if epochs <= 0 {
+		// lint:invariant epoch counts reaching SimTime are experiment-table constants; TrainCurve, the user-facing path, returns an error instead.
 		panic(fmt.Sprintf("baselines: epochs = %d", epochs))
 	}
 	return float64(spec.NNZ) * float64(epochs) / s.Device.UpdateRate(spec.Name)
@@ -74,7 +76,11 @@ func (s Standalone) TrainCurve(spec dataset.Spec, scale float64, epochs, k int, 
 	}
 	runSpec := spec
 	if scale > 0 && scale < 1 {
-		runSpec = spec.Scaled(scale)
+		var err error
+		runSpec, err = spec.Scaled(scale)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ds, err := dataset.Generate(runSpec, seed)
 	if err != nil {

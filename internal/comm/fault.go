@@ -23,6 +23,10 @@ type FaultSpec struct {
 	DelayFor time.Duration
 	// Seed drives the fault schedule.
 	Seed uint64
+	// Sleep realises an injected delay; nil uses time.Sleep. Tests and
+	// simulated runs inject a virtual clock here so fault schedules stay
+	// inside simengine time.
+	Sleep func(time.Duration)
 }
 
 // Active reports whether the spec injects anything at all.
@@ -64,18 +68,24 @@ type Faulty struct {
 	counts FaultCounts
 }
 
-// NewFaulty wraps inner with fault injection per spec.
-func NewFaulty(inner Transport, spec FaultSpec) *Faulty {
+// NewFaulty wraps inner with fault injection per spec. The spec's rates
+// arrive from CLI flags (-fault-rate, -fault-trunc), so validation
+// failures are returned, not panicked.
+func NewFaulty(inner Transport, spec FaultSpec) (*Faulty, error) {
 	if inner == nil {
-		panic("comm: NewFaulty needs a transport")
+		return nil, fmt.Errorf("comm: NewFaulty needs a transport")
 	}
 	if err := spec.Validate(); err != nil {
-		panic(err.Error())
+		return nil, err
 	}
 	if spec.Delay > 0 && spec.DelayFor <= 0 {
 		spec.DelayFor = time.Millisecond
 	}
-	return &Faulty{inner: inner, spec: spec, state: spec.Seed}
+	if spec.Sleep == nil {
+		// lint:allow simtime — real-execution default for injected latency spikes; simulated runs and tests supply a virtual clock via FaultSpec.Sleep.
+		spec.Sleep = time.Sleep
+	}
+	return &Faulty{inner: inner, spec: spec, state: spec.Seed}, nil
 }
 
 // Name implements Transport.
@@ -105,7 +115,7 @@ func (f *Faulty) transfer(dir string, dst, src []float32, enc Encoding,
 	op func(dst, src []float32, enc Encoding) (TransferStats, error)) (TransferStats, error) {
 	delayed, transient, cut := f.decide(len(dst))
 	if delayed {
-		time.Sleep(f.spec.DelayFor)
+		f.spec.Sleep(f.spec.DelayFor)
 	}
 	if transient {
 		return TransferStats{}, fmt.Errorf("comm: injected transient %s failure", dir)

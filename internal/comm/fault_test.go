@@ -31,7 +31,7 @@ func faultPayload(n int) ([]float32, []float32) {
 }
 
 func TestFaultyPassthroughWhenInactive(t *testing.T) {
-	f := NewFaulty(NewSharedMem(1), FaultSpec{Seed: 1})
+	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Seed: 1})
 	if (FaultSpec{}).Active() {
 		t.Fatal("zero spec reported active")
 	}
@@ -59,7 +59,7 @@ func TestFaultyPassthroughWhenInactive(t *testing.T) {
 func TestFaultyDeterministicSchedule(t *testing.T) {
 	spec := FaultSpec{Transient: 0.3, Truncate: 0.2, Seed: 99}
 	sequence := func() []bool {
-		f := NewFaulty(NewSharedMem(1), spec)
+		f := mustNewFaulty(t, NewSharedMem(1), spec)
 		dst, src := faultPayload(32)
 		var out []bool
 		for i := 0; i < 200; i++ {
@@ -85,7 +85,7 @@ func TestFaultyDeterministicSchedule(t *testing.T) {
 }
 
 func TestFaultyTruncationIsPartial(t *testing.T) {
-	f := NewFaulty(NewSharedMem(1), FaultSpec{Truncate: 1, Seed: 7})
+	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Truncate: 1, Seed: 7})
 	dst, src := faultPayload(32)
 	st, err := f.Pull(dst, src, FP32)
 	if err == nil || !strings.Contains(err.Error(), "truncation") {
@@ -112,7 +112,7 @@ func TestFaultyTruncationIsPartial(t *testing.T) {
 }
 
 func TestFaultyDelaySpikes(t *testing.T) {
-	f := NewFaulty(NewSharedMem(1), FaultSpec{Delay: 1, DelayFor: time.Millisecond, Seed: 3})
+	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Delay: 1, DelayFor: time.Millisecond, Seed: 3})
 	dst, src := faultPayload(8)
 	start := time.Now()
 	if _, err := f.Pull(dst, src, FP32); err != nil {
@@ -127,7 +127,7 @@ func TestFaultyDelaySpikes(t *testing.T) {
 }
 
 func TestRetryingRecoversFromTransients(t *testing.T) {
-	inner := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 11})
+	inner := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 11})
 	tr := NewRetrying(inner, RetryPolicy{Attempts: 20})
 	dst, src := faultPayload(16)
 	var total TransferStats
@@ -195,5 +195,24 @@ func TestTransferStatsAddIncludesRetries(t *testing.T) {
 	a.Add(TransferStats{BusBytes: 5, Copies: 3, Retries: 1})
 	if a.Retries != 3 {
 		t.Fatalf("Retries = %d, want 3", a.Retries)
+	}
+}
+
+// mustNewFaulty unwraps NewFaulty for tests whose specs are valid literals.
+func mustNewFaulty(t *testing.T, inner Transport, spec FaultSpec) *Faulty {
+	t.Helper()
+	f, err := NewFaulty(inner, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFaultyRejectsBadSpec(t *testing.T) {
+	if _, err := NewFaulty(nil, FaultSpec{}); err == nil {
+		t.Fatal("nil inner transport accepted")
+	}
+	if _, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 1.5}); err == nil {
+		t.Fatal("out-of-range Transient rate accepted")
 	}
 }

@@ -37,12 +37,14 @@ type Retrying struct {
 // NewRetrying wraps inner with the given policy.
 func NewRetrying(inner Transport, pol RetryPolicy) *Retrying {
 	if inner == nil {
+		// lint:invariant a nil inner transport is a wiring bug in the decorator stack, never user input; every config path constructs the transport first.
 		panic("comm: NewRetrying needs a transport")
 	}
 	if pol.Attempts < 1 {
 		pol.Attempts = 1
 	}
 	if pol.Sleep == nil {
+		// lint:allow simtime — real-execution default for backoff pacing; simulated runs and tests inject a virtual clock via RetryPolicy.Sleep.
 		pol.Sleep = time.Sleep
 	}
 	return &Retrying{inner: inner, pol: pol}

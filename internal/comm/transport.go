@@ -56,6 +56,7 @@ type SharedMem struct {
 // NewSharedMem creates the COMM transport for the given worker count.
 func NewSharedMem(workers int) *SharedMem {
 	if workers < 1 {
+		// lint:invariant worker counts derive from the platform topology validated by core before transports are built; zero workers is a wiring bug.
 		panic("comm: SharedMem needs ≥1 worker")
 	}
 	return &SharedMem{workers: workers}

@@ -129,7 +129,11 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	ds := cfg.Data
 	if ds == nil {
 		if cfg.MaterializeScale < 1 {
-			spec = spec.Scaled(cfg.MaterializeScale)
+			var err error
+			spec, err = spec.Scaled(cfg.MaterializeScale)
+			if err != nil {
+				return err
+			}
 		}
 		var err error
 		ds, err = dataset.Generate(spec, cfg.Seed)
@@ -155,7 +159,11 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	// the raw link, retries absorb them above, eviction (in ps) catches
 	// whatever the retry budget cannot.
 	if cfg.Fault.Active() {
-		transport = comm.NewFaulty(transport, cfg.Fault)
+		faulty, err := comm.NewFaulty(transport, cfg.Fault)
+		if err != nil {
+			return err
+		}
+		transport = faulty
 	}
 	if cfg.Retry.Enabled() {
 		transport = comm.NewRetrying(transport, cfg.Retry)

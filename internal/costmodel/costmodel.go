@@ -61,6 +61,7 @@ type Server struct {
 // ComputeTime is T_c,i = x_i·nnz/rate for share x of the problem.
 func ComputeTime(x float64, nnz int64, rate float64) float64 {
 	if rate <= 0 {
+		// lint:invariant update rates are calibrated device-profile constants; a non-positive rate is a corrupted profile, never user input.
 		panic(fmt.Sprintf("costmodel: rate %v", rate))
 	}
 	return x * float64(nnz) / rate
@@ -76,6 +77,7 @@ func ComputeTime(x float64, nnz int64, rate float64) float64 {
 // measures; ProcessorTermShare quantifies that claim.
 func ComputeTimeFull(x float64, nnz int64, k int, flops, memBW float64) float64 {
 	if flops <= 0 || memBW <= 0 {
+		// lint:invariant see ComputeTime: flops/memBW are calibrated device-profile constants.
 		panic(fmt.Sprintf("costmodel: flops %v memBW %v", flops, memBW))
 	}
 	perUpdate := 7*float64(k)/flops + float64(16*k+4)/memBW
@@ -87,6 +89,7 @@ func ComputeTimeFull(x float64, nnz int64, k int, flops, memBW float64) float64 
 // negligible (P_i ≫ B_i). flops in FLOP/s, memBW in bytes/s.
 func ProcessorTermShare(k int, flops, memBW float64) float64 {
 	if flops <= 0 || memBW <= 0 {
+		// lint:invariant see ComputeTime: flops/memBW are calibrated device-profile constants.
 		panic(fmt.Sprintf("costmodel: flops %v memBW %v", flops, memBW))
 	}
 	proc := 7 * float64(k) / flops
@@ -99,6 +102,7 @@ func ProcessorTermShare(k int, flops, memBW float64) float64 {
 // payload time, the paper's Figure 6 claim.
 func (w Worker) TransferTime() float64 {
 	if w.BusBW <= 0 {
+		// lint:invariant bus bandwidths are constants from the bus package; zero bandwidth is a broken platform definition.
 		panic(fmt.Sprintf("costmodel: worker %q bus bandwidth %v", w.Name, w.BusBW))
 	}
 	t := w.CommBytes / w.BusBW
@@ -119,6 +123,7 @@ func (w Worker) WorkerTime(x float64, nnz int64) float64 {
 // P_server ≫ B_server).
 func SyncTimePerWorker(p Problem, s Server, commBytes float64) float64 {
 	if s.MemBW <= 0 {
+		// lint:invariant server memory bandwidth is a device-profile constant; non-positive means the profile is corrupt.
 		panic(fmt.Sprintf("costmodel: server memory bandwidth %v", s.MemBW))
 	}
 	_ = p

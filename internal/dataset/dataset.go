@@ -105,10 +105,12 @@ func Lookup(name string) (Spec, error) {
 // Scaled returns a copy of the spec shrunk by factor f (0 < f ≤ 1) along
 // every axis, keeping the density profile. Used to materialise datasets
 // that actually fit in test memory while the full-size spec still drives
-// the simulated-platform timing.
-func (s Spec) Scaled(f float64) Spec {
+// the simulated-platform timing. The factor arrives from CLI flags
+// (hccmf-datagen -scale) and RunConfig.MaterializeScale, so a bad value
+// is a returned error, not a panic.
+func (s Spec) Scaled(f float64) (Spec, error) {
 	if f <= 0 || f > 1 {
-		panic(fmt.Sprintf("dataset: scale factor %v out of (0,1]", f))
+		return Spec{}, fmt.Errorf("dataset: scale factor %v out of (0,1]", f)
 	}
 	out := s
 	out.Name = fmt.Sprintf("%s@%.4g", s.Name, f)
@@ -120,6 +122,16 @@ func (s Spec) Scaled(f float64) Spec {
 	}
 	if out.NNZ < 1 {
 		out.NNZ = 1
+	}
+	return out, nil
+}
+
+// MustScaled is Scaled that panics on a bad factor, for tests and
+// examples that pass a literal in-range constant.
+func (s Spec) MustScaled(f float64) Spec {
+	out, err := s.Scaled(f)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -50,7 +50,7 @@ func TestLambdasMatchPaper(t *testing.T) {
 }
 
 func TestScaled(t *testing.T) {
-	s := Netflix.Scaled(0.01)
+	s := Netflix.MustScaled(0.01)
 	if s.M != 4801 || s.N != 177 {
 		t.Fatalf("scaled dims = (%d,%d)", s.M, s.N)
 	}
@@ -59,7 +59,7 @@ func TestScaled(t *testing.T) {
 	if s.NNZ != int64(s.M)*int64(s.N) {
 		t.Fatalf("scaled nnz = %d, want dense clamp %d", s.NNZ, int64(s.M)*int64(s.N))
 	}
-	s2 := Netflix.Scaled(0.1)
+	s2 := Netflix.MustScaled(0.1)
 	if s2.NNZ != 9907211 {
 		t.Fatalf("scaled(0.1) nnz = %d, want 9907211", s2.NNZ)
 	}
@@ -69,19 +69,25 @@ func TestScaled(t *testing.T) {
 }
 
 func TestScaledClampsToDense(t *testing.T) {
-	s := YahooR2.Scaled(0.0001) // would be denser than full
+	s := YahooR2.MustScaled(0.0001) // would be denser than full
 	if s.NNZ > int64(s.M)*int64(s.N) {
 		t.Fatalf("scaled nnz %d exceeds dense capacity %d", s.NNZ, int64(s.M)*int64(s.N))
 	}
 }
 
-func TestScaledPanicsOnBadFactor(t *testing.T) {
+func TestScaledRejectsBadFactor(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.5} {
+		if _, err := Netflix.Scaled(f); err == nil {
+			t.Fatalf("Scaled(%v) did not error", f)
+		}
+	}
+	// MustScaled trades the error for a panic, by name.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Scaled(0) did not panic")
+			t.Fatal("MustScaled(0) did not panic")
 		}
 	}()
-	Netflix.Scaled(0)
+	Netflix.MustScaled(0)
 }
 
 func TestDensityAndDimRatio(t *testing.T) {
@@ -100,7 +106,7 @@ func TestDensityAndDimRatio(t *testing.T) {
 }
 
 func TestGenerateSmall(t *testing.T) {
-	spec := Netflix.Scaled(0.002)
+	spec := Netflix.MustScaled(0.002)
 	d, err := Generate(spec, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +128,7 @@ func TestGenerateSmall(t *testing.T) {
 }
 
 func TestGenerateRatingsInScale(t *testing.T) {
-	spec := YahooR2.Scaled(0.0005)
+	spec := YahooR2.MustScaled(0.0005)
 	d := MustGenerate(spec, 7)
 	for _, e := range d.Train.Entries {
 		if e.V < spec.RatingMin || e.V > spec.RatingMax {
@@ -137,7 +143,7 @@ func TestGenerateRatingsInScale(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	spec := Netflix.Scaled(0.001)
+	spec := Netflix.MustScaled(0.001)
 	a := MustGenerate(spec, 99)
 	b := MustGenerate(spec, 99)
 	if a.Train.NNZ() != b.Train.NNZ() {
@@ -162,7 +168,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGeneratePopularitySkew(t *testing.T) {
-	spec := Netflix.Scaled(0.005)
+	spec := Netflix.MustScaled(0.005)
 	d := MustGenerate(spec, 3)
 	counts := d.Train.ColCounts()
 	// With theta=0.9 the most popular ~1% of items should hold far more

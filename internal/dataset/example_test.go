@@ -8,7 +8,7 @@ import (
 
 // Materialising a laptop-scale instance of a paper dataset.
 func ExampleGenerate() {
-	spec := dataset.Netflix.Scaled(0.001) // 1/1000th of the published shape
+	spec := dataset.Netflix.MustScaled(0.001) // 1/1000th of the published shape
 	ds, err := dataset.Generate(spec, 42)
 	if err != nil {
 		panic(err)

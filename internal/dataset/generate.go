@@ -55,7 +55,10 @@ func Generate(spec Spec, seed uint64) (*Dataset, error) {
 		all.Add(int32(u), int32(i), quantise(r, spec))
 	}
 	all.Shuffle(rng)
-	train, test := all.SplitTrainTest(rng, 0.1)
+	train, test, err := all.SplitTrainTest(rng, 0.1)
+	if err != nil {
+		return nil, err
+	}
 	return &Dataset{Spec: spec, Train: train, Test: test}, nil
 }
 

@@ -89,7 +89,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 }
 
 func TestBinaryRoundTripLarge(t *testing.T) {
-	spec := Netflix.Scaled(0.001)
+	spec := Netflix.MustScaled(0.001)
 	d := MustGenerate(spec, 11)
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, d.Train); err != nil {
@@ -141,7 +141,7 @@ func TestReadBinaryRejectsWrongVersion(t *testing.T) {
 }
 
 func TestTextBinaryAgree(t *testing.T) {
-	spec := MovieLens20M.Scaled(0.002)
+	spec := MovieLens20M.MustScaled(0.002)
 	d := MustGenerate(spec, 21)
 	var tb, bb bytes.Buffer
 	if err := WriteText(&tb, d.Train); err != nil {

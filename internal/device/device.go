@@ -151,6 +151,7 @@ const (
 // thread counts scale by the empirical exponent fitted between them.
 func Xeon6242(threads int) *Device {
 	if threads < 1 {
+		// lint:invariant thread counts are validated at the CLI boundary (hccmf-sim parseWorker) and fixed in presets elsewhere; non-positive is a wiring bug.
 		panic("device: Xeon6242 needs ≥1 thread")
 	}
 	// Table 4 measured updates/s at 24 threads.

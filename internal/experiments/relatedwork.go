@@ -62,7 +62,10 @@ func RelatedWork() (*RelatedWorkResult, error) {
 	res.Granularity = float64(res.NOMADMessages) / float64(res.HCCMessages)
 
 	// 3) Convergence parity, really trained on a scaled instance.
-	small := spec.Scaled(0.002)
+	small, err := spec.Scaled(0.002)
+	if err != nil {
+		return nil, err
+	}
 	ds, err := dataset.Generate(small, 21)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 // goroutines.
 func EncodeSlice(dst []Bits16, src []float32) {
 	if len(dst) != len(src) {
+		// lint:invariant paired-slice length mismatch is a caller bug on the hot encode path; the contract mirrors the builtin copy.
 		panic(fmt.Sprintf("fp16: EncodeSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
 	for i, v := range src {
@@ -21,6 +22,7 @@ func EncodeSlice(dst []Bits16, src []float32) {
 // DecodeSlice expands src into dst. dst must have len(src) elements.
 func DecodeSlice(dst []float32, src []Bits16) {
 	if len(dst) != len(src) {
+		// lint:invariant see EncodeSlice: length contract mirrors the builtin copy.
 		panic(fmt.Sprintf("fp16: DecodeSlice length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
 	for i, v := range src {
@@ -36,6 +38,7 @@ const minParallelChunk = 1 << 14
 // mirroring the multi-threaded AVX conversion in the paper's COMM module.
 func EncodeSliceParallel(dst []Bits16, src []float32, workers int) {
 	if len(dst) != len(src) {
+		// lint:invariant see EncodeSlice: length contract mirrors the builtin copy.
 		panic(fmt.Sprintf("fp16: EncodeSliceParallel length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
 	parallelChunks(len(src), workers, func(lo, hi int) {
@@ -46,6 +49,7 @@ func EncodeSliceParallel(dst []Bits16, src []float32, workers int) {
 // DecodeSliceParallel converts src→dst using up to workers goroutines.
 func DecodeSliceParallel(dst []float32, src []Bits16, workers int) {
 	if len(dst) != len(src) {
+		// lint:invariant see EncodeSlice: length contract mirrors the builtin copy.
 		panic(fmt.Sprintf("fp16: DecodeSliceParallel length mismatch dst=%d src=%d", len(dst), len(src)))
 	}
 	parallelChunks(len(src), workers, func(lo, hi int) {

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"hccmf/internal/lint"
+	"hccmf/internal/lint/linttest"
+)
+
+func TestSimTime(t *testing.T) {
+	linttest.Run(t, lint.SimTime, "testdata/src/simtime/costmodel")
+}
+
+func TestSimTimeIgnoresOtherPackages(t *testing.T) {
+	linttest.Run(t, lint.SimTime, "testdata/src/simtime/other")
+}
+
+func TestSeededRand(t *testing.T) {
+	linttest.Run(t, lint.SeededRand, "testdata/src/seededrand/sched")
+}
+
+func TestPanicPolicy(t *testing.T) {
+	linttest.Run(t, lint.PanicPolicy, "testdata/src/panicpolicy/lib")
+}
+
+func TestPanicPolicyIgnoresMain(t *testing.T) {
+	linttest.Run(t, lint.PanicPolicy, "testdata/src/panicpolicy/main")
+}
+
+func TestRaceGuard(t *testing.T) {
+	linttest.Run(t, lint.RaceGuard, "testdata/src/raceguard/mf")
+}

@@ -1,0 +1,306 @@
+// Package lint is HCC-MF's custom analyzer suite. It mechanically enforces
+// the determinism invariants the reproduction's timing and convergence
+// claims rest on — invariants that were previously enforced only by
+// reviewer vigilance:
+//
+//   - simtime: simulated-platform packages must never read the wall clock;
+//     all time flows through simengine.Sim.
+//   - seededrand: library code must never use math/rand's seed-global
+//     top-level functions; randomness comes from an explicitly seeded
+//     generator threaded through config.
+//   - panicpolicy: exported API paths of library packages return errors
+//     instead of panicking, unless the panic is a justified internal
+//     invariant.
+//   - raceguard: Hogwild-style intentional races stay quarantined in
+//     files that reference the raceflag package.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer / Pass /
+// Diagnostic) but is built on the stdlib go/parser alone, so the module
+// stays dependency-free. Analyzers are purely syntactic: they resolve
+// package identifiers through each file's import table rather than
+// go/types, which is sufficient for the patterns they police and keeps
+// them runnable on any tree that parses.
+//
+// Findings are suppressed only by a *justified* annotation comment:
+//
+//	// lint:allow <analyzer> — <why this specific site is safe>
+//	// lint:invariant <why violating this would be a programmer bug>
+//
+// A bare "lint:allow simtime" with no justification does not suppress;
+// the annotation is part of the reviewable record, not an escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check, in the shape of x/tools' analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Package is a parsed directory of Go source, the unit an Analyzer runs on.
+type Package struct {
+	// Name is the package name from the first non-test file ("mf").
+	Name string
+	// Dir is the directory holding the sources, relative to the load
+	// root when possible ("internal/mf").
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Filename maps each parsed file back to its path on disk.
+	Filename map[*ast.File]string
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Filename[f], "_test.go")
+}
+
+// Pass carries one (analyzer, package) run, again mirroring x/tools.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// allowRe matches a justified suppression: the analyzer name followed by a
+// non-empty reason. A bare "lint:allow simtime" is not enough.
+var allowRe = regexp.MustCompile(`lint:allow\s+([a-z]+)\s+\S`)
+
+// invariantRe matches a justified invariant annotation for panicpolicy.
+var invariantRe = regexp.MustCompile(`lint:invariant\s+\S`)
+
+// Reportf files a diagnostic at pos unless a justified lint:allow comment
+// for this analyzer covers that line (same line or the line above).
+func (p *Pass) Reportf(file *ast.File, pos token.Pos, format string, args ...any) {
+	if p.allowedAt(file, pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether a justified "lint:allow <name> <reason>"
+// comment sits on pos's line or the line immediately above it.
+func (p *Pass) allowedAt(file *ast.File, pos token.Pos, name string) bool {
+	line := p.Pkg.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := p.Pkg.Fset.Position(c.Pos()).Line
+			if cl != line && cl != line-1 {
+				continue
+			}
+			if m := allowRe.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasInvariantComment reports whether a justified lint:invariant comment
+// covers pos (same line, the line above) or appears in doc.
+func (p *Pass) HasInvariantComment(file *ast.File, pos token.Pos, doc *ast.CommentGroup) bool {
+	if doc != nil && invariantRe.MatchString(doc.Text()) {
+		return true
+	}
+	line := p.Pkg.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			cl := p.Pkg.Fset.Position(c.Pos()).Line
+			if (cl == line || cl == line-1) && invariantRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ImportName returns the identifier path is referred to by in f, or ""
+// when f does not import it. The default name is the last path element
+// (the stdlib packages the analyzers care about all follow it).
+func ImportName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// selRef is one use of a package-level identifier through a selector.
+type selRef struct {
+	name string
+	pos  token.Pos
+}
+
+// forEachPkgSelector visits every pkgName.<sel> expression in f. Purely
+// syntactic: a local variable shadowing the import name would also match,
+// which the analyzers accept as a conservative false positive.
+func forEachPkgSelector(f *ast.File, pkgName string, fn func(selRef)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkgName {
+			fn(selRef{name: sel.Sel.Name, pos: sel.Pos()})
+		}
+		return true
+	})
+}
+
+// Load parses every package under each pattern. Patterns follow the go
+// tool's shape: "./..." walks recursively, a plain directory loads just
+// that directory. testdata, vendor and dot-directories are skipped by the
+// recursive walk, matching the go tool.
+func Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				base := d.Name()
+				if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+					return filepath.SkipDir
+				}
+				if !seen[path] {
+					seen[path] = true
+					dirs = append(dirs, path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		p := filepath.Clean(pat)
+		if !seen[p] {
+			seen[p] = true
+			dirs = append(dirs, p)
+		}
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses the .go files of one directory into a Package, or nil
+// when the directory holds no Go source.
+func loadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Dir: dir, Fset: fset, Filename: map[*ast.File]string{}}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filename[f] = path
+		if pkg.Name == "" || !strings.HasSuffix(e.Name(), "_test.go") {
+			pkg.Name = f.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// Run executes every analyzer over every package and returns the combined
+// findings ordered by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Dir, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full HCC-MF analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SimTime, SeededRand, PanicPolicy, RaceGuard}
+}

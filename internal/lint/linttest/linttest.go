@@ -1,0 +1,94 @@
+// Package linttest drives lint analyzers over testdata fixtures the way
+// golang.org/x/tools/go/analysis/analysistest does: fixture source marks
+// each expected finding with a trailing comment
+//
+//	time.Now() // want "wall-clock"
+//
+// whose quoted (or backquoted) text is a regexp that must match a
+// diagnostic reported on that line. Unmatched expectations and unexpected
+// diagnostics both fail the test.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"testing"
+
+	"hccmf/internal/lint"
+)
+
+// wantRe extracts the expectation regexp from a fixture comment. Both
+// `// want "..."` and `// want `+"`...`"+`` forms are accepted.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the single fixture package at dir (relative to the test's
+// working directory), runs the analyzer over it, and checks the reported
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := lint.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit expectation on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

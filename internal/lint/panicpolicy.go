@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"unicode"
+	"unicode/utf8"
+)
+
+// PanicPolicy flags panic(...) inside exported functions and methods of
+// library packages (anything but package main). The project precedent is
+// PR 1's MaterializeScale fix: user-reachable misuse gets a descriptive
+// error, not a crash. A panic survives review only as a documented
+// internal invariant:
+//
+//	// lint:invariant <one line on why reaching this is a programmer bug>
+//
+// placed in the declaration's doc comment or on/above the panic itself.
+// Must* helpers (MustGenerate, ...) are exempt by stdlib convention —
+// their name is the documentation that they trade errors for panics.
+// Test files are exempt.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc: "flag panic(...) in exported API of library packages unless justified " +
+		"with a lint:invariant comment; user-reachable failures must return errors",
+	Run: runPanicPolicy,
+}
+
+func runPanicPolicy(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isExportedName(fd.Name.Name) || isMustName(fd.Name.Name) {
+				continue
+			}
+			if pass.HasInvariantComment(f, fd.Pos(), fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if !pass.HasInvariantComment(f, call.Pos(), nil) {
+						pass.Reportf(f, call.Pos(),
+							"panic in exported %s.%s; return a descriptive error, or justify with // lint:invariant",
+							pass.Pkg.Name, fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isExportedName(name string) bool {
+	r, _ := utf8.DecodeRuneInString(name)
+	return unicode.IsUpper(r)
+}
+
+// isMustName reports the stdlib Must* convention: "Must" followed by an
+// upper-case rune ("MustGenerate"), or exactly "Must".
+func isMustName(name string) bool {
+	if name == "Must" {
+		return true
+	}
+	if len(name) <= 4 || name[:4] != "Must" {
+		return false
+	}
+	r, _ := utf8.DecodeRuneInString(name[4:])
+	return unicode.IsUpper(r)
+}

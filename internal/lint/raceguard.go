@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// sharedUpdaters are mf functions that write shared factor slices on
+// behalf of the caller. Calling one from a goroutine is exactly the
+// Hogwild pattern, so it is held to the same quarantine as a direct
+// shared-slice write.
+var sharedUpdaters = map[string]bool{
+	"TrainEntries": true,
+	"TrainEntry":   true,
+}
+
+// RaceGuard keeps Hogwild's intentional data races quarantined. In
+// package mf it flags goroutine bodies that write captured (shared)
+// slices by index, or that call a shared-factor updater, when nothing
+// marks the race as intentional. A file or enclosing function that
+// references raceflag — the package that gates those paths under the race
+// detector — is the quarantine marker; a per-site "lint:allow raceguard"
+// with a justification covers writes that are disjoint by construction
+// rather than racy. Goroutine bodies that take a mutex are assumed
+// synchronized. Purely syntactic: only `go func(){...}` literals are
+// inspected, and only direct index writes and known updater calls are
+// seen; the point is that every NEW concurrent write path in mf must
+// either declare itself Hogwild (reference raceflag) or justify itself.
+var RaceGuard = &Analyzer{
+	Name: "raceguard",
+	Doc: "flag unsynchronized shared-slice writes in mf goroutines outside " +
+		"raceflag-referencing files/functions; Hogwild races stay quarantined",
+	Run: runRaceGuard,
+}
+
+func runRaceGuard(pass *Pass) error {
+	if pass.Pkg.Name != "mf" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) || fileReferencesRaceflag(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "raceflag") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkGoroutineBody(pass, f, lit)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fileReferencesRaceflag reports whether the file imports raceflag, names
+// it in an identifier, or discusses it in a comment. Any of the three
+// marks the file's concurrency as deliberate Hogwild territory.
+func fileReferencesRaceflag(f *ast.File) bool {
+	if ImportName(f, "hccmf/internal/raceflag") != "" {
+		return true
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "raceflag" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	for _, cg := range f.Comments {
+		if strings.Contains(cg.Text(), "raceflag") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGoroutineBody flags shared writes inside one `go func(){...}` body.
+func checkGoroutineBody(pass *Pass, f *ast.File, lit *ast.FuncLit) {
+	// A goroutine that takes a lock is presumed to guard its writes.
+	locked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			locked = true
+			return false
+		}
+		return !locked
+	})
+	if locked {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if base, captured := capturedBase(idx.X, lit); captured {
+					pass.Reportf(f, idx.Pos(),
+						"goroutine writes captured slice %s[...] without synchronization; quarantine behind raceflag or justify with lint:allow raceguard",
+						base)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && sharedUpdaters[id.Name] {
+				pass.Reportf(f, n.Pos(),
+					"goroutine calls shared-factor updater %s; Hogwild paths must reference raceflag (file or function doc) to stay quarantined",
+					id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// capturedBase resolves the leftmost identifier of a slice expression and
+// reports whether it is declared outside the function literal (captured,
+// hence shared between goroutines). Unresolvable identifiers — package
+// level declarations or names from other files — count as captured.
+func capturedBase(x ast.Expr, lit *ast.FuncLit) (string, bool) {
+	for {
+		switch e := x.(type) {
+		case *ast.SelectorExpr:
+			x = e.X
+			continue
+		case *ast.IndexExpr:
+			x = e.X
+			continue
+		case *ast.ParenExpr:
+			x = e.X
+			continue
+		case *ast.Ident:
+			if e.Obj == nil {
+				return e.Name, true
+			}
+			if d, ok := e.Obj.Decl.(ast.Node); ok {
+				inside := d.Pos() >= lit.Pos() && d.End() <= lit.End()
+				return e.Name, !inside
+			}
+			return e.Name, true
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+// seededRandOK are the selectors on package math/rand that do not touch
+// the package-global, implicitly seeded generator: constructors and type
+// names. Everything else reached through the package identifier draws
+// from (or reseeds) global state and breaks bit-reproducibility.
+var seededRandOK = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true,
+	"NewChaCha8": true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+	"PCG":       true,
+	"ChaCha8":   true,
+}
+
+// SeededRand forbids math/rand's top-level, globally seeded functions
+// (rand.Intn, rand.Float64, rand.Perm, rand.Shuffle, rand.Seed, ...) in
+// non-test code. Every run of this reproduction must be bit-identical
+// from its seed, so randomness comes from an explicitly seeded generator
+// (sparse.Rand or a *rand.Rand) threaded through config. math/rand/v2 is
+// held to the same rule. Test files are exempt.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid global math/rand top-level functions in non-test code; " +
+		"randomness must come from an explicitly seeded generator threaded through config",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			name := ImportName(f, path)
+			if name == "" {
+				continue
+			}
+			forEachPkgSelector(f, name, func(sel selRef) {
+				if seededRandOK[sel.name] {
+					return
+				}
+				pass.Reportf(f, sel.pos,
+					"global %s.%s uses math/rand's implicit shared state; use an explicitly seeded *rand.Rand (or sparse.Rand) from config",
+					name, sel.name)
+			})
+		}
+	}
+	return nil
+}

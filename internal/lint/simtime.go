@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// simTimePackages are the simulated-platform packages: every duration that
+// reaches a regenerated table must come from simengine.Sim's virtual clock,
+// so reading the wall clock here silently invalidates the reproduction.
+var simTimePackages = map[string]bool{
+	"simengine":   true,
+	"device":      true,
+	"bus":         true,
+	"costmodel":   true,
+	"ps":          true,
+	"comm":        true,
+	"trace":       true,
+	"experiments": true,
+}
+
+// wallClockFuncs are the package time functions that read or wait on the
+// real clock. Units and arithmetic (time.Duration, time.Millisecond) stay
+// legal — they describe simulated durations.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// SimTime forbids wall-clock reads in the simulated-platform packages.
+// Both calls (time.Now()) and value references (f := time.Sleep) are
+// flagged: handing the wall clock to an injection point is how it leaks.
+// Test files are exempt — the invariant protects reported timings, and
+// tests may legitimately bound their own runtime.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc: "forbid wall-clock calls (time.Now/Since/Sleep/Tick/...) in simulated-platform packages; " +
+		"all time must flow through simengine.Sim",
+	Run: runSimTime,
+}
+
+func runSimTime(pass *Pass) error {
+	if !simTimePackages[pass.Pkg.Name] {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		timeName := ImportName(f, "time")
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(f, sel.Pos(),
+				"wall-clock time.%s in simulated-platform package %q; use simengine.Sim virtual time",
+				sel.Sel.Name, pass.Pkg.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+// Package lib is a fixture for panicpolicy: a library package whose
+// exported API panics without justification.
+package lib
+
+import "fmt"
+
+// Explode panics on bad input with no invariant justification.
+func Explode(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("lib: negative %d", n)) // want "panic in exported lib.Explode"
+	}
+	return n
+}
+
+// Bare shows that an annotation without a reason does not suppress: the
+// justification is the point.
+func Bare(n int) int {
+	if n == 0 {
+		// lint:invariant
+		panic("lib: zero") // want "panic in exported lib.Bare"
+	}
+	return n
+}
+
+// Nested panics inside a closure still belong to the exported path.
+func Nested(f func() int) func() int {
+	return func() int {
+		if f == nil {
+			panic("lib: nil f") // want "panic in exported lib.Nested"
+		}
+		return f()
+	}
+}

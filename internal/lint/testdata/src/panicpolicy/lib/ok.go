@@ -1,0 +1,46 @@
+package lib
+
+import "fmt"
+
+// Checked returns an error, the preferred shape for user-reachable misuse.
+func Checked(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("lib: negative %d", n)
+	}
+	return n, nil
+}
+
+// Guarded documents a true internal invariant at the panic site.
+func Guarded(state int) int {
+	if state > 3 {
+		// lint:invariant state is a closed enum maintained by this package; >3 means memory corruption.
+		panic(fmt.Sprintf("lib: impossible state %d", state))
+	}
+	return state
+}
+
+// Declared carries the justification in its doc comment instead.
+//
+// lint:invariant callers hold the schedule lock; reentrancy would corrupt the event heap.
+func Declared() {
+	panic("lib: reentrant call")
+}
+
+// MustChecked trades the error for a panic by naming convention, like
+// regexp.MustCompile.
+func MustChecked(n int) int {
+	v, err := Checked(n)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// unexported helpers may panic freely; the policy covers the exported
+// surface.
+func clamp(n int) int {
+	if n < 0 {
+		panic("lib: clamp misuse")
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+// Command main is a fixture: package main is not library API, so the
+// panic policy does not apply.
+package main
+
+// Run may panic; a CLI crash is its own error report.
+func Run(args []string) {
+	if len(args) == 0 {
+		panic("main: no args")
+	}
+}
+
+func main() {
+	Run([]string{"x"})
+}

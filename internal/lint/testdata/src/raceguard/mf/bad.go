@@ -1,0 +1,38 @@
+package mf
+
+import "sync"
+
+// Sweep writes a captured slice from goroutines with no synchronization
+// and no quarantine marker.
+func Sweep(shared []float32) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shared[w] = 1 // want "captured slice shared"
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Fan launches the shared-factor updater concurrently without declaring
+// itself Hogwild.
+func Fan(f *Factors, entries []Rating) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			TrainEntries(f, entries, HyperParams{}) // want "shared-factor updater TrainEntries"
+		}()
+	}
+	wg.Wait()
+}
+
+// Deep writes through a captured struct field; the leftmost base decides.
+func Deep(f *Factors) {
+	go func() {
+		f.P[0] = 0 // want "captured slice f"
+	}()
+}

@@ -1,0 +1,35 @@
+package mf
+
+import "sync"
+
+// Local writes only goroutine-local state; nothing is shared.
+func Local() {
+	go func() {
+		buf := make([]float32, 8)
+		buf[0] = 1
+	}()
+}
+
+// Locked guards its shared write with a mutex; locked goroutine bodies
+// are presumed synchronized.
+func Locked(shared []float32, mu *sync.Mutex) {
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		shared[0] = 1
+	}()
+}
+
+// Disjoint justifies a write that is exclusive by construction.
+func Disjoint(sums []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// lint:allow raceguard — each goroutine owns sums[w] exclusively; wg.Wait orders the reads.
+			sums[w] = float64(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+package mf
+
+import "sync"
+
+// Hogwild is intentionally lock-free: races on hot rows are the
+// algorithm. Tests gate these paths on raceflag.Enabled, which marks this
+// file as quarantined territory for raceguard.
+func Hogwild(f *Factors, entries []Rating, h HyperParams) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			TrainEntries(f, entries, h)
+		}()
+	}
+	wg.Wait()
+}

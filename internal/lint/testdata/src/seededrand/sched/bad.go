@@ -1,0 +1,17 @@
+// Package sched is a fixture for seededrand: library code drawing from
+// math/rand's implicit global generator.
+package sched
+
+import "math/rand"
+
+// Pick breaks bit-reproducibility three ways.
+func Pick(n int) int {
+	rand.Seed(42)            // want "global rand.Seed"
+	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle"
+	return rand.Intn(n) // want "global rand.Intn"
+}
+
+// Weight uses the global float stream.
+func Weight() float64 {
+	return rand.Float64() // want "global rand.Float64"
+}

@@ -1,0 +1,12 @@
+package sched
+
+import "math/rand"
+
+// Seeded is the sanctioned pattern: an explicitly seeded generator
+// threaded through from config. Constructors on the package are fine;
+// methods on the instance are fine.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(n, func(i, j int) {})
+	return r.Intn(n)
+}

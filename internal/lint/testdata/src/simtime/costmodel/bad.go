@@ -1,0 +1,33 @@
+// Package costmodel is a fixture: its name puts it in the simulated-
+// platform set, so wall-clock reads must be flagged.
+package costmodel
+
+import (
+	"time"
+)
+
+// Measure leaks the wall clock into a simulated-platform package.
+func Measure() time.Duration {
+	start := time.Now() // want "wall-clock time.Now"
+	work()
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+// Pace sleeps on the real clock.
+func Pace(d time.Duration) {
+	time.Sleep(d) // want "wall-clock time.Sleep"
+	<-time.Tick(d) // want "wall-clock time.Tick"
+}
+
+// Handoff hands the wall clock to an injection point; references are as
+// dangerous as calls.
+func Handoff() func(time.Duration) {
+	return time.Sleep // want "wall-clock time.Sleep"
+}
+
+// Budget is fine: durations are units of simulated time, not clock reads.
+func Budget() time.Duration {
+	return 3 * time.Millisecond
+}
+
+func work() {}

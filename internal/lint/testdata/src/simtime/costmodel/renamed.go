@@ -1,0 +1,8 @@
+package costmodel
+
+import clock "time"
+
+// Renamed imports do not hide the wall clock.
+func Stamp() clock.Time {
+	return clock.Now() // want "wall-clock time.Now"
+}

@@ -1,0 +1,11 @@
+// Package other is outside the simulated-platform set; wall-clock use is
+// legal here (CLI mains time their own startup, loaders log progress).
+package other
+
+import "time"
+
+// Uptime may read the real clock: this package's durations never reach a
+// regenerated table.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

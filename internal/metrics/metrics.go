@@ -15,9 +15,11 @@ import (
 // ComputingPower implements Eq. 8: nnz·epochs / cost_time, in updates/s.
 func ComputingPower(nnz int64, epochs int, costTime float64) float64 {
 	if costTime <= 0 {
+		// lint:invariant inputs are simulator outputs (cost-model times), never user input; a non-positive time means the simulation itself broke.
 		panic(fmt.Sprintf("metrics: cost time %v", costTime))
 	}
 	if epochs < 0 || nnz < 0 {
+		// lint:invariant workload terms come from a dataset spec validated at generation time.
 		panic(fmt.Sprintf("metrics: negative workload nnz=%d epochs=%d", nnz, epochs))
 	}
 	return float64(nnz) * float64(epochs) / costTime
@@ -29,6 +31,7 @@ func IdealPower(perDevice []float64) float64 {
 	var sum float64
 	for i, p := range perDevice {
 		if p <= 0 {
+			// lint:invariant device powers are computed from calibrated update rates; non-positive means a corrupted profile.
 			panic(fmt.Sprintf("metrics: device %d power %v", i, p))
 		}
 		sum += p
@@ -39,9 +42,11 @@ func IdealPower(perDevice []float64) float64 {
 // Utilization reports actual/ideal, the paper's Table 4 headline metric.
 func Utilization(actual, ideal float64) float64 {
 	if ideal <= 0 {
+		// lint:invariant see ComputingPower: operands are simulator outputs only.
 		panic(fmt.Sprintf("metrics: ideal power %v", ideal))
 	}
 	if actual < 0 {
+		// lint:invariant see ComputingPower: operands are simulator outputs only.
 		panic(fmt.Sprintf("metrics: actual power %v", actual))
 	}
 	return actual / ideal

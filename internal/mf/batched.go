@@ -13,7 +13,9 @@ import (
 // group" goroutines (warps) sweep disjoint contiguous runs Hogwild-style.
 // The batch boundary is a barrier, matching the GPU's kernel-launch
 // synchronisation; within a batch there is no locking, matching cuMF_SGD's
-// lock-free warp design.
+// lock-free warp design. Like Hogwild, the intra-batch races are
+// intentional: tests consult raceflag.Enabled to stay off these paths
+// under -race, and the raceguard analyzer keeps the quarantine tight.
 type Batched struct {
 	// Groups is the number of concurrent thread groups (≥1). On the real
 	// GPU this is blocks×warps; here each group is a goroutine.

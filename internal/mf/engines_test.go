@@ -172,7 +172,10 @@ func TestEngineNames(t *testing.T) {
 func TestTrainerRunAndRMSE(t *testing.T) {
 	m := trainSet(t, 60, 50, 2000, 11)
 	rng := sparse.NewRand(3)
-	train, test := m.SplitTrainTest(rng, 0.2)
+	train, test, err := m.SplitTrainTest(rng, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := &Trainer{
 		Engine: Serial{},
 		Train:  train,

@@ -25,6 +25,7 @@ type Factors struct {
 // NewFactors allocates zeroed factor matrices.
 func NewFactors(m, n, k int) *Factors {
 	if m <= 0 || n <= 0 || k <= 0 {
+		// lint:invariant dims are validated by ps.Config (m/n/k > 0) and the planner before factors are allocated; failing here is a broken plan.
 		panic(fmt.Sprintf("mf: invalid factor dims m=%d n=%d k=%d", m, n, k))
 	}
 	return &Factors{M: m, N: n, K: k,
@@ -77,6 +78,7 @@ func (f *Factors) Predict(u, i int32) float32 {
 // CopyFrom copies the contents of src (same shape required).
 func (f *Factors) CopyFrom(src *Factors) {
 	if f.M != src.M || f.N != src.N || f.K != src.K {
+		// lint:invariant Factors shapes are fixed at construction; copying between mismatched shapes is a programmer bug.
 		panic("mf: CopyFrom shape mismatch")
 	}
 	copy(f.P, src.P)

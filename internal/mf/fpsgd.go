@@ -63,6 +63,7 @@ func (fp *FPSGD) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 				if !ok {
 					return
 				}
+				// lint:allow raceguard — FPSGD blocks are row- and column-disjoint via blockScheduler, so concurrent TrainEntries never share a factor row; joined by wg.Wait.
 				TrainEntries(f, grid.Blocks[idx].Entries, h)
 				sched.release(idx)
 			}

@@ -11,7 +11,10 @@ import (
 // paper's reference [21]): Threads goroutines update the shared factors
 // with no synchronisation at all. On sparse data conflicting updates are
 // rare enough that convergence survives; HCC-MF relies on the same argument
-// for its intra-worker asynchrony.
+// for its intra-worker asynchrony. The races here are the algorithm, not a
+// bug: tests gate these paths on raceflag.Enabled and fall back to the
+// serial variant under -race, and raceguard (hccmf-vet) keeps every other
+// concurrent write path in this package out of this quarantine.
 type Hogwild struct {
 	// Threads is the number of concurrent updaters (≥1).
 	Threads int

@@ -47,6 +47,7 @@ func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
 				d := float64(e.V - f.Predict(e.U, e.I))
 				s += d * d
 			}
+			// lint:allow raceguard — each goroutine owns sums[w] exclusively; wg.Wait orders the reads.
 			sums[w] = s
 		}(w, lo, hi)
 	}

@@ -245,7 +245,10 @@ func TestRecommenderWithTrainedFactors(t *testing.T) {
 		all.Add(int32(u), int32(i), dot)
 	}
 	all.Shuffle(rng)
-	train, test := all.SplitTrainTest(rng, 0.2)
+	train, test, err := all.SplitTrainTest(rng, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	f := mf.NewFactorsInit(users, items, k, train.MeanRating(), rng)
 	h := mf.HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}

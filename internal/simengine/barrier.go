@@ -17,6 +17,7 @@ type Barrier struct {
 // NewBarrier creates a barrier for the given number of parties (≥1).
 func (s *Sim) NewBarrier(parties int) *Barrier {
 	if parties < 1 {
+		// lint:invariant simulation-kernel contract: a barrier with no parties could never release; topology is code, not input.
 		panic("simengine: barrier needs ≥1 party")
 	}
 	return &Barrier{sim: s, parties: parties, sig: s.NewSignal()}
@@ -26,6 +27,7 @@ func (s *Sim) NewBarrier(parties int) *Barrier {
 func (b *Barrier) Arrive(p *Proc) {
 	b.arrived++
 	if b.arrived > b.parties {
+		// lint:invariant barrier overfull means a process arrived twice in one phase — a scheduling bug that must fail loudly, not converge to a wrong timing.
 		panic(fmt.Sprintf("simengine: barrier overfull (%d/%d)", b.arrived, b.parties))
 	}
 	if b.arrived == b.parties {

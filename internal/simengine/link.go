@@ -32,6 +32,7 @@ type transfer struct {
 // NewLink creates a link with the given bandwidth in bytes/second.
 func (s *Sim) NewLink(name string, bandwidthBytesPerSec float64) *Link {
 	if bandwidthBytesPerSec <= 0 || math.IsNaN(bandwidthBytesPerSec) {
+		// lint:invariant link bandwidths are platform constants; a non-positive value would make transfer time undefined.
 		panic(fmt.Sprintf("simengine: link %q bandwidth %v", name, bandwidthBytesPerSec))
 	}
 	return &Link{
@@ -68,6 +69,7 @@ func (l *Link) Utilization() float64 {
 // transfers complete immediately.
 func (l *Link) Transfer(p *Proc, size float64) {
 	if size < 0 || math.IsNaN(size) {
+		// lint:invariant a negative transfer size can only come from a broken byte-count computation in the caller.
 		panic(fmt.Sprintf("simengine: transfer of %v bytes", size))
 	}
 	if size == 0 {

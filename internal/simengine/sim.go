@@ -75,6 +75,7 @@ func (s *Sim) Now() Time { return s.now }
 // Schedule runs fn at now+delay. Negative delays panic: the past is fixed.
 func (s *Sim) Schedule(delay Time, fn func()) {
 	if delay < 0 || math.IsNaN(delay) {
+		// lint:invariant a negative delay would reorder the event heap; delays are computed from nonnegative model terms.
 		panic(fmt.Sprintf("simengine: schedule with invalid delay %v", delay))
 	}
 	s.seq++
@@ -91,6 +92,7 @@ func (s *Sim) Run() {
 // queued. It panics on deadlock (live processes but no runnable events).
 func (s *Sim) RunUntil(limit Time) {
 	if s.running {
+		// lint:invariant reentrancy guard: nested Run would interleave two event loops on one clock.
 		panic("simengine: Run called reentrantly")
 	}
 	s.running = true
@@ -102,12 +104,14 @@ func (s *Sim) RunUntil(limit Time) {
 		}
 		heap.Pop(&s.events)
 		if next.t < s.now {
+			// lint:invariant the event heap yielded a time before now — engine corruption, never input.
 			panic(fmt.Sprintf("simengine: time went backwards %v -> %v", s.now, next.t))
 		}
 		s.now = next.t
 		next.fn()
 	}
 	if s.processes > 0 {
+		// lint:invariant blocked processes with an empty event queue is a deadlocked process graph; returning silently would report a truncated simulated time.
 		panic(fmt.Sprintf("simengine: deadlock: %d process(es) blocked with no pending events", s.processes))
 	}
 }
@@ -176,6 +180,7 @@ func (s *Sim) waitPaused() {
 // Delay suspends the process for d simulated seconds.
 func (p *Proc) Delay(d Time) {
 	if d < 0 || math.IsNaN(d) {
+		// lint:invariant see Schedule: a negative delay is a caller computation bug.
 		panic(fmt.Sprintf("simengine: Delay(%v)", d))
 	}
 	p.sim.Schedule(d, p.resume)
@@ -223,6 +228,7 @@ type Resource struct {
 // NewResource creates a resource with the given capacity (≥1).
 func (s *Sim) NewResource(capacity int) *Resource {
 	if capacity < 1 {
+		// lint:invariant resource capacities are platform constants >= 1.
 		panic("simengine: resource capacity must be ≥ 1")
 	}
 	return &Resource{sim: s, capacity: capacity}
@@ -242,6 +248,7 @@ func (r *Resource) Acquire(p *Proc) {
 // Release returns a unit, admitting the head waiter if any.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
+		// lint:invariant Release without Acquire is an unbalanced critical section in a simulated process.
 		panic("simengine: Release without Acquire")
 	}
 	if len(r.queue) > 0 {

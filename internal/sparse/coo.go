@@ -44,6 +44,7 @@ func (m *COO) NNZ() int { return len(m.Entries) }
 // Append for checked insertion.
 func (m *COO) Add(u, i int32, v float32) {
 	if u < 0 || int(u) >= m.Rows || i < 0 || int(i) >= m.Cols {
+		// lint:invariant Add is the unchecked hot path for generators whose coordinates are in-range by construction; Append is the checked sibling for parsed input.
 		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d matrix", u, i, m.Rows, m.Cols))
 	}
 	m.Entries = append(m.Entries, Rating{U: u, I: i, V: v})
@@ -164,10 +165,12 @@ func (m *COO) Shuffle(rng *Rand) {
 
 // SplitTrainTest deterministically splits the matrix into train and test
 // sets, with approximately testFrac of entries (per the rng) in the test
-// split. Dimensions are preserved.
-func (m *COO) SplitTrainTest(rng *Rand, testFrac float64) (train, test *COO) {
+// split. Dimensions are preserved. testFrac reaches this point straight
+// from CLI flags and config, so an out-of-range value is a returned
+// error, not a panic.
+func (m *COO) SplitTrainTest(rng *Rand, testFrac float64) (train, test *COO, err error) {
 	if testFrac < 0 || testFrac >= 1 {
-		panic("sparse: testFrac must be in [0,1)")
+		return nil, nil, fmt.Errorf("sparse: testFrac %v out of [0,1)", testFrac)
 	}
 	train = NewCOO(m.Rows, m.Cols, len(m.Entries))
 	test = NewCOO(m.Rows, m.Cols, int(float64(len(m.Entries))*testFrac)+1)
@@ -179,5 +182,5 @@ func (m *COO) SplitTrainTest(rng *Rand, testFrac float64) (train, test *COO) {
 			train.Entries = append(train.Entries, e)
 		}
 	}
-	return train, test
+	return train, test, nil
 }

@@ -184,7 +184,10 @@ func TestCOOSplitTrainTest(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		m.Add(int32(rng.Intn(100)), int32(rng.Intn(100)), 1)
 	}
-	train, test := m.SplitTrainTest(NewRand(2), 0.2)
+	train, test, err := m.SplitTrainTest(NewRand(2), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if train.NNZ()+test.NNZ() != m.NNZ() {
 		t.Fatalf("split lost entries: %d + %d != %d", train.NNZ(), test.NNZ(), m.NNZ())
 	}
@@ -197,14 +200,13 @@ func TestCOOSplitTrainTest(t *testing.T) {
 	}
 }
 
-func TestCOOSplitTrainTestPanicsOnBadFrac(t *testing.T) {
+func TestCOOSplitTrainTestRejectsBadFrac(t *testing.T) {
 	m := mkTestCOO(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("SplitTrainTest(frac=1) did not panic")
+	for _, frac := range []float64{-0.1, 1.0, 1.5} {
+		if _, _, err := m.SplitTrainTest(NewRand(1), frac); err == nil {
+			t.Fatalf("SplitTrainTest(frac=%v) did not error", frac)
 		}
-	}()
-	m.SplitTrainTest(NewRand(1), 1.0)
+	}
 }
 
 // Property: sorting never changes the multiset of entries.

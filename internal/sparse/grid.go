@@ -163,17 +163,22 @@ func NewBlockGrid(m *COO, nbr, nbc int) (*BlockGridded, error) {
 	return g, nil
 }
 
-// RowRange reports the row index range [lo, hi) covered by block row br.
+// RowRange reports the row index range [lo, hi) covered by block row br:
+// exactly the rows u with floor(u·NBR/Rows) == br, the bucketing
+// NewBlockGrid applies, so the bounds are ceilings. (The previous
+// floor-based bounds disagreed with the bucketing whenever Rows%NBR != 0;
+// the sparse round-trip fuzz target caught the mismatch.)
 func (g *BlockGridded) RowRange(br int) (lo, hi int) {
-	lo = br * g.Rows / g.NBR
-	hi = (br + 1) * g.Rows / g.NBR
+	lo = (br*g.Rows + g.NBR - 1) / g.NBR
+	hi = ((br+1)*g.Rows + g.NBR - 1) / g.NBR
 	return lo, hi
 }
 
-// ColRange reports the column index range [lo, hi) covered by block col bc.
+// ColRange reports the column index range [lo, hi) covered by block col
+// bc, mirroring RowRange.
 func (g *BlockGridded) ColRange(bc int) (lo, hi int) {
-	lo = bc * g.Cols / g.NBC
-	hi = (bc + 1) * g.Cols / g.NBC
+	lo = (bc*g.Cols + g.NBC - 1) / g.NBC
+	hi = ((bc+1)*g.Cols + g.NBC - 1) / g.NBC
 	return lo, hi
 }
 

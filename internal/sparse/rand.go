@@ -47,6 +47,7 @@ func (r *Rand) Uint64() uint64 {
 // Uint64n returns a uniform value in [0, n). n must be > 0.
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		// lint:invariant mirrors math/rand's own contract: a zero bound is API misuse on the generator hot path.
 		panic("sparse: Uint64n(0)")
 	}
 	// Lemire's nearly-divisionless method with a rejection loop to remove
@@ -88,6 +89,7 @@ func (r *Rand) Float32() float32 {
 // Intn returns a uniform int in [0, n).
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		// lint:invariant mirrors math/rand.Intn's contract: non-positive n is API misuse.
 		panic("sparse: Intn with non-positive n")
 	}
 	return int(r.Uint64n(uint64(n)))

@@ -31,6 +31,7 @@ func NewTimeline() *Timeline { return &Timeline{} }
 // Add records one span. Panics on a negative interval.
 func (t *Timeline) Add(worker string, p Phase, start, end float64) {
 	if end < start {
+		// lint:invariant spans record simulator output; an end before its start means the engine emitted a corrupt event.
 		panic(fmt.Sprintf("trace: span ends (%v) before it starts (%v)", end, start))
 	}
 	t.mu.Lock()

@@ -59,9 +59,11 @@ func NewCollector() *Collector {
 // Add records d seconds of the phase for the worker.
 func (c *Collector) Add(worker string, p Phase, d float64) {
 	if d < 0 {
+		// lint:invariant durations come from the simulated clock; negative means the engine broke.
 		panic(fmt.Sprintf("trace: negative duration %v", d))
 	}
 	if int(p) < 0 || int(p) >= numPhases {
+		// lint:invariant Phase is a closed enum; an unknown value is a missed switch arm.
 		panic(fmt.Sprintf("trace: unknown phase %d", int(p)))
 	}
 	c.mu.Lock()

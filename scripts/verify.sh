@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# verify.sh — the single verify entry point for HCC-MF.
+#
+# Runs, in order:
+#   1. go build ./...                  — everything compiles
+#   2. go vet ./...                    — stock vet
+#   3. hccmf-vet ./...                 — the determinism analyzer suite
+#      (simtime, seededrand, panicpolicy, raceguard; see DESIGN.md §8)
+#   4. go test -race over the concurrent packages — ps, comm, mf,
+#      simengine; the intentional Hogwild races stay off these runs via
+#      internal/raceflag
+#   5. go test ./...                   — full test suite (includes the
+#      fp16, dataset, and sparse fuzz targets' seed corpora)
+#
+# Any failure aborts with a nonzero exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== hccmf-vet ./... (determinism invariants)"
+go run ./cmd/hccmf-vet ./...
+
+echo "== go test -race (ps, comm, mf, simengine; raceflag gates Hogwild)"
+go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine
+
+echo "== go test ./..."
+go test ./...
+
+echo "verify: OK"
