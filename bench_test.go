@@ -15,9 +15,24 @@ import (
 	"hccmf/internal/core"
 	"hccmf/internal/dataset"
 	"hccmf/internal/experiments"
+	"hccmf/internal/kernelbench"
 	"hccmf/internal/partition"
 	"hccmf/internal/related"
 )
+
+// --- Hot-path kernel micro-benchmarks (shared with hccmf-bench -json) ---
+//
+// The workloads live in internal/kernelbench so that `hccmf-bench -json`
+// reruns exactly these benchmarks via testing.Benchmark; the numbers in
+// BENCH_*.json and a local `go test -bench` run are directly comparable.
+// Each reports updates/s, ns/update and allocs/op.
+
+func BenchmarkUpdateOne(b *testing.B)        { kernelbench.UpdateOne(b) }
+func BenchmarkFPSGDEpoch(b *testing.B)       { kernelbench.FPSGDEpoch(b) }
+func BenchmarkBatchedEpoch(b *testing.B)     { kernelbench.BatchedEpoch(b) }
+func BenchmarkHogwildEpoch(b *testing.B)     { kernelbench.HogwildEpoch(b) }
+func BenchmarkRMSEParallel(b *testing.B)     { kernelbench.RMSEParallel(b) }
+func BenchmarkBuildWorkerConfs(b *testing.B) { kernelbench.BuildWorkerConfs(b) }
 
 // BenchmarkFigure3a regenerates the motivation study: single-processor
 // times versus good and bad collaborations on Netflix. Reported metrics:

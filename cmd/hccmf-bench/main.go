@@ -1,20 +1,26 @@
 // Command hccmf-bench regenerates every table and figure of the paper's
 // evaluation section and prints them in the paper's row format. With
 // -report it also writes a machine-readable record of the key numbers.
+// With -json it instead runs the hot-path kernel micro-benchmark suite
+// (internal/kernelbench) and writes a versioned JSON document — the
+// format checked in as BENCH_*.json (see DESIGN.md §9).
 //
 // Usage:
 //
 //	hccmf-bench [-only figure3,table4,...] [-fig7-scale 0.002]
 //	            [-fig7-epochs 40] [-report out.txt]
+//	hccmf-bench -json bench.json [-json-count 5]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"hccmf/internal/experiments"
+	"hccmf/internal/kernelbench"
 )
 
 func main() {
@@ -24,7 +30,21 @@ func main() {
 	fig7K := flag.Int("fig7-k", 16, "latent dimension for the real-training study")
 	seed := flag.Uint64("seed", 7, "random seed for generated data")
 	report := flag.String("report", "", "also write the output to this file")
+	jsonOut := flag.String("json", "", "run the kernel micro-benchmark suite and write its JSON report to this file ('-' for stdout); tables/figures are skipped unless -only selects them")
+	jsonCount := flag.Int("json-count", 3, "benchmark runs averaged per kernel in -json mode")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeKernelReport(*jsonOut, *jsonCount); err != nil {
+			fmt.Fprintln(os.Stderr, "hccmf-bench:", err)
+			os.Exit(1)
+		}
+		// -json alone is a pure kernel-bench run; combining it with -only
+		// still regenerates the selected tables below.
+		if *only == "" {
+			return
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -128,4 +148,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "hccmf-bench: report written to %s\n", *report)
 	}
+}
+
+// writeKernelReport runs the kernelbench suite and writes the versioned
+// JSON document (kernelbench.Schema) to path, or stdout for "-".
+func writeKernelReport(path string, count int) error {
+	fmt.Fprintf(os.Stderr, "hccmf-bench: running kernel suite (%d run(s) per benchmark, ~1s each)\n", count)
+	rep := kernelbench.Collect(count)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hccmf-bench: kernel report written to %s\n", path)
+	return nil
 }

@@ -83,17 +83,19 @@ func main() {
 		Data:             data,
 		Schedule:         schedule,
 		Seed:             *seed,
-		Fault: comm.FaultSpec{
-			Transient: *faultRate,
-			Truncate:  *faultTrunc,
-			Seed:      *faultSeed,
+		Resilience: core.Resilience{
+			Fault: comm.FaultSpec{
+				Transient: *faultRate,
+				Truncate:  *faultTrunc,
+				Seed:      *faultSeed,
+			},
+			Retry: comm.RetryPolicy{
+				Attempts:  *retries,
+				BaseDelay: time.Millisecond,
+				MaxDelay:  100 * time.Millisecond,
+			},
+			EvictOnFailure: *evict,
 		},
-		Retry: comm.RetryPolicy{
-			Attempts:  *retries,
-			BaseDelay: time.Millisecond,
-			MaxDelay:  100 * time.Millisecond,
-		},
-		EvictOnFailure: *evict,
 	})
 	if err != nil {
 		fatal(err)

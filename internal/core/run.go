@@ -47,6 +47,19 @@ type RunConfig struct {
 	Schedule mf.Schedule
 	// Seed drives dataset generation and factor initialisation.
 	Seed uint64
+	// Resilience is the run's fault-tolerance policy: injected faults,
+	// retry budget, and eviction. The zero value is a failure-free run with
+	// no retries where any transfer error aborts.
+	Resilience Resilience
+	// Tuning bounds host-side parallelism. The zero value keeps the
+	// historical defaults (engine threads and evaluation capped at 4).
+	Tuning Tuning
+}
+
+// Resilience is the fault-tolerance policy of a run, layered outside-in:
+// Fault injects failures on the raw link, Retry absorbs them above it, and
+// eviction catches whatever the retry budget cannot.
+type Resilience struct {
 	// Fault, when active, wraps the real-execution transport with seeded
 	// fault injection (chaos testing the PS runtime against a lossy link).
 	Fault comm.FaultSpec
@@ -57,6 +70,41 @@ type RunConfig struct {
 	// even after retries, reassigning its rows to survivors instead of
 	// aborting the run. Evictions are recorded in Result.Evictions.
 	EvictOnFailure bool
+}
+
+// Tuning bounds the host-side parallelism of real execution. Zero values
+// select the defaults that were previously hard-coded.
+type Tuning struct {
+	// HostCap caps per-engine thread/group counts (default 4) so
+	// laptop-scale real runs do not oversubscribe the host. Benchmarks set
+	// it to the machine size to run un-capped.
+	HostCap int
+	// EvalThreads is the evaluation (RMSE) parallelism; default
+	// min(GOMAXPROCS, HostCap).
+	EvalThreads int
+}
+
+// hostCap resolves the effective engine-thread cap.
+func (t Tuning) hostCap() int {
+	if t.HostCap > 0 {
+		return t.HostCap
+	}
+	return defaultHostCap
+}
+
+// evalThreads resolves the effective evaluation parallelism.
+func (t Tuning) evalThreads() int {
+	if t.EvalThreads > 0 {
+		return t.EvalThreads
+	}
+	n := runtime.GOMAXPROCS(0)
+	if cap := t.hostCap(); n > cap {
+		n = cap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Result is everything a run produces.
@@ -97,7 +145,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("core: MaterializeScale = %v, want 0 (simulate only) or a shrink factor in (0,1]",
 			cfg.MaterializeScale)
 	}
-	if err := cfg.Fault.Validate(); err != nil {
+	if err := cfg.Resilience.Fault.Validate(); err != nil {
 		return nil, err
 	}
 	plan, err := PlanRun(cfg.Platform, cfg.Spec, cfg.Plan)
@@ -158,18 +206,18 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	// The fault-tolerance stack wraps outside-in: faults are injected on
 	// the raw link, retries absorb them above, eviction (in ps) catches
 	// whatever the retry budget cannot.
-	if cfg.Fault.Active() {
-		faulty, err := comm.NewFaulty(transport, cfg.Fault)
+	if cfg.Resilience.Fault.Active() {
+		faulty, err := comm.NewFaulty(transport, cfg.Resilience.Fault)
 		if err != nil {
 			return err
 		}
 		transport = faulty
 	}
-	if cfg.Retry.Enabled() {
-		transport = comm.NewRetrying(transport, cfg.Retry)
+	if cfg.Resilience.Retry.Enabled() {
+		transport = comm.NewRetrying(transport, cfg.Resilience.Retry)
 	}
 
-	confs, err := buildWorkerConfs(plan.Platform, plan, train)
+	confs, err := BuildWorkerConfs(plan.Platform, plan, train, cfg.Tuning)
 	if err != nil {
 		return err
 	}
@@ -185,13 +233,13 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 		MeanRating:     train.MeanRating(),
 		Seed:           cfg.Seed + 1,
 		Schedule:       cfg.Schedule,
-		EvictOnFailure: cfg.EvictOnFailure,
+		EvictOnFailure: cfg.Resilience.EvictOnFailure,
 	}, confs)
 	if err != nil {
 		return err
 	}
 
-	threads := evalThreads()
+	threads := cfg.Tuning.evalThreads()
 	curve := &metrics.Curve{Label: "HCC-MF/" + spec.Name}
 	curve.Append(0, 0, mf.RMSEParallel(cluster.Snapshot(), test.Entries, threads))
 	cum := 0.0
@@ -213,43 +261,21 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	return nil
 }
 
-// evalThreads derives evaluation parallelism from the host instead of a
-// hard-coded constant: all of GOMAXPROCS, bounded by the same cap
-// EngineFor applies so laptop-scale runs are not oversubscribed.
-func evalThreads() int {
-	n := runtime.GOMAXPROCS(0)
-	if n > hostCap {
-		n = hostCap
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-// buildWorkerConfs cuts the row grid by the plan's shares and binds each
-// slice to its worker's execution engine.
-func buildWorkerConfs(plat Platform, plan Plan, train *sparse.COO) ([]ps.WorkerConf, error) {
-	csr := sparse.NewCSRFromCOO(train)
-	slices, err := sparse.CutRowGrid(csr, plan.Partition)
+// BuildWorkerConfs cuts the row grid by the plan's shares and binds each
+// slice to its worker's execution engine. Shards are capacity-capped views
+// over one shared row-major backing array (sparse.RowShards), not per-
+// worker copies.
+func BuildWorkerConfs(plat Platform, plan Plan, train *sparse.COO, tuning Tuning) ([]ps.WorkerConf, error) {
+	slices, shards, err := sparse.RowShards(train, plan.Partition)
 	if err != nil {
 		return nil, err
 	}
 	confs := make([]ps.WorkerConf, len(slices))
 	for i, sl := range slices {
-		// One bucketing pass: the CSR already has entries grouped by row,
-		// so each shard is a direct walk of its row span instead of a
-		// rescan of the full entry list per worker (O(workers × NNZ)).
-		shard := sparse.NewCOO(train.Rows, train.Cols, int(sl.NNZ))
-		for r := sl.Lo; r < sl.Hi; r++ {
-			for p := csr.RowPtr[r]; p < csr.RowPtr[r+1]; p++ {
-				shard.Entries = append(shard.Entries, sparse.Rating{U: int32(r), I: csr.Col[p], V: csr.Val[p]})
-			}
-		}
 		confs[i] = ps.WorkerConf{
 			Name:   plat.Workers[i].Name(),
-			Engine: EngineFor(plat.Workers[i].Device),
-			Shard:  shard,
+			Engine: EngineFor(plat.Workers[i].Device, tuning),
+			Shard:  shards[i],
 			RowLo:  sl.Lo, RowHi: sl.Hi,
 			Weight: plan.Partition[i],
 		}
@@ -257,21 +283,21 @@ func buildWorkerConfs(plat Platform, plan Plan, train *sparse.COO) ([]ps.WorkerC
 	return confs, nil
 }
 
-// hostCap bounds per-engine (and evaluation) thread counts so
-// laptop-scale real runs do not oversubscribe the host.
-const hostCap = 4
+// defaultHostCap is the default engine-thread/evaluation cap (see Tuning).
+const defaultHostCap = 4
 
 // EngineFor picks the execution engine matching a device's character:
 // CPUs run the FPSGD block-scheduled kernel, GPUs the cuMF_SGD-style
-// batched kernel.
-func EngineFor(d *device.Device) mf.Engine {
+// batched kernel. The tuning's host cap bounds thread/group counts.
+func EngineFor(d *device.Device, tuning Tuning) mf.Engine {
+	cap := tuning.hostCap()
 	switch d.Kind {
 	case device.GPU:
-		return mf.Batched{Groups: hostCap, BatchSize: 1 << 14}
+		return &mf.Batched{Groups: cap, BatchSize: 1 << 14}
 	default:
 		threads := d.Threads
-		if threads > hostCap {
-			threads = hostCap
+		if threads > cap {
+			threads = cap
 		}
 		return &mf.FPSGD{Threads: threads}
 	}

@@ -133,7 +133,7 @@ func TestRunValidation(t *testing.T) {
 		_, err := Run(RunConfig{
 			Spec: dataset.Netflix, Platform: PaperPlatformOverall(),
 			Epochs: 5, MaterializeScale: 0.002,
-			Fault: comm.FaultSpec{Transient: rate},
+			Resilience: Resilience{Fault: comm.FaultSpec{Transient: rate}},
 		})
 		if err == nil || !strings.Contains(err.Error(), "fault rate") {
 			t.Fatalf("fault rate %v: want descriptive error, got %v", rate, err)
@@ -154,9 +154,11 @@ func TestRunSurvivesInjectedFaults(t *testing.T) {
 			MaterializeScale: 0.002,
 			RealK:            8,
 			Seed:             3,
-			Fault:            comm.FaultSpec{Transient: rate, Seed: 77},
-			Retry:            comm.RetryPolicy{Attempts: 10},
-			EvictOnFailure:   true,
+			Resilience: Resilience{
+				Fault:          comm.FaultSpec{Transient: rate, Seed: 77},
+				Retry:          comm.RetryPolicy{Attempts: 10},
+				EvictOnFailure: true,
+			},
 		})
 		if err != nil {
 			t.Fatalf("rate %v: %v", rate, err)
@@ -178,14 +180,32 @@ func TestRunSurvivesInjectedFaults(t *testing.T) {
 }
 
 func TestEngineForMapping(t *testing.T) {
-	if _, ok := EngineFor(device.RTX2080()).(mf.Batched); !ok {
+	if _, ok := EngineFor(device.RTX2080(), Tuning{}).(*mf.Batched); !ok {
 		t.Fatal("GPU should map to the batched engine")
 	}
-	if _, ok := EngineFor(device.Xeon6242(24)).(*mf.FPSGD); !ok {
+	if _, ok := EngineFor(device.Xeon6242(24), Tuning{}).(*mf.FPSGD); !ok {
 		t.Fatal("CPU should map to FPSGD")
 	}
-	fp := EngineFor(device.Xeon6242(24)).(*mf.FPSGD)
-	if fp.Threads > 8 {
-		t.Fatalf("host thread cap not applied: %d", fp.Threads)
+	fp := EngineFor(device.Xeon6242(24), Tuning{}).(*mf.FPSGD)
+	if fp.Threads > defaultHostCap {
+		t.Fatalf("default host thread cap not applied: %d", fp.Threads)
+	}
+	// An explicit HostCap lifts the default cap (benchmarks run un-capped).
+	fp = EngineFor(device.Xeon6242(24), Tuning{HostCap: 16}).(*mf.FPSGD)
+	if fp.Threads != 16 {
+		t.Fatalf("HostCap 16 not honoured: %d threads", fp.Threads)
+	}
+}
+
+func TestTuningDefaults(t *testing.T) {
+	var z Tuning
+	if z.hostCap() != defaultHostCap {
+		t.Fatalf("zero Tuning hostCap = %d, want %d", z.hostCap(), defaultHostCap)
+	}
+	if n := z.evalThreads(); n < 1 || n > defaultHostCap {
+		t.Fatalf("zero Tuning evalThreads = %d, want within [1,%d]", n, defaultHostCap)
+	}
+	if n := (Tuning{EvalThreads: 9}).evalThreads(); n != 9 {
+		t.Fatalf("explicit EvalThreads = %d, want 9", n)
 	}
 }

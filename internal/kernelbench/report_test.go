@@ -1,0 +1,62 @@
+package kernelbench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReportSchemaStable pins the JSON field set of the -json document.
+// BENCH_*.json files are diffed across PRs, so renaming a field is a
+// schema change: bump Schema and update this golden together.
+func TestReportSchemaStable(t *testing.T) {
+	rep := Report{
+		Schema:     Schema,
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 1,
+		Count:      3,
+		Workload:   Workload{Rows: Rows, Cols: Cols, NNZ: NNZ, K: K},
+		Kernels: []Result{{
+			Name: "UpdateOne", Iterations: 100, NsPerOp: 42,
+			NsPerUpdate: 42, UpdatesPerSec: 2.38e7,
+		}},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"hccmf-bench/kernel/v1","go_version":"go1.24.0",` +
+		`"gomaxprocs":1,"count":3,` +
+		`"workload":{"rows":2000,"cols":1000,"nnz":200000,"k":32},` +
+		`"kernels":[{"name":"UpdateOne","iterations":100,"ns_per_op":42,` +
+		`"ns_per_update":42,"updates_per_sec":23800000,` +
+		`"allocs_per_op":0,"bytes_per_op":0}]}`
+	if string(got) != want {
+		t.Fatalf("schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCollectOneAggregates checks run aggregation and skip handling with a
+// synthetic benchmark (the real suite is exercised by bench_test.go and
+// verify.sh's bench smoke step).
+func TestCollectOneAggregates(t *testing.T) {
+	bench := Bench{Name: "synthetic", Fn: func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+		ReportUpdates(b, 1)
+	}}
+	res := collectOne(bench, 2)
+	if res.Skipped {
+		t.Fatal("synthetic benchmark reported as skipped")
+	}
+	if res.Iterations == 0 || res.UpdatesPerSec <= 0 {
+		t.Fatalf("no aggregation happened: %+v", res)
+	}
+	if res.AllocsPerOp != 0 {
+		t.Fatalf("empty loop allocated: %+v", res)
+	}
+
+	skip := Bench{Name: "skipper", Fn: func(b *testing.B) { b.Skip("nope") }}
+	if res := collectOne(skip, 2); !res.Skipped {
+		t.Fatalf("skipping benchmark not marked Skipped: %+v", res)
+	}
+}

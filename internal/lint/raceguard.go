@@ -22,10 +22,13 @@ var sharedUpdaters = map[string]bool{
 // detector — is the quarantine marker; a per-site "lint:allow raceguard"
 // with a justification covers writes that are disjoint by construction
 // rather than racy. Goroutine bodies that take a mutex are assumed
-// synchronized. Purely syntactic: only `go func(){...}` literals are
-// inspected, and only direct index writes and known updater calls are
-// seen; the point is that every NEW concurrent write path in mf must
-// either declare itself Hogwild (reference raceflag) or justify itself.
+// synchronized. Purely syntactic: `go func(){...}` literals are inspected
+// directly, and `go worker(...)` on a named same-package function follows
+// one level into the worker's body (the persistent worker-pool pattern) —
+// a worker that calls a shared-factor updater is held to the same
+// quarantine unless its own file or doc references raceflag. The point is
+// that every NEW concurrent write path in mf must either declare itself
+// Hogwild (reference raceflag) or justify itself.
 var RaceGuard = &Analyzer{
 	Name: "raceguard",
 	Doc: "flag unsynchronized shared-slice writes in mf goroutines outside " +
@@ -36,6 +39,21 @@ var RaceGuard = &Analyzer{
 func runRaceGuard(pass *Pass) error {
 	if pass.Pkg.Name != "mf" {
 		return nil
+	}
+	// Index top-level functions (and their files) so `go worker(...)` can
+	// follow the call one level into the worker's declaration.
+	decls := map[string]*ast.FuncDecl{}
+	declFile := map[string]*ast.File{}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+				decls[fd.Name.Name] = fd
+				declFile[fd.Name.Name] = f
+			}
+		}
 	}
 	for _, f := range pass.Pkg.Files {
 		if pass.Pkg.IsTestFile(f) || fileReferencesRaceflag(f) {
@@ -54,16 +72,56 @@ func runRaceGuard(pass *Pass) error {
 				if !ok {
 					return true
 				}
-				lit, ok := g.Call.Fun.(*ast.FuncLit)
-				if !ok {
-					return true
+				switch fun := g.Call.Fun.(type) {
+				case *ast.FuncLit:
+					checkGoroutineBody(pass, f, fun)
+				case *ast.Ident:
+					checkGoroutineTarget(pass, f, g, fun, decls, declFile)
 				}
-				checkGoroutineBody(pass, f, lit)
 				return true
 			})
 		}
 	}
 	return nil
+}
+
+// checkGoroutineTarget handles `go worker(...)` on a named function: the
+// updater itself launched directly, or a same-package worker whose body
+// calls one. The worker's own file or doc referencing raceflag quarantines
+// it (the worker-pool files declare their Hogwild nature where the sweep
+// loop lives).
+func checkGoroutineTarget(pass *Pass, f *ast.File, g *ast.GoStmt, id *ast.Ident, decls map[string]*ast.FuncDecl, declFile map[string]*ast.File) {
+	if sharedUpdaters[id.Name] {
+		pass.Reportf(f, g.Pos(),
+			"goroutine calls shared-factor updater %s; Hogwild paths must reference raceflag (file or function doc) to stay quarantined",
+			id.Name)
+		return
+	}
+	fd := decls[id.Name]
+	if fd == nil {
+		return
+	}
+	if df := declFile[id.Name]; df != nil && fileReferencesRaceflag(df) {
+		return
+	}
+	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "raceflag") {
+		return
+	}
+	calls := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if cid, ok := call.Fun.(*ast.Ident); ok && sharedUpdaters[cid.Name] {
+				calls = cid.Name
+				return false
+			}
+		}
+		return calls == ""
+	})
+	if calls != "" {
+		pass.Reportf(f, g.Pos(),
+			"goroutine worker %s calls shared-factor updater %s; quarantine the worker behind raceflag or justify with lint:allow raceguard",
+			id.Name, calls)
+	}
 }
 
 // fileReferencesRaceflag reports whether the file imports raceflag, names

@@ -1,0 +1,36 @@
+package mf
+
+// sweepLike drains entries into the shared factors; launching it as a
+// goroutine is the Hogwild pattern even though the declaration itself is
+// innocent.
+func sweepLike(f *Factors, entries []Rating, h HyperParams) {
+	TrainEntries(f, entries, h)
+}
+
+// drain touches nothing shared.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// LaunchDirect hands the shared-factor updater straight to go.
+func LaunchDirect(f *Factors, entries []Rating, h HyperParams) {
+	go TrainEntries(f, entries, h) // want "shared-factor updater TrainEntries"
+}
+
+// LaunchWorker starts a named worker whose body calls the updater.
+func LaunchWorker(f *Factors, entries []Rating, h HyperParams) {
+	go sweepLike(f, entries, h) // want "goroutine worker sweepLike"
+}
+
+// LaunchDrain starts a worker that shares nothing; no diagnostic.
+func LaunchDrain(ch chan int) {
+	go drain(ch)
+}
+
+// LaunchPooled starts a worker declared in quarantined territory (its
+// file references the race gate); the quarantine travels with the
+// declaration.
+func LaunchPooled(f *Factors, entries []Rating, h HyperParams) {
+	go pooledWorker(f, entries, h)
+}

@@ -1,0 +1,8 @@
+package mf
+
+// pooledWorker is the persistent worker-pool sweep loop: lock-free factor
+// updates are intentional here, gated on raceflag.Enabled in tests, which
+// quarantines this file for raceguard.
+func pooledWorker(f *Factors, entries []Rating, h HyperParams) {
+	TrainEntries(f, entries, h)
+}

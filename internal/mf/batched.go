@@ -2,7 +2,6 @@ package mf
 
 import (
 	"fmt"
-	"sync"
 
 	"hccmf/internal/sparse"
 )
@@ -18,18 +17,20 @@ import (
 // under -race, and the raceguard analyzer keeps the quarantine tight.
 type Batched struct {
 	// Groups is the number of concurrent thread groups (≥1). On the real
-	// GPU this is blocks×warps; here each group is a goroutine.
+	// GPU this is blocks×warps; here each group is a pool worker.
 	Groups int
 	// BatchSize is the number of ratings consumed per simulated kernel
 	// launch; 0 selects the whole epoch as one batch.
 	BatchSize int
+
+	sweeper
 }
 
 // Name implements Engine.
-func (bt Batched) Name() string { return fmt.Sprintf("batched-%d", bt.Groups) }
+func (bt *Batched) Name() string { return fmt.Sprintf("batched-%d", bt.Groups) }
 
 // Epoch implements Engine.
-func (bt Batched) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+func (bt *Batched) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	groups := bt.Groups
 	if groups < 1 {
 		groups = 1
@@ -48,25 +49,24 @@ func (bt Batched) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	}
 }
 
-// launch is one simulated kernel launch over a batch.
-func (bt Batched) launch(f *Factors, entries []sparse.Rating, h HyperParams, groups int) {
+// launch is one simulated kernel launch over a batch. The group sweeps run
+// on the engine's persistent worker pool; the wg.Wait is the kernel-launch
+// barrier.
+func (bt *Batched) launch(f *Factors, entries []sparse.Rating, h HyperParams, groups int) {
 	n := len(entries)
 	if groups == 1 || n < 4*groups {
 		TrainEntries(f, entries, h)
 		return
 	}
 	chunk := (n + groups - 1) / groups
-	var wg sync.WaitGroup
+	pool := bt.ensure(groups)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			TrainEntries(f, entries[lo:hi], h)
-		}(lo, hi)
+		bt.wg.Add(1)
+		pool.tasks <- sweepTask{f: f, h: h, entries: entries[lo:hi], wg: &bt.wg}
 	}
-	wg.Wait()
+	bt.wg.Wait()
 }

@@ -75,7 +75,7 @@ func TestSerialEngineConverges(t *testing.T) {
 func TestHogwildEngineConverges(t *testing.T) {
 	skipLockFreeUnderRace(t)
 	m := trainSet(t, 80, 60, 4000, 3)
-	rmse := runEngine(t, Hogwild{Threads: 4}, m, 25)
+	rmse := runEngine(t, &Hogwild{Threads: 4}, m, 25)
 	if rmse > 0.35 {
 		t.Fatalf("hogwild RMSE after 25 epochs = %v", rmse)
 	}
@@ -88,7 +88,7 @@ func TestHogwildSingleThreadMatchesSerial(t *testing.T) {
 	f2 := f1.Clone()
 	h := HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}
 	Serial{}.Epoch(f1, m, h)
-	Hogwild{Threads: 1}.Epoch(f2, m, h)
+	(&Hogwild{Threads: 1}).Epoch(f2, m, h)
 	for i := range f1.P {
 		if f1.P[i] != f2.P[i] {
 			t.Fatal("1-thread Hogwild diverged from serial")
@@ -98,7 +98,7 @@ func TestHogwildSingleThreadMatchesSerial(t *testing.T) {
 
 func TestHogwildZeroThreadsDefaultsToOne(t *testing.T) {
 	m := trainSet(t, 20, 20, 200, 5)
-	runEngine(t, Hogwild{Threads: 0}, m, 5)
+	runEngine(t, &Hogwild{Threads: 0}, m, 5)
 }
 
 func TestFPSGDEngineConverges(t *testing.T) {
@@ -140,7 +140,7 @@ func TestFPSGDGridCacheReused(t *testing.T) {
 func TestBatchedEngineConverges(t *testing.T) {
 	skipLockFreeUnderRace(t)
 	m := trainSet(t, 80, 60, 4000, 9)
-	rmse := runEngine(t, Batched{Groups: 8, BatchSize: 512}, m, 25)
+	rmse := runEngine(t, &Batched{Groups: 8, BatchSize: 512}, m, 25)
 	if rmse > 0.35 {
 		t.Fatalf("batched RMSE after 25 epochs = %v", rmse)
 	}
@@ -149,7 +149,7 @@ func TestBatchedEngineConverges(t *testing.T) {
 func TestBatchedWholeEpochBatch(t *testing.T) {
 	skipLockFreeUnderRace(t)
 	m := trainSet(t, 40, 40, 800, 10)
-	runEngine(t, Batched{Groups: 4, BatchSize: 0}, m, 10)
+	runEngine(t, &Batched{Groups: 4, BatchSize: 0}, m, 10)
 }
 
 func TestEngineNames(t *testing.T) {
@@ -158,9 +158,9 @@ func TestEngineNames(t *testing.T) {
 		want string
 	}{
 		{Serial{}, "serial"},
-		{Hogwild{Threads: 4}, "hogwild-4"},
+		{&Hogwild{Threads: 4}, "hogwild-4"},
 		{&FPSGD{Threads: 8}, "fpsgd-8"},
-		{Batched{Groups: 128}, "batched-128"},
+		{&Batched{Groups: 128}, "batched-128"},
 	}
 	for _, c := range cases {
 		if got := c.e.Name(); got != c.want {
@@ -272,8 +272,8 @@ func TestSortEntriesByRow(t *testing.T) {
 }
 
 func TestEngineNamesAreDistinct(t *testing.T) {
-	names := []string{Serial{}.Name(), Hogwild{Threads: 2}.Name(),
-		(&FPSGD{Threads: 2}).Name(), Batched{Groups: 2}.Name()}
+	names := []string{Serial{}.Name(), (&Hogwild{Threads: 2}).Name(),
+		(&FPSGD{Threads: 2}).Name(), (&Batched{Groups: 2}).Name()}
 	for i := range names {
 		for j := i + 1; j < len(names); j++ {
 			if strings.EqualFold(names[i], names[j]) {

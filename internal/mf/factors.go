@@ -104,16 +104,20 @@ func (f *Factors) Validate() error {
 // manual unrolling — the scalar stand-in for the paper's AVX512F inner
 // product kernel.
 func Dot(a, b []float32) float32 {
+	b = b[:len(a)]
 	var s0, s1, s2, s3 float32
-	n := len(a)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+	// Advancing the slice headers (rather than indexing with i) lets the
+	// compiler prove the constant indices in bounds and drop every
+	// per-element bounds check; the accumulator order is unchanged.
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a = a[4:]
+		b = b[4:]
 	}
-	for ; i < n; i++ {
+	for i := 0; i < len(a) && i < len(b); i++ {
 		s0 += a[i] * b[i]
 	}
 	return s0 + s1 + s2 + s3

@@ -25,6 +25,8 @@ type FPSGD struct {
 	grid  *sparse.BlockGridded
 	src   *sparse.COO // grid cache key
 	nside int
+	sched *blockScheduler // reused across epochs, reset() each time
+	sweeper
 }
 
 // Name implements Engine.
@@ -52,24 +54,29 @@ func (fp *FPSGD) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 		return
 	}
 
-	sched := newBlockScheduler(grid.NBR, grid.NBC)
-	var wg sync.WaitGroup
+	sched := fp.scheduler(grid)
+	pool := fp.ensure(threads)
+	fp.wg.Add(threads)
 	for w := 0; w < threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				idx, ok := sched.acquire()
-				if !ok {
-					return
-				}
-				// lint:allow raceguard — FPSGD blocks are row- and column-disjoint via blockScheduler, so concurrent TrainEntries never share a factor row; joined by wg.Wait.
-				TrainEntries(f, grid.Blocks[idx].Entries, h)
-				sched.release(idx)
-			}
-		}()
+		// Concurrent TrainEntries sweeps never share a factor row: the
+		// blockScheduler carried in the task hands out row- and
+		// column-disjoint blocks; joined by fp.wg.Wait.
+		pool.tasks <- sweepTask{f: f, h: h, sched: sched, grid: grid, wg: &fp.wg}
 	}
-	wg.Wait()
+	fp.wg.Wait()
+}
+
+// scheduler returns the epoch block scheduler, reusing the previous epoch's
+// allocation when the grid shape is unchanged.
+func (fp *FPSGD) scheduler(grid *sparse.BlockGridded) *blockScheduler {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.sched != nil && fp.sched.nbr == grid.NBR && fp.sched.nbc == grid.NBC {
+		fp.sched.reset()
+		return fp.sched
+	}
+	fp.sched = newBlockScheduler(grid.NBR, grid.NBC)
+	return fp.sched
 }
 
 // cachedGrid reuses the block grid across epochs as long as the engine
@@ -204,6 +211,23 @@ func (s *blockScheduler) acquire() (int, bool) {
 		// release.
 		s.cond.Wait()
 	}
+}
+
+// reset rewinds the scheduler for another epoch over the same grid shape,
+// reusing its slices.
+func (s *blockScheduler) reset() {
+	s.mu.Lock()
+	for i := range s.done {
+		s.done[i] = false
+	}
+	for i := range s.rowBusy {
+		s.rowBusy[i] = false
+	}
+	for i := range s.colBusy {
+		s.colBusy[i] = false
+	}
+	s.left = len(s.done)
+	s.mu.Unlock()
 }
 
 // release frees the row/column of a completed block.

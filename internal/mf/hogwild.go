@@ -2,7 +2,6 @@ package mf
 
 import (
 	"fmt"
-	"sync"
 
 	"hccmf/internal/sparse"
 )
@@ -18,14 +17,18 @@ import (
 type Hogwild struct {
 	// Threads is the number of concurrent updaters (≥1).
 	Threads int
+
+	sweeper
 }
 
 // Name implements Engine.
-func (hw Hogwild) Name() string { return fmt.Sprintf("hogwild-%d", hw.Threads) }
+func (hw *Hogwild) Name() string { return fmt.Sprintf("hogwild-%d", hw.Threads) }
 
-// Epoch implements Engine. Each goroutine sweeps a contiguous chunk of the
-// (pre-shuffled) entry stream; races on hot rows are tolerated by design.
-func (hw Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+// Epoch implements Engine. Each pool worker sweeps a contiguous chunk of
+// the (pre-shuffled) entry stream; races on hot rows are tolerated by
+// design. The chunk sweeps run on the engine's persistent worker pool, so
+// steady-state epochs allocate nothing.
+func (hw *Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	threads := hw.Threads
 	if threads < 1 {
 		threads = 1
@@ -36,17 +39,14 @@ func (hw Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 		return
 	}
 	chunk := (n + threads - 1) / threads
-	var wg sync.WaitGroup
+	pool := hw.ensure(threads)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			TrainEntries(f, train.Entries[lo:hi], h)
-		}(lo, hi)
+		hw.wg.Add(1)
+		pool.tasks <- sweepTask{f: f, h: h, entries: train.Entries[lo:hi], wg: &hw.wg}
 	}
-	wg.Wait()
+	hw.wg.Wait()
 }

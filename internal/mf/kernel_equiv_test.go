@@ -1,0 +1,80 @@
+package mf
+
+import (
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+// referenceUpdateOne is the unfused seed kernel: Dot, then the update
+// sweep. The fused UpdateOne must match it bit for bit — the performance
+// pass is not allowed to move the convergence trajectory (ISSUE 3
+// acceptance: Figure 7 curves unchanged at fixed seed).
+func referenceUpdateOne(p, q []float32, r float32, h HyperParams) float32 {
+	e := r - Dot(p, q)
+	ge := h.Gamma * e
+	gl1 := h.Gamma * h.Lambda1
+	gl2 := h.Gamma * h.Lambda2
+	for i := range p {
+		p0, q0 := p[i], q[i]
+		p[i] = p0 + ge*q0 - gl1*p0
+		q[i] = q0 + ge*p0 - gl2*q0
+	}
+	return e
+}
+
+func randVec(rng *sparse.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+func TestUpdateOneMatchesReference(t *testing.T) {
+	rng := sparse.NewRand(99)
+	h := HyperParams{Gamma: 0.01, Lambda1: 0.02, Lambda2: 0.03}
+	// Cover the unrolled body and every remainder tail, plus large k.
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 32, 33, 128} {
+		for trial := 0; trial < 20; trial++ {
+			p1, q1 := randVec(rng, k), randVec(rng, k)
+			p2 := append([]float32(nil), p1...)
+			q2 := append([]float32(nil), q1...)
+			r := rng.Float32() * 5
+			e1 := UpdateOne(p1, q1, r, h)
+			e2 := referenceUpdateOne(p2, q2, r, h)
+			if e1 != e2 {
+				t.Fatalf("k=%d: error %v != reference %v", k, e1, e2)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] || q1[i] != q2[i] {
+					t.Fatalf("k=%d: factor %d diverged: p %v/%v q %v/%v",
+						k, i, p1[i], p2[i], q1[i], q2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainEntriesMatchesRowViews pins TrainEntries' inlined row indexing
+// to the PRow/QRow path it replaced.
+func TestTrainEntriesMatchesRowViews(t *testing.T) {
+	m := trainSet(t, 40, 30, 2000, 21)
+	h := HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005}
+	f1 := NewFactorsInit(m.Rows, m.Cols, 8, m.MeanRating(), sparse.NewRand(4))
+	f2 := f1.Clone()
+	TrainEntries(f1, m.Entries, h)
+	for _, e := range m.Entries {
+		UpdateOne(f2.PRow(e.U), f2.QRow(e.I), e.V, h)
+	}
+	for i := range f1.P {
+		if f1.P[i] != f2.P[i] {
+			t.Fatalf("P[%d] diverged: %v != %v", i, f1.P[i], f2.P[i])
+		}
+	}
+	for i := range f1.Q {
+		if f1.Q[i] != f2.Q[i] {
+			t.Fatalf("Q[%d] diverged: %v != %v", i, f1.Q[i], f2.Q[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package mf
 
 import (
 	"math"
+	"runtime"
 	"sync"
 
 	"hccmf/internal/sparse"
@@ -13,16 +14,52 @@ func RMSE(f *Factors, entries []sparse.Rating) float64 {
 	if len(entries) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, e := range entries {
-		d := float64(e.V - f.Predict(e.U, e.I))
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(len(entries)))
+	return math.Sqrt(sumSqErr(f, entries) / float64(len(entries)))
 }
 
-// RMSEParallel computes RMSE with up to workers goroutines. Results are
-// identical to RMSE up to float64 summation order.
+// sumSqErr accumulates Σ(r − p·q)² over entries. It is the shared inner
+// loop of RMSE and the parallel evaluator workers: row slicing is inlined
+// (as in TrainEntries) so the flat P/Q base pointers and K stay in
+// registers, and the dot product uses Dot's exact partial-sum order so the
+// result is bit-identical to calling f.Predict per entry.
+func sumSqErr(f *Factors, entries []sparse.Rating) float64 {
+	k := f.K
+	fp, fq := f.P, f.Q
+	var sum float64
+	for idx := range entries {
+		e := entries[idx]
+		po := int(e.U) * k
+		qo := int(e.I) * k
+		p := fp[po : po+k]
+		q := fq[qo : qo+k : qo+k]
+		var s0, s1, s2, s3 float32
+		for len(p) >= 4 && len(q) >= 4 {
+			s0 += p[0] * q[0]
+			s1 += p[1] * q[1]
+			s2 += p[2] * q[2]
+			s3 += p[3] * q[3]
+			p = p[4:]
+			q = q[4:]
+		}
+		for i := 0; i < len(p) && i < len(q); i++ {
+			s0 += p[i] * q[i]
+		}
+		d := float64(e.V - (s0 + s1 + s2 + s3))
+		sum += d * d
+	}
+	return sum
+}
+
+// RMSEParallel computes RMSE with up to workers chunks evaluated
+// concurrently. Results are identical to RMSE up to float64 summation
+// order: the chunking math and the final left-to-right fold are unchanged
+// from the seed implementation, so the reported value is bit-identical for
+// a given (n, workers).
+//
+// Evaluation runs on a lazily started package-level evaluator pool and a
+// reused partial-sum buffer, so warm calls allocate nothing. The pool's
+// mutex serialises concurrent RMSEParallel calls; every current caller
+// (per-epoch observers, benchmarks) evaluates sequentially anyway.
 func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
 	n := len(entries)
 	if n == 0 {
@@ -32,31 +69,72 @@ func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
 		return RMSE(f, entries)
 	}
 	chunk := (n + workers - 1) / workers
-	sums := make([]float64, (n+chunk-1)/chunk)
-	var wg sync.WaitGroup
+	nchunks := (n + chunk - 1) / chunk
+
+	rmseEval.once.Do(startRMSEEval)
+	rmseEval.mu.Lock()
+	defer rmseEval.mu.Unlock()
+	if cap(rmseEval.sums) < nchunks {
+		rmseEval.sums = make([]float64, nchunks)
+	}
+	sums := rmseEval.sums[:nchunks]
 	for w := 0; w*chunk < n; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var s float64
-			for _, e := range entries[lo:hi] {
-				d := float64(e.V - f.Predict(e.U, e.I))
-				s += d * d
-			}
-			// lint:allow raceguard — each goroutine owns sums[w] exclusively; wg.Wait orders the reads.
-			sums[w] = s
-		}(w, lo, hi)
+		rmseEval.wg.Add(1)
+		rmseEval.tasks <- rmseTask{
+			f: f, entries: entries[lo:hi], out: &sums[w], wg: &rmseEval.wg,
+		}
 	}
-	wg.Wait()
+	rmseEval.wg.Wait()
 	var total float64
 	for _, s := range sums {
 		total += s
 	}
 	return math.Sqrt(total / float64(n))
+}
+
+// rmseTask is one chunk of a parallel RMSE evaluation; the worker writes
+// the chunk's squared-error sum to out (exclusively owned per task) before
+// signalling wg.
+type rmseTask struct {
+	f       *Factors
+	entries []sparse.Rating
+	out     *float64
+	wg      *sync.WaitGroup
+}
+
+// rmseEval is the package-level evaluator pool: started once, reused by
+// every RMSEParallel call so warm evaluations are allocation-free.
+var rmseEval struct {
+	once  sync.Once
+	mu    sync.Mutex
+	tasks chan rmseTask
+	sums  []float64
+	wg    sync.WaitGroup
+}
+
+func startRMSEEval() {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	rmseEval.tasks = make(chan rmseTask, workers)
+	for i := 0; i < workers; i++ {
+		go rmseEvalWorker(rmseEval.tasks)
+	}
+}
+
+// rmseEvalWorker drains evaluation chunks for the lifetime of the process.
+// Each task's out pointer is owned exclusively by that task; wg.Wait in
+// RMSEParallel orders the reads.
+func rmseEvalWorker(tasks <-chan rmseTask) {
+	for t := range tasks {
+		*t.out = sumSqErr(t.f, t.entries)
+		t.wg.Done()
+	}
 }
 
 // Loss computes the full regularised objective

@@ -99,9 +99,9 @@ func BenchmarkDotK32(b *testing.B) {
 }
 
 func BenchmarkEpochSerial(b *testing.B)  { benchEpoch(b, Serial{}) }
-func BenchmarkEpochHogwild(b *testing.B) { benchEpoch(b, Hogwild{Threads: 4}) }
+func BenchmarkEpochHogwild(b *testing.B) { benchEpoch(b, &Hogwild{Threads: 4}) }
 func BenchmarkEpochFPSGD(b *testing.B)   { benchEpoch(b, &FPSGD{Threads: 4}) }
-func BenchmarkEpochBatched(b *testing.B) { benchEpoch(b, Batched{Groups: 8, BatchSize: 4096}) }
+func BenchmarkEpochBatched(b *testing.B) { benchEpoch(b, &Batched{Groups: 8, BatchSize: 4096}) }
 
 func benchEpoch(b *testing.B, e Engine) {
 	m := trainSet(b, 2000, 1000, 200000, 1)

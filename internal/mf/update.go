@@ -20,31 +20,84 @@ type HyperParams struct {
 //
 // using the pre-update value of p in q's gradient (the standard
 // simultaneous update). It returns the signed prediction error e.
+//
+// The dot product is fused into the kernel rather than delegated to Dot,
+// and both passes walk the vectors by advancing the slice headers eight
+// elements at a time: with `len(pp) >= 8` as the loop condition the
+// constant indices 0..7 are trivially in bounds, so the compiler emits no
+// per-element bounds checks (verified with -d=ssa/check_bce).
+//
+// The floating-point evaluation order is identical to Dot followed by the
+// rolled update loop: the dot still folds elements into the same four
+// partial sums in the same sequence (s0 gets elements 0,4,8,…; s1 gets
+// 1,5,9,…; …), and the update writes are element-independent, so results
+// are bit-identical to the unfused kernel — locked in by
+// TestUpdateOneMatchesReference.
 func UpdateOne(p, q []float32, r float32, h HyperParams) float32 {
-	e := r - Dot(p, q)
+	n := len(p)
+	q = q[:n]
+	var s0, s1, s2, s3 float32
+	pp, qq := p, q
+	for len(pp) >= 8 && len(qq) >= 8 {
+		s0 += pp[0] * qq[0]
+		s1 += pp[1] * qq[1]
+		s2 += pp[2] * qq[2]
+		s3 += pp[3] * qq[3]
+		s0 += pp[4] * qq[4]
+		s1 += pp[5] * qq[5]
+		s2 += pp[6] * qq[6]
+		s3 += pp[7] * qq[7]
+		pp = pp[8:]
+		qq = qq[8:]
+	}
+	for len(pp) >= 4 && len(qq) >= 4 {
+		s0 += pp[0] * qq[0]
+		s1 += pp[1] * qq[1]
+		s2 += pp[2] * qq[2]
+		s3 += pp[3] * qq[3]
+		pp = pp[4:]
+		qq = qq[4:]
+	}
+	for i := 0; i < len(pp) && i < len(qq); i++ {
+		s0 += pp[i] * qq[i]
+	}
+	e := r - (s0 + s1 + s2 + s3)
 	ge := h.Gamma * e
 	gl1 := h.Gamma * h.Lambda1
 	gl2 := h.Gamma * h.Lambda2
-	n := len(p)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		p0, q0 := p[i], q[i]
-		p1, q1 := p[i+1], q[i+1]
-		p2, q2 := p[i+2], q[i+2]
-		p3, q3 := p[i+3], q[i+3]
-		p[i] = p0 + ge*q0 - gl1*p0
-		q[i] = q0 + ge*p0 - gl2*q0
-		p[i+1] = p1 + ge*q1 - gl1*p1
-		q[i+1] = q1 + ge*p1 - gl2*q1
-		p[i+2] = p2 + ge*q2 - gl1*p2
-		q[i+2] = q2 + ge*p2 - gl2*q2
-		p[i+3] = p3 + ge*q3 - gl1*p3
-		q[i+3] = q3 + ge*p3 - gl2*q3
+	pp, qq = p, q
+	for len(pp) >= 8 && len(qq) >= 8 {
+		p0, q0 := pp[0], qq[0]
+		p1, q1 := pp[1], qq[1]
+		p2, q2 := pp[2], qq[2]
+		p3, q3 := pp[3], qq[3]
+		pp[0] = p0 + ge*q0 - gl1*p0
+		qq[0] = q0 + ge*p0 - gl2*q0
+		pp[1] = p1 + ge*q1 - gl1*p1
+		qq[1] = q1 + ge*p1 - gl2*q1
+		pp[2] = p2 + ge*q2 - gl1*p2
+		qq[2] = q2 + ge*p2 - gl2*q2
+		pp[3] = p3 + ge*q3 - gl1*p3
+		qq[3] = q3 + ge*p3 - gl2*q3
+		p4, q4 := pp[4], qq[4]
+		p5, q5 := pp[5], qq[5]
+		p6, q6 := pp[6], qq[6]
+		p7, q7 := pp[7], qq[7]
+		pp[4] = p4 + ge*q4 - gl1*p4
+		qq[4] = q4 + ge*p4 - gl2*q4
+		pp[5] = p5 + ge*q5 - gl1*p5
+		qq[5] = q5 + ge*p5 - gl2*q5
+		pp[6] = p6 + ge*q6 - gl1*p6
+		qq[6] = q6 + ge*p6 - gl2*q6
+		pp[7] = p7 + ge*q7 - gl1*p7
+		qq[7] = q7 + ge*p7 - gl2*q7
+		pp = pp[8:]
+		qq = qq[8:]
 	}
-	for ; i < n; i++ {
-		p0, q0 := p[i], q[i]
-		p[i] = p0 + ge*q0 - gl1*p0
-		q[i] = q0 + ge*p0 - gl2*q0
+	for i := 0; i < len(pp) && i < len(qq); i++ {
+		p0, q0 := pp[i], qq[i]
+		pp[i] = p0 + ge*q0 - gl1*p0
+		qq[i] = q0 + ge*p0 - gl2*q0
 	}
 	return e
 }
@@ -63,9 +116,16 @@ func UpdateBytes(k int) int { return 16*k + 4 }
 
 // TrainEntries runs one in-order SGD pass over entries against f.
 // It is the inner loop shared by the serial engine and each FPSGD block
-// task; callers own any required synchronisation.
+// task; callers own any required synchronisation. Row slicing is inlined
+// (rather than going through PRow/QRow) so the flat P/Q base pointers and
+// K stay in registers across the sweep.
 func TrainEntries(f *Factors, entries []sparse.Rating, h HyperParams) {
-	for _, e := range entries {
-		UpdateOne(f.PRow(e.U), f.QRow(e.I), e.V, h)
+	k := f.K
+	p, q := f.P, f.Q
+	for idx := range entries {
+		e := entries[idx]
+		po := int(e.U) * k
+		qo := int(e.I) * k
+		UpdateOne(p[po:po+k], q[qo:qo+k], e.V, h)
 	}
 }

@@ -37,17 +37,8 @@ func (c *Cluster) runEpochAsync(epoch, total int) error {
 	streams := c.cfg.Strategy.Streams
 	c.snapshotBaseQ()
 
-	slices := itemSlices(c.cfg.N, streams)
-	coord := &sliceCoordinator{
-		cluster: c,
-		slices:  slices,
-		pending: make([]int, len(slices)),
-		arrived: make([]map[*workerState]bool, len(slices)),
-	}
-	for i := range coord.pending {
-		coord.pending[i] = len(c.workers)
-		coord.arrived[i] = make(map[*workerState]bool, len(c.workers))
-	}
+	coord := c.coordinator(streams)
+	slices := coord.slices
 
 	workers, errs := c.runPhase(func(ws *workerState) error {
 		return c.workerEpochAsync(ws, coord, slices, epoch, total)
@@ -211,6 +202,31 @@ type sliceCoordinator struct {
 	mu      sync.Mutex
 	pending []int
 	arrived []map[*workerState]bool
+}
+
+// coordinator returns the epoch's slice coordinator, reusing the previous
+// epoch's allocation (slices, counters, arrival maps) when the stream count
+// is unchanged; only the bookkeeping is rewound each epoch.
+func (c *Cluster) coordinator(streams int) *sliceCoordinator {
+	sc := c.coord
+	if sc == nil || c.coordStreams != streams {
+		slices := itemSlices(c.cfg.N, streams)
+		sc = &sliceCoordinator{
+			cluster: c,
+			slices:  slices,
+			pending: make([]int, len(slices)),
+			arrived: make([]map[*workerState]bool, len(slices)),
+		}
+		for i := range sc.arrived {
+			sc.arrived[i] = make(map[*workerState]bool, len(c.workers))
+		}
+		c.coord, c.coordStreams = sc, streams
+	}
+	for i := range sc.pending {
+		sc.pending[i] = len(c.workers)
+		clear(sc.arrived[i])
+	}
+	return sc
 }
 
 // arrive records one worker's push of slice sj and triggers the fold when

@@ -79,6 +79,20 @@ type Cluster struct {
 	// evictions records workers removed by fault tolerance.
 	evictions []Eviction
 
+	// deltaPool recycles foldQRows' per-row delta accumulators. A pool
+	// (rather than one buffer on the cluster) because async mode folds
+	// different Q slices concurrently from stream goroutines.
+	deltaPool sync.Pool
+	// phaseWorkers/phaseErrs are runPhase's reused scratch; valid only for
+	// the duration of one phase (settle reads them before the next starts).
+	phaseWorkers []*workerState
+	phaseErrs    []error
+	// snapScratch is Train's reused observer snapshot (see Train).
+	snapScratch *mf.Factors
+	// coord is the async mode's reused slice coordinator (see coordinator).
+	coord        *sliceCoordinator
+	coordStreams int
+
 	mu    sync.Mutex
 	stats comm.TransferStats
 }
@@ -249,10 +263,19 @@ func (c *Cluster) hyperFor(epoch int) mf.HyperParams {
 
 // runPhase executes fn once per current worker concurrently, returning the
 // worker snapshot the results are aligned to (evictions mutate c.workers,
-// so callers must not index into it with the phase's error slice).
+// so callers must not index into it with the phase's error slice). Both
+// returned slices are scratch reused by the next phase; settle consumes
+// them within the phase, nothing may retain them.
 func (c *Cluster) runPhase(fn func(*workerState) error) ([]*workerState, []error) {
-	workers := append([]*workerState(nil), c.workers...)
-	errs := make([]error, len(workers))
+	c.phaseWorkers = append(c.phaseWorkers[:0], c.workers...)
+	workers := c.phaseWorkers
+	if cap(c.phaseErrs) < len(workers) {
+		c.phaseErrs = make([]error, len(workers))
+	}
+	errs := c.phaseErrs[:len(workers)]
+	for i := range errs {
+		errs[i] = nil
+	}
 	var wg sync.WaitGroup
 	for i, ws := range workers {
 		wg.Add(1)
@@ -372,7 +395,13 @@ func (c *Cluster) account(st comm.TransferStats) {
 func (c *Cluster) foldQRows(rowLo, rowHi int) {
 	k := c.cfg.K
 	g := c.global.Q
-	rowDelta := make([]float32, k)
+	buf, _ := c.deltaPool.Get().(*[]float32)
+	if buf == nil || len(*buf) != k {
+		b := make([]float32, k)
+		buf = &b
+	}
+	defer c.deltaPool.Put(buf)
+	rowDelta := *buf
 	for row := rowLo; row < rowHi; row++ {
 		lo := row * k
 		updaters := 0
@@ -405,25 +434,39 @@ func (c *Cluster) foldQRows(rowLo, rowHi int) {
 // plus each worker's authoritative P rows (which, under Q-only, have not
 // been pushed yet). Evaluation is out of band and charges no communication.
 func (c *Cluster) Snapshot() *mf.Factors {
-	out := c.global.Clone()
+	out := mf.NewFactors(c.cfg.M, c.cfg.N, c.cfg.K)
+	c.snapshotInto(out)
+	return out
+}
+
+// snapshotInto overlays the logically complete model onto dst (same shape
+// as the global factors).
+func (c *Cluster) snapshotInto(dst *mf.Factors) {
+	dst.CopyFrom(c.global)
 	if c.cfg.Strategy.QOnly {
 		for _, ws := range c.workers {
 			lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
-			copy(out.P[lo:hi], ws.local.P[lo:hi])
+			copy(dst.P[lo:hi], ws.local.P[lo:hi])
 		}
 	}
-	return out
 }
 
 // Train runs the full epoch loop, invoking observe (if non-nil) with the
 // 0-based epoch index and a post-sync model snapshot after every epoch.
+// The snapshot passed to observe is a buffer reused across epochs: it is
+// valid only for the duration of the call and must not be retained (every
+// in-tree observer evaluates it immediately).
 func (c *Cluster) Train(epochs int, observe func(epoch int, model *mf.Factors)) error {
 	for e := 0; e < epochs; e++ {
 		if err := c.RunEpoch(e, epochs); err != nil {
 			return err
 		}
 		if observe != nil {
-			observe(e, c.Snapshot())
+			if c.snapScratch == nil {
+				c.snapScratch = mf.NewFactors(c.cfg.M, c.cfg.N, c.cfg.K)
+			}
+			c.snapshotInto(c.snapScratch)
+			observe(e, c.snapScratch)
 		}
 	}
 	return nil

@@ -1,0 +1,53 @@
+package sparse
+
+// Row-grid sharding. BuildWorkerConfs used to materialise one COO copy per
+// worker (a full CSR build plus a per-worker gather: O(workers × alloc)
+// and ~2 extra passes over the entry stream). RowShards replaces that with
+// views: every shard's Entries is a sub-slice of one shared row-major
+// backing array, produced by a single counting-sort scatter straight from
+// the COO. The views are capacity-capped (backing[lo:hi:hi]) so a consumer
+// that appends to a shard — the ps eviction path merges a dead worker's
+// shard into its heir — reallocates instead of stomping its neighbour.
+
+// RowStarts returns the CSR-style row prefix index of m: starts[r] is the
+// position of row r's first entry in row-major stable order, and
+// starts[m.Rows] == m.NNZ().
+func RowStarts(m *COO) []int64 {
+	starts := make([]int64, m.Rows+1)
+	for _, e := range m.Entries {
+		starts[e.U+1]++
+	}
+	for r := 0; r < m.Rows; r++ {
+		starts[r+1] += starts[r]
+	}
+	return starts
+}
+
+// RowShards cuts m into len(weights) contiguous row-range shards whose nnz
+// counts match the weights as closely as a contiguous cut allows (the same
+// greedy cut as CutRowGrid). Entries within each shard are in row-major
+// order, stable within a row — identical to gathering from a CSR.
+//
+// All shards share one backing array; each view's capacity is capped at
+// its own end, so growing one shard never corrupts another.
+func RowShards(m *COO, weights []float64) ([]Slice, []*COO, error) {
+	starts := RowStarts(m)
+	slices, err := cutGrid(starts, m.Rows, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	backing := make([]Rating, len(m.Entries))
+	next := make([]int64, m.Rows)
+	copy(next, starts[:m.Rows])
+	for _, e := range m.Entries {
+		pos := next[e.U]
+		next[e.U]++
+		backing[pos] = e
+	}
+	shards := make([]*COO, len(slices))
+	for i, sl := range slices {
+		lo, hi := starts[sl.Lo], starts[sl.Hi]
+		shards[i] = &COO{Rows: m.Rows, Cols: m.Cols, Entries: backing[lo:hi:hi]}
+	}
+	return slices, shards, nil
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import "testing"
+
+func shardMatrix(t *testing.T, rows, cols, nnz int, seed uint64) *COO {
+	t.Helper()
+	rng := NewRand(seed)
+	m := NewCOO(rows, cols, nnz)
+	for i := 0; i < nnz; i++ {
+		m.Add(int32(rng.Intn(rows)), int32(rng.Intn(cols)), 1+4*rng.Float32())
+	}
+	return m
+}
+
+// TestRowShardsMatchesCSRGather pins RowShards to the per-worker CSR gather
+// it replaced: same slices, same shard entries in the same order.
+func TestRowShardsMatchesCSRGather(t *testing.T) {
+	m := shardMatrix(t, 120, 40, 3000, 7)
+	weights := []float64{0.4, 0.3, 0.2, 0.1}
+
+	slices, shards, err := RowShards(m, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csr := NewCSRFromCOO(m)
+	wantSlices, err := CutRowGrid(csr, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slices) != len(wantSlices) {
+		t.Fatalf("%d slices, want %d", len(slices), len(wantSlices))
+	}
+	for i := range slices {
+		if slices[i] != wantSlices[i] {
+			t.Fatalf("slice %d = %+v, want %+v", i, slices[i], wantSlices[i])
+		}
+	}
+	for i, sl := range wantSlices {
+		var want []Rating
+		for r := sl.Lo; r < sl.Hi; r++ {
+			for p := csr.RowPtr[r]; p < csr.RowPtr[r+1]; p++ {
+				want = append(want, Rating{U: int32(r), I: csr.Col[p], V: csr.Val[p]})
+			}
+		}
+		got := shards[i]
+		if got.Rows != m.Rows || got.Cols != m.Cols {
+			t.Fatalf("shard %d dims %dx%d, want %dx%d", i, got.Rows, got.Cols, m.Rows, m.Cols)
+		}
+		if len(got.Entries) != len(want) {
+			t.Fatalf("shard %d has %d entries, want %d", i, len(got.Entries), len(want))
+		}
+		for j := range want {
+			if got.Entries[j] != want[j] {
+				t.Fatalf("shard %d entry %d = %+v, want %+v", i, j, got.Entries[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRowShardsAppendIsolation asserts the capacity cap on shard views:
+// growing one shard (as ps eviction does when an heir absorbs a dead
+// worker's entries) must reallocate, never overwrite a neighbouring shard
+// in the shared backing array.
+func TestRowShardsAppendIsolation(t *testing.T) {
+	m := shardMatrix(t, 60, 20, 1200, 9)
+	_, shards, err := RowShards(m, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 || len(shards[1].Entries) == 0 {
+		t.Fatalf("want 2 non-empty shards, got %d", len(shards))
+	}
+	neighbour := shards[1].Entries[0]
+	poison := Rating{U: 0, I: 0, V: -999}
+	shards[0].Entries = append(shards[0].Entries, poison)
+	if shards[1].Entries[0] != neighbour {
+		t.Fatalf("appending to shard 0 corrupted shard 1: %+v", shards[1].Entries[0])
+	}
+}
+
+// TestRowShardsBadWeights propagates cut errors.
+func TestRowShardsBadWeights(t *testing.T) {
+	m := shardMatrix(t, 10, 10, 50, 3)
+	if _, _, err := RowShards(m, nil); err == nil {
+		t.Fatal("nil weights accepted")
+	}
+	if _, _, err := RowShards(m, []float64{0.5, -0.5}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

@@ -9,7 +9,10 @@
 #   4. go test -race over the concurrent packages — ps, comm, mf,
 #      simengine; the intentional Hogwild races stay off these runs via
 #      internal/raceflag
-#   5. go test ./...                   — full test suite (includes the
+#   5. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
+#      once, so a PR cannot silently break the kernel suite behind
+#      hccmf-bench -json and BENCH_*.json (see DESIGN.md §9)
+#   6. go test ./...                   — full test suite (includes the
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
 #
 # Any failure aborts with a nonzero exit.
@@ -27,6 +30,9 @@ go run ./cmd/hccmf-vet ./...
 
 echo "== go test -race (ps, comm, mf, simengine; raceflag gates Hogwild)"
 go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine
+
+echo "== bench smoke (every benchmark once)"
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "== go test ./..."
 go test ./...
