@@ -34,6 +34,23 @@ func BenchmarkHogwildEpoch(b *testing.B)     { kernelbench.HogwildEpoch(b) }
 func BenchmarkRMSEParallel(b *testing.B)     { kernelbench.RMSEParallel(b) }
 func BenchmarkBuildWorkerConfs(b *testing.B) { kernelbench.BuildWorkerConfs(b) }
 
+// --- Ingestion micro-benchmarks (the ingest/v1 group of -json reports) ---
+//
+// Each parallel parser is paired with its serial reference so the
+// allocation-elimination speedup is measurable from one run; reported
+// metrics are input MB/s and parsed entries/s.
+
+func BenchmarkIngestReadText(b *testing.B)         { kernelbench.IngestReadText(b) }
+func BenchmarkIngestReadTextSerial(b *testing.B)   { kernelbench.IngestReadTextSerial(b) }
+func BenchmarkIngestReadMovieLensCSV(b *testing.B) { kernelbench.IngestReadMovieLensCSV(b) }
+func BenchmarkIngestReadMovieLensCSVSerial(b *testing.B) {
+	kernelbench.IngestReadMovieLensCSVSerial(b)
+}
+func BenchmarkIngestReadBinary(b *testing.B)       { kernelbench.IngestReadBinary(b) }
+func BenchmarkIngestReadBinarySerial(b *testing.B) { kernelbench.IngestReadBinarySerial(b) }
+func BenchmarkIngestSortByRow(b *testing.B)        { kernelbench.IngestSortByRow(b) }
+func BenchmarkIngestWriteBinary(b *testing.B)      { kernelbench.IngestWriteBinary(b) }
+
 // BenchmarkFigure3a regenerates the motivation study: single-processor
 // times versus good and bad collaborations on Netflix. Reported metrics:
 // the 6242-2080S collaboration's time and its ratio to the V100's.

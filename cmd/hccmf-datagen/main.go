@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"hccmf/internal/dataset"
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generation seed")
 	convert := flag.String("convert", "", "convert this ratings file instead of generating")
 	split := flag.Bool("split", false, "write separate .train/.test files (90/10)")
+	ioWorkers := flag.Int("io-workers", runtime.GOMAXPROCS(0), "parser workers for -convert loading; 1 selects the serial reference parser")
 	flag.Parse()
 
 	if *out == "" {
@@ -36,7 +38,7 @@ func main() {
 
 	var m *sparse.COO
 	if *convert != "" {
-		loaded, err := readAny(*convert)
+		loaded, err := readAny(*convert, *ioWorkers)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,14 +89,14 @@ func isText(path, format string) bool {
 	return ext == ".txt" || ext == ".tsv" || ext == ".dat"
 }
 
-func readAny(path string) (*sparse.COO, error) {
+func readAny(path string, workers int) (*sparse.COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	if isText(path, "") {
-		return dataset.ReadText(f)
+		return dataset.ReadTextWorkers(f, workers)
 	}
 	return dataset.ReadBinary(f)
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"hccmf/internal/dataset"
 	"hccmf/internal/mf"
@@ -26,6 +27,7 @@ func main() {
 	user := flag.Int("user", 0, "user to recommend for")
 	n := flag.Int("n", 10, "number of recommendations")
 	evalHitRate := flag.Bool("eval", false, "also report hit-rate@N on a 10% held-out split of the ratings")
+	ioWorkers := flag.Int("io-workers", runtime.GOMAXPROCS(0), "parser workers for -ratings loading; 1 selects the serial reference parser")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -44,7 +46,7 @@ func main() {
 
 	var ratings *sparse.COO
 	if *ratingsPath != "" {
-		ratings, err = loadRatings(*ratingsPath)
+		ratings, err = loadRatings(*ratingsPath, *ioWorkers)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,7 +91,7 @@ func loadModel(path string) (*mf.Factors, error) {
 	return mf.ReadFactors(f)
 }
 
-func loadRatings(path string) (*sparse.COO, error) {
+func loadRatings(path string, workers int) (*sparse.COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -102,7 +104,7 @@ func loadRatings(path string) (*sparse.COO, error) {
 	if _, err := f.Seek(0, 0); err != nil {
 		return nil, err
 	}
-	return dataset.ReadText(f)
+	return dataset.ReadTextWorkers(f, workers)
 }
 
 func fatal(err error) {

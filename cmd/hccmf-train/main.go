@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hccmf/internal/comm"
@@ -35,6 +36,7 @@ func main() {
 	decay := flag.Float64("decay", 0, "learning-rate decay β for γ_t = γ0/(1+β·t^1.5); 0 keeps the paper's constant rate")
 	save := flag.String("save", "", "write the trained factor model to this file")
 	recN := flag.Int("recommend", 0, "print top-N recommendations for a few sample users")
+	ioWorkers := flag.Int("io-workers", runtime.GOMAXPROCS(0), "parser workers for -input loading; 1 selects the serial reference parser")
 	faultRate := flag.Float64("fault-rate", 0, "inject transient transport failures with this per-transfer probability (chaos testing)")
 	faultTrunc := flag.Float64("fault-trunc", 0, "inject payload truncation with this per-transfer probability")
 	faultSeed := flag.Uint64("fault-seed", 42, "seed of the injected fault schedule")
@@ -47,7 +49,7 @@ func main() {
 	var spec dataset.Spec
 	var data *dataset.Dataset
 	if *input != "" {
-		m, err := loadFile(*input)
+		m, err := loadFile(*input, *ioWorkers)
 		if err != nil {
 			fatal(err)
 		}
@@ -165,13 +167,20 @@ func main() {
 	}
 }
 
-func loadFile(path string) (*sparse.COO, error) {
+func loadFile(path string, workers int) (*sparse.COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadText(f)
+	// Try binary first (self-identifying magic), then text.
+	if m, err := dataset.ReadBinary(f); err == nil {
+		return m, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return dataset.ReadTextWorkers(f, workers)
 }
 
 func fatal(err error) {

@@ -1,0 +1,556 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// Chunked zero-copy scanning primitives shared by the parallel text and
+// MovieLens parsers. The input is loaded as one byte buffer, cut into
+// ~ioChunkSize pieces at newline boundaries, and each chunk is parsed by a
+// worker with byte-slice field scanning — no bufio.Scanner tokens, no
+// strings.Fields allocations. Fields are handed to strconv through an
+// unsafe zero-copy string view, so the steady-state parse loop does not
+// allocate at all.
+
+// ioChunkSize is the target byte size of one parser chunk. ~1 MiB keeps
+// per-chunk bookkeeping negligible while giving even modest files enough
+// chunks to spread across workers.
+const ioChunkSize = 1 << 20
+
+// maxLineBytes mirrors the 1 MiB bufio.Scanner buffer of the serial
+// parsers: lines at or beyond this length are rejected with the scanner's
+// own bufio.ErrTooLong, keeping the parallel paths' accept/reject behaviour
+// identical to the serial reference.
+const maxLineBytes = 1 << 20
+
+// splitChunks cuts buf into chunks of roughly target bytes, extending each
+// chunk to the next newline so no line is ever split across chunks. The
+// concatenation of the returned chunks is exactly buf, chunks are never
+// empty, and every chunk except possibly the last ends with '\n'.
+func splitChunks(buf []byte, target int) [][]byte {
+	if target < 1 {
+		target = 1
+	}
+	chunks := make([][]byte, 0, len(buf)/target+1)
+	for len(buf) > 0 {
+		if len(buf) <= target {
+			chunks = append(chunks, buf)
+			break
+		}
+		cut := target
+		nl := bytes.IndexByte(buf[cut:], '\n')
+		if nl < 0 {
+			chunks = append(chunks, buf)
+			break
+		}
+		cut += nl + 1
+		chunks = append(chunks, buf[:cut])
+		buf = buf[cut:]
+	}
+	return chunks
+}
+
+// nextLine splits buf into its first line (without the trailing '\n') and
+// the remainder after the newline. The final line of a buffer may lack a
+// terminator. A trailing '\r' is NOT stripped here — the parsers TrimSpace
+// every line anyway, and keeping the raw length makes the maxLineBytes
+// check agree exactly with bufio.Scanner's buffer-full accounting.
+func nextLine(buf []byte) (line, rest []byte) {
+	if nl := bytes.IndexByte(buf, '\n'); nl >= 0 {
+		return buf[:nl], buf[nl+1:]
+	}
+	return buf, nil
+}
+
+// asciiSpace marks the ASCII whitespace bytes, the same set strings.Fields
+// uses for its fast path.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// nextField returns the first whitespace-separated field of s and the rest
+// of s after it, splitting exactly like strings.Fields (Unicode whitespace
+// included). A nil field means no field remains.
+func nextField(s []byte) (field, rest []byte) {
+	i := 0
+	for i < len(s) {
+		if c := s[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] == 0 {
+				break
+			}
+			i++
+		} else {
+			r, size := utf8.DecodeRune(s[i:])
+			if !unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+	}
+	if i == len(s) {
+		return nil, nil
+	}
+	start := i
+	for i < len(s) {
+		if c := s[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] != 0 {
+				break
+			}
+			i++
+		} else {
+			r, size := utf8.DecodeRune(s[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+	}
+	return s[start:i], s[i:]
+}
+
+// bstr reinterprets b as a string without copying. The view must not
+// outlive b, and b must not be mutated while the view is live; the parsers
+// only pass it to strconv, which retains nothing on success (the error
+// path copies into a NumError, which the callers discard in favour of
+// their own messages).
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// asciiFields3 splits a line into exactly three whitespace-separated
+// fields with a pure byte-table scan — the hot-path form of three
+// nextField calls plus an extra-field check. ascii reports whether the
+// whole line is ASCII; when false the caller must fall back to the
+// Unicode-aware nextField path (a byte ≥ 0x80 could be UTF-8 whitespace).
+// exact reports whether the line holds exactly three fields.
+func asciiFields3(s []byte) (f0, f1, f2 []byte, exact, ascii bool) {
+	i, n := 0, len(s)
+	for f := 0; f < 3; f++ {
+		for i < n && asciiSpace[s[i]] != 0 {
+			i++
+		}
+		start := i
+		for i < n {
+			c := s[i]
+			if c >= utf8.RuneSelf {
+				return nil, nil, nil, false, false
+			}
+			if asciiSpace[c] != 0 {
+				break
+			}
+			i++
+		}
+		if i == start {
+			return f0, f1, f2, false, true // fewer than three fields
+		}
+		switch f {
+		case 0:
+			f0 = s[start:i]
+		case 1:
+			f1 = s[start:i]
+		case 2:
+			f2 = s[start:i]
+		}
+	}
+	for i < n {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			return nil, nil, nil, false, false
+		}
+		if asciiSpace[c] == 0 {
+			return f0, f1, f2, false, true // a fourth field
+		}
+		i++
+	}
+	return f0, f1, f2, true, true
+}
+
+// parseDigits32 is the fast path for unsigned decimal int32 fields: pure
+// digit strings of at most nine digits (so the value always fits). ok is
+// false for anything else — signs, overflow-length, stray bytes — which
+// the caller sends through strconv for identical accept/reject behaviour.
+func parseDigits32(b []byte) (int32, bool) {
+	if len(b) == 0 || len(b) > 9 {
+		return 0, false
+	}
+	var v int32
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		v = v*10 + int32(d)
+	}
+	return v, true
+}
+
+// parseDigits64 is parseDigits32 for int64 fields (≤ 18 digits).
+func parseDigits64(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var v int64
+	for _, c := range b {
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		v = v*10 + int64(d)
+	}
+	return v, true
+}
+
+// parseI32 parses a base-10 int32 field: digit fast path first, strconv
+// for everything else, so results and errors match ParseInt exactly.
+func parseI32(b []byte) (int32, error) {
+	if v, ok := parseDigits32(b); ok {
+		return v, nil
+	}
+	v, err := strconv.ParseInt(bstr(b), 10, 32)
+	return int32(v), err
+}
+
+// parseI64 is parseI32 for 64-bit ids.
+func parseI64(b []byte) (int64, error) {
+	if v, ok := parseDigits64(b); ok {
+		return v, nil
+	}
+	return strconv.ParseInt(bstr(b), 10, 64)
+}
+
+// pow10f64 holds the exactly-representable float64 powers of ten.
+var pow10f64 = [23]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11,
+	1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// float32pow10 holds the exactly-representable float32 powers of ten, the
+// same table strconv's atof32exact divides by.
+var float32pow10 = [11]float32{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// foldDecimal converts an unsigned decimal mantissa with frac fractional
+// digits (frac == -1 for integers) bit-identically to ParseFloat(s, 32).
+//
+// Two tiers, both producing correctly rounded results:
+//
+//   - value < 2^23 with ≤ 10 fractional digits: float32(mant) divided by
+//     an exact float32 power of ten — exact operands, one correctly
+//     rounded operation; this mirrors strconv's own atof32exact path.
+//   - ≤ 15 digits: float64(mant) / 10^frac is the correctly rounded
+//     float64 of the exact decimal (both operands exact, one division).
+//     Rounding that float64 down to float32 is correct unless it lands
+//     exactly on a float32 rounding midpoint (low 29 mantissa bits equal
+//     100…0), where double rounding could break ties the wrong way —
+//     those rare cases return ok=false and go through strconv.
+//
+// Everything else — no digits, a trailing '.', > 15 digits (mant may have
+// wrapped) — is rejected for the strconv fallback, never mis-converted.
+func foldDecimal(mant uint64, digits, frac int) (float32, bool) {
+	if digits == 0 || digits > 15 || frac == 0 {
+		return 0, false
+	}
+	if mant < 1<<23 && frac <= 10 {
+		f := float32(mant)
+		if frac > 0 {
+			f /= float32pow10[frac]
+		}
+		return f, true
+	}
+	f := float64(mant)
+	if frac > 0 {
+		f /= pow10f64[frac]
+	}
+	if bits := math.Float64bits(f); bits&(1<<29-1) == 1<<28 {
+		return 0, false // exactly a float32 midpoint: ambiguous under double rounding
+	}
+	return float32(f), true
+}
+
+// parseFloat32Fast converts unsigned plain-decimal fields — `d+` or
+// `d+.d+`, no sign, no exponent — bit-identically to ParseFloat(s, 32)
+// via foldDecimal. Anything else (signs, exponents, hex, inf/NaN) returns
+// ok=false for the strconv fallback.
+func parseFloat32Fast(b []byte) (float32, bool) {
+	if len(b) == 0 || len(b) > 16 {
+		return 0, false
+	}
+	var mant uint64
+	digits, frac := 0, -1
+	for _, c := range b {
+		if c == '.' {
+			if frac >= 0 {
+				return 0, false
+			}
+			frac = 0
+			continue
+		}
+		d := c - '0'
+		if d > 9 {
+			return 0, false
+		}
+		mant = mant*10 + uint64(d)
+		digits++
+		if frac >= 0 {
+			frac++
+		}
+	}
+	return foldDecimal(mant, digits, frac)
+}
+
+// parseTripleFast is the fused scanner+parser for the dominant text line
+// shape: `d+[ \t]+d+[ \t]+d+(.d+)?` with nothing after the rating — one
+// flat pass, no field slicing. ok=false sends the line to the general
+// field-scanner path, so anything irregular (signs, extra fields, exotic
+// whitespace, long digit runs, ambiguous float rounding) is parsed with
+// byte-exact strings.Fields/strconv semantics instead.
+func parseTripleFast(s []byte) (u, i int32, v float32, ok bool) {
+	n := len(s)
+	pos, start := 0, 0
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		u = u*10 + int32(d)
+		pos++
+	}
+	if pos == start || pos-start > 9 || pos >= n || (s[pos] != ' ' && s[pos] != '\t') {
+		return 0, 0, 0, false
+	}
+	for pos < n && (s[pos] == ' ' || s[pos] == '\t') {
+		pos++
+	}
+	start = pos
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		i = i*10 + int32(d)
+		pos++
+	}
+	if pos == start || pos-start > 9 || pos >= n || (s[pos] != ' ' && s[pos] != '\t') {
+		return 0, 0, 0, false
+	}
+	for pos < n && (s[pos] == ' ' || s[pos] == '\t') {
+		pos++
+	}
+	var mant uint64
+	digits, frac := 0, -1
+	for pos < n {
+		c := s[pos]
+		if c == '.' {
+			if frac >= 0 {
+				return 0, 0, 0, false
+			}
+			frac = 0
+			pos++
+			continue
+		}
+		d := c - '0'
+		if d > 9 {
+			break
+		}
+		mant = mant*10 + uint64(d)
+		digits++
+		if frac >= 0 {
+			frac++
+		}
+		pos++
+	}
+	if pos != n {
+		return 0, 0, 0, false // a fourth field, or a stray byte in the rating
+	}
+	v, ok = foldDecimal(mant, digits, frac)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return u, i, v, true
+}
+
+// parseWS3Fast is parseTripleFast for MovieLens u.data lines: int64 ids,
+// and anything after the rating is ignored as long as it is separated by
+// whitespace (the timestamp column).
+func parseWS3Fast(s []byte) (a, b int64, v float32, ok bool) {
+	n := len(s)
+	pos, start := 0, 0
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		a = a*10 + int64(d)
+		pos++
+	}
+	if pos == start || pos-start > 18 || pos >= n || (s[pos] != ' ' && s[pos] != '\t') {
+		return 0, 0, 0, false
+	}
+	for pos < n && (s[pos] == ' ' || s[pos] == '\t') {
+		pos++
+	}
+	start = pos
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		b = b*10 + int64(d)
+		pos++
+	}
+	if pos == start || pos-start > 18 || pos >= n || (s[pos] != ' ' && s[pos] != '\t') {
+		return 0, 0, 0, false
+	}
+	for pos < n && (s[pos] == ' ' || s[pos] == '\t') {
+		pos++
+	}
+	var mant uint64
+	digits, frac := 0, -1
+	for pos < n {
+		c := s[pos]
+		if c == '.' {
+			if frac >= 0 {
+				return 0, 0, 0, false
+			}
+			frac = 0
+			pos++
+			continue
+		}
+		d := c - '0'
+		if d > 9 {
+			break
+		}
+		mant = mant*10 + uint64(d)
+		digits++
+		if frac >= 0 {
+			frac++
+		}
+		pos++
+	}
+	// The rating must end the line or be followed by whitespace (extra
+	// fields are ignored by the u.data format).
+	if pos < n && s[pos] != ' ' && s[pos] != '\t' {
+		return 0, 0, 0, false
+	}
+	v, ok = foldDecimal(mant, digits, frac)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return a, b, v, true
+}
+
+// parseCSV3Fast is the fused parser for ratings.csv lines: three
+// comma-separated fields (int64, int64, plain decimal), any further
+// comma-separated columns ignored.
+func parseCSV3Fast(s []byte) (a, b int64, v float32, ok bool) {
+	n := len(s)
+	pos, start := 0, 0
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		a = a*10 + int64(d)
+		pos++
+	}
+	if pos == start || pos-start > 18 || pos >= n || s[pos] != ',' {
+		return 0, 0, 0, false
+	}
+	pos++
+	start = pos
+	for pos < n {
+		d := s[pos] - '0'
+		if d > 9 {
+			break
+		}
+		b = b*10 + int64(d)
+		pos++
+	}
+	if pos == start || pos-start > 18 || pos >= n || s[pos] != ',' {
+		return 0, 0, 0, false
+	}
+	pos++
+	var mant uint64
+	digits, frac := 0, -1
+	for pos < n {
+		c := s[pos]
+		if c == '.' {
+			if frac >= 0 {
+				return 0, 0, 0, false
+			}
+			frac = 0
+			pos++
+			continue
+		}
+		d := c - '0'
+		if d > 9 {
+			break
+		}
+		mant = mant*10 + uint64(d)
+		digits++
+		if frac >= 0 {
+			frac++
+		}
+		pos++
+	}
+	// The rating field must run to the end of the line or to the comma
+	// starting the ignored remainder (e.g. the timestamp column).
+	if pos < n && s[pos] != ',' {
+		return 0, 0, 0, false
+	}
+	v, ok = foldDecimal(mant, digits, frac)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return a, b, v, true
+}
+
+// parseF32 parses a float32 rating field: plain-decimal fast path first,
+// strconv for everything else, so results and errors match ParseFloat
+// exactly.
+func parseF32(b []byte) (float32, error) {
+	if v, ok := parseFloat32Fast(b); ok {
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(bstr(b), 32)
+	return float32(v), err
+}
+
+// readAllBytes slurps r. Ingestion parses from one contiguous buffer so
+// chunk boundaries can be cut without copying; when the source exposes
+// its size (bytes.Reader/Buffer, regular files) the buffer is allocated
+// once instead of doubling through io.ReadAll.
+func readAllBytes(r io.Reader) ([]byte, error) {
+	hint := 0
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		hint = v.Len()
+	case *os.File:
+		if st, err := v.Stat(); err == nil && st.Mode().IsRegular() {
+			if sz := st.Size(); sz > 0 && sz < 1<<40 {
+				hint = int(sz)
+			}
+		}
+	}
+	buf := make([]byte, 0, hint+512)
+	for {
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+	}
+}

@@ -68,6 +68,71 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// FuzzSplitChunks checks the chunk splitter's three invariants for
+// arbitrary inputs and chunk targets: chunks concatenate back to the
+// input, no chunk is empty, and every chunk except the last ends at a
+// newline (so no line is ever split across workers).
+func FuzzSplitChunks(f *testing.F) {
+	f.Add([]byte("a\nb\nc\n"), 2)
+	f.Add([]byte("no newline"), 3)
+	f.Add([]byte(""), 1)
+	f.Add([]byte("\n\n\n"), 1)
+	f.Add(bytes.Repeat([]byte("0 1 2.5\n"), 64), 16)
+	f.Fuzz(func(t *testing.T, input []byte, target int) {
+		if target > 1<<24 {
+			target = 1 << 24
+		}
+		chunks := splitChunks(input, target)
+		var cat []byte
+		for k, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("empty chunk %d", k)
+			}
+			if k < len(chunks)-1 && c[len(c)-1] != '\n' {
+				t.Fatalf("chunk %d does not end at a newline", k)
+			}
+			cat = append(cat, c...)
+		}
+		if !bytes.Equal(cat, input) {
+			t.Fatalf("chunks do not concatenate to the input")
+		}
+	})
+}
+
+// FuzzReadTextEquivalence holds the parallel parser to the serial
+// reference on arbitrary inputs: same accept/reject decision, same error
+// text, same entries — with a tiny chunk size so even short fuzz inputs
+// span multiple chunks.
+func FuzzReadTextEquivalence(f *testing.F) {
+	f.Add("2 2 1\n0 1 3.5\n")
+	f.Add("% c\n3 4 2\n0 0 1\n2 3 5\n")
+	f.Add("2 2 9\n0 0 1\n")
+	f.Add("2 2 1\nbad line\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		sm, serr := readTextSerial(strings.NewReader(input))
+		pm, perr := parseTextParallel([]byte(input), 4, 7)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("serial err %v, parallel err %v", serr, perr)
+		}
+		if serr != nil {
+			if serr.Error() != perr.Error() {
+				t.Fatalf("error text differs: %q vs %q", serr, perr)
+			}
+			return
+		}
+		if sm.Rows != pm.Rows || sm.Cols != pm.Cols || len(sm.Entries) != len(pm.Entries) {
+			t.Fatalf("shape differs: %dx%d/%d vs %dx%d/%d",
+				sm.Rows, sm.Cols, len(sm.Entries), pm.Rows, pm.Cols, len(pm.Entries))
+		}
+		for i := range sm.Entries {
+			if sm.Entries[i] != pm.Entries[i] {
+				t.Fatalf("entry %d differs: %v vs %v", i, sm.Entries[i], pm.Entries[i])
+			}
+		}
+	})
+}
+
 func FuzzReadMovieLensCSV(f *testing.F) {
 	f.Add("userId,movieId,rating,timestamp\n1,296,5.0,1147880044\n")
 	f.Add("userId,movieId,rating\nx,y,z\n")

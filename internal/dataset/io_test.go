@@ -60,6 +60,8 @@ func TestReadTextErrors(t *testing.T) {
 		"2 2 1\n5 0 1\n",     // out of range row
 		"2 2 1\n0 1 2 3 4\n", // long triple
 		"% only a comment\n", // no header
+		"2 2 2\n0 1 3\n",     // header declares more entries than present
+		"2 2 0\n0 1 3\n",     // header declares fewer entries than present
 	}
 	for _, in := range cases {
 		if _, err := ReadText(strings.NewReader(in)); err == nil {

@@ -1,0 +1,322 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+// The parallel ingestion pipeline's contract is byte-identical behaviour
+// with the serial reference paths: same entries in the same order, same
+// IDMaps, and the same error text at the same line numbers, regardless of
+// where chunk boundaries fall. These tests drive the internal parallel
+// entry points with tiny chunk sizes so that multi-chunk splits, malformed
+// lines mid-chunk, and inputs smaller than one chunk are all exercised
+// even on small fixtures.
+
+func textFixture(t *testing.T) []byte {
+	t.Helper()
+	spec := Netflix.MustScaled(0.0005)
+	d := MustGenerate(spec, 5)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, d.Train); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSplitChunksProperties(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("\n"),
+		[]byte("no newline at all"),
+		[]byte("a\nb\nc\n"),
+		[]byte("a\nb\nc"), // unterminated final line
+		bytes.Repeat([]byte("line of text\n"), 100),
+		append(bytes.Repeat([]byte("x"), 50), '\n'), // one long line
+	}
+	for _, in := range inputs {
+		for _, target := range []int{1, 2, 7, 16, 1 << 20} {
+			chunks := splitChunks(in, target)
+			var cat []byte
+			for k, c := range chunks {
+				if len(c) == 0 {
+					t.Fatalf("target %d: empty chunk %d of %q", target, k, in)
+				}
+				if k < len(chunks)-1 && c[len(c)-1] != '\n' {
+					t.Fatalf("target %d: chunk %d of %q does not end at a newline: %q", target, k, in, c)
+				}
+				cat = append(cat, c...)
+			}
+			if !bytes.Equal(cat, in) {
+				t.Fatalf("target %d: concatenation mismatch: %q != %q", target, cat, in)
+			}
+		}
+	}
+}
+
+func TestReadTextParallelEquivalence(t *testing.T) {
+	text := textFixture(t)
+	want, err := readTextSerial(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk sizes: smaller than a line, a handful of lines, larger than
+	// the whole input (single chunk).
+	for _, chunkSize := range []int{3, 64, 4096, len(text) + 1} {
+		for _, workers := range []int{2, 4, 8} {
+			got, err := parseTextParallel(text, workers, chunkSize)
+			if err != nil {
+				t.Fatalf("chunk %d workers %d: %v", chunkSize, workers, err)
+			}
+			if got.Rows != want.Rows || got.Cols != want.Cols {
+				t.Fatalf("chunk %d: shape %dx%d, want %dx%d", chunkSize, got.Rows, got.Cols, want.Rows, want.Cols)
+			}
+			if !reflect.DeepEqual(got.Entries, want.Entries) {
+				t.Fatalf("chunk %d workers %d: entries differ", chunkSize, workers)
+			}
+		}
+	}
+	// The public entry point agrees too.
+	got, err := ReadTextWorkers(bytes.NewReader(text), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Fatal("ReadTextWorkers(4) disagrees with serial")
+	}
+}
+
+func TestReadTextParallelErrorsMatchSerial(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"1 2\n",                                 // short header
+		"a b c\n",                               // non-numeric header
+		"2 2 1\n0 1\n",                          // short triple
+		"2 2 1\nx y z\n",                        // non-numeric triple
+		"2 2 1\n5 0 1\n",                        // out-of-range row
+		"2 2 1\n0 1 2 3 4\n",                    // long triple
+		"% only a comment\n",                    // no header
+		"2 2 2\n0 1 3\n",                        // header nnz too large
+		"2 2 0\n0 1 3\n",                        // header nnz too small
+		"2 2 1\n0 1 3\n0 0 1\n0 1 2\n",          // extra triples
+		"% c\n\n2 2 3\n0 0 1\n0 1 bad\n1 1 2\n", // malformed mid-stream
+		"3 3 4\n0 0 1\n1 1 1\n2 2 1\n9 9 9\n",   // range error on last line
+		"2 2 1\n\n\n# c\n0 1 3.5\n",             // accepted: blank/comment noise
+	}
+	for _, in := range cases {
+		sm, serr := readTextSerial(strings.NewReader(in))
+		for _, chunkSize := range []int{2, 5, 1 << 20} {
+			pm, perr := parseTextParallel([]byte(in), 4, chunkSize)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("%q chunk %d: serial err %v, parallel err %v", in, chunkSize, serr, perr)
+			}
+			if serr != nil {
+				if serr.Error() != perr.Error() {
+					t.Fatalf("%q chunk %d: error text differs:\n serial:   %q\n parallel: %q",
+						in, chunkSize, serr, perr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(sm.Entries, pm.Entries) {
+				t.Fatalf("%q chunk %d: entries differ", in, chunkSize)
+			}
+		}
+	}
+}
+
+func TestReadTextValidatesHeaderNNZ(t *testing.T) {
+	// The satellite fix: a header whose nnz disagrees with the actual
+	// triple count must be a descriptive error on every path.
+	in := "2 2 3\n0 1 2.5\n"
+	want := `dataset: header declares 3 entries, file has 1`
+	if _, err := readTextSerial(strings.NewReader(in)); err == nil || err.Error() != want {
+		t.Fatalf("serial: err %v, want %q", err, want)
+	}
+	if _, err := parseTextParallel([]byte(in), 4, 4); err == nil || err.Error() != want {
+		t.Fatalf("parallel: err %v, want %q", err, want)
+	}
+	if _, err := ReadText(strings.NewReader(in)); err == nil || err.Error() != want {
+		t.Fatalf("ReadText: err %v, want %q", err, want)
+	}
+}
+
+func mlCSVFixture() []byte {
+	// Sparse, shuffled, repeating ids exercise the densification order.
+	var buf bytes.Buffer
+	buf.WriteString("userId,movieId,rating,timestamp\n")
+	rng := sparse.NewRand(13)
+	for i := 0; i < 4000; i++ {
+		u := 1000 + rng.Intn(200)*7
+		it := 50 + rng.Intn(300)*3
+		fmt.Fprintf(&buf, "%d,%d,%.1f,%d\n", u, it, 0.5+float64(rng.Intn(9))*0.5, i)
+	}
+	return buf.Bytes()
+}
+
+func TestMovieLensCSVParallelEquivalence(t *testing.T) {
+	csv := mlCSVFixture()
+	wantM, wantMaps, err := readMovieLensSerial(bytes.NewReader(csv), ',', true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{16, 512, len(csv) + 1} {
+		gotM, gotMaps, err := parseMovieLensParallel(csv, ',', true, 4, chunkSize)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunkSize, err)
+		}
+		if gotM.Rows != wantM.Rows || gotM.Cols != wantM.Cols {
+			t.Fatalf("chunk %d: shape %dx%d, want %dx%d", chunkSize, gotM.Rows, gotM.Cols, wantM.Rows, wantM.Cols)
+		}
+		if !reflect.DeepEqual(gotM.Entries, wantM.Entries) {
+			t.Fatalf("chunk %d: entries differ", chunkSize)
+		}
+		if !reflect.DeepEqual(gotMaps, wantMaps) {
+			t.Fatalf("chunk %d: IDMaps differ", chunkSize)
+		}
+	}
+	gotM, gotMaps, err := ReadMovieLensCSVWorkers(bytes.NewReader(csv), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotM.Entries, wantM.Entries) || !reflect.DeepEqual(gotMaps, wantMaps) {
+		t.Fatal("ReadMovieLensCSVWorkers(4) disagrees with serial")
+	}
+}
+
+func TestMovieLensUDataParallelEquivalence(t *testing.T) {
+	var buf bytes.Buffer
+	rng := sparse.NewRand(17)
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&buf, "%d\t%d\t%d\t%d\n", 1+rng.Intn(50), 1+rng.Intn(80), 1+rng.Intn(5), i)
+	}
+	udata := buf.Bytes()
+	wantM, wantMaps, err := readMovieLensSerial(bytes.NewReader(udata), '\t', false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{8, 256, len(udata) + 1} {
+		gotM, gotMaps, err := parseMovieLensParallel(udata, '\t', false, 3, chunkSize)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunkSize, err)
+		}
+		if !reflect.DeepEqual(gotM.Entries, wantM.Entries) || !reflect.DeepEqual(gotMaps, wantMaps) {
+			t.Fatalf("chunk %d: parallel u.data load disagrees with serial", chunkSize)
+		}
+	}
+}
+
+func TestMovieLensParallelErrorsMatchSerial(t *testing.T) {
+	cases := []struct {
+		in        string
+		sep       rune
+		hasHeader bool
+	}{
+		{"", ',', true},
+		{"not a header\n1,2,3\n", ',', true},
+		{"userId,movieId,rating\n", ',', true},                        // header only: no ratings
+		{"userId,movieId,rating\n1,2\n", ',', true},                   // short record
+		{"userId,movieId,rating\nx,y,z\n", ',', true},                 // non-numeric
+		{"userId,movieId,rating\n1,2,3\n4,5,bad\n6,7,1\n", ',', true}, // mid-stream
+		{"\nuserId,movieId,rating\n1,2,3\n", ',', true},               // blank line 1: no header skip
+		{"1\t2\n", '\t', false},
+		{"1\t2\t3\n4\tbad\t5\n", '\t', false},
+		{"", '\t', false},
+	}
+	for _, tc := range cases {
+		_, _, serr := readMovieLensSerial(strings.NewReader(tc.in), tc.sep, tc.hasHeader)
+		for _, chunkSize := range []int{3, 1 << 20} {
+			_, _, perr := parseMovieLensParallel([]byte(tc.in), tc.sep, tc.hasHeader, 4, chunkSize)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("%q chunk %d: serial err %v, parallel err %v", tc.in, chunkSize, serr, perr)
+			}
+			if serr != nil && serr.Error() != perr.Error() {
+				t.Fatalf("%q chunk %d: error text differs:\n serial:   %q\n parallel: %q",
+					tc.in, chunkSize, serr, perr)
+			}
+		}
+	}
+}
+
+func TestReadBinaryBlockEquivalence(t *testing.T) {
+	spec := Netflix.MustScaled(0.0005)
+	d := MustGenerate(spec, 23)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d.Train); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	want, err := ReadBinarySerial(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != want.Rows || got.Cols != want.Cols || !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Fatal("block reader disagrees with per-record reader")
+	}
+
+	// Truncations: mid-record, at a record boundary, inside the header.
+	for _, cut := range []int{len(data) - 5, len(data) - recordSize, len(data) - 2*recordSize - 7, 30, 10, 3} {
+		_, serr := ReadBinarySerial(bytes.NewReader(data[:cut]))
+		_, perr := ReadBinary(bytes.NewReader(data[:cut]))
+		if serr == nil || perr == nil {
+			t.Fatalf("cut %d: truncation accepted (serial %v, block %v)", cut, serr, perr)
+		}
+		if serr.Error() != perr.Error() {
+			t.Fatalf("cut %d: error text differs:\n serial: %q\n block:  %q", cut, serr, perr)
+		}
+	}
+}
+
+func TestWriteTextMatchesFmtRendering(t *testing.T) {
+	m := sparse.NewCOO(10, 10, 0)
+	m.Add(0, 1, 4.5)
+	m.Add(3, 2, -0.125)
+	m.Add(9, 9, 1e-7)
+	m.Add(5, 0, 3)
+	m.Add(7, 4, 2.0000002) // needs float32 shortest-representation digits
+	var got bytes.Buffer
+	if err := WriteText(&got, m); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	fmt.Fprintf(&want, "%d %d %d\n", m.Rows, m.Cols, m.NNZ())
+	for _, e := range m.Entries {
+		fmt.Fprintf(&want, "%d %d %g\n", e.U, e.I, e.V)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("WriteText drifted from the fmt rendering:\n got: %q\nwant: %q", got.String(), want.String())
+	}
+}
+
+func TestWriteBinaryBlockBoundary(t *testing.T) {
+	// A matrix whose record stream crosses several 64 KiB blocks and ends
+	// exactly at a block boundary must round-trip.
+	perBlock := ioWriteBlock / recordSize
+	n := perBlock*2 - 1 // header consumes part of block 1, so stream ends mid/edge
+	m := sparse.NewCOO(1000, 1000, n)
+	rng := sparse.NewRand(3)
+	for i := 0; i < n; i++ {
+		m.Add(int32(rng.Intn(1000)), int32(rng.Intn(1000)), rng.Float32())
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Entries, m.Entries) {
+		t.Fatal("multi-block round trip changed entries")
+	}
+}

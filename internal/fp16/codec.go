@@ -2,7 +2,8 @@ package fp16
 
 import (
 	"fmt"
-	"sync"
+
+	"hccmf/internal/parallel"
 )
 
 // EncodeSlice compresses src into dst (as raw binary16 bits). dst must have
@@ -57,28 +58,12 @@ func DecodeSliceParallel(dst []float32, src []Bits16, workers int) {
 	})
 }
 
+// parallelChunks fans fn out over the shared helper, which clamps the
+// worker count to ceil(n/minParallelChunk): a conversion barely above the
+// inline threshold no longer spawns `workers` goroutines for sub-threshold
+// slivers of work.
 func parallelChunks(n, workers int, fn func(lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	if n < minParallelChunk || workers == 1 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.Chunks(n, minParallelChunk, workers, fn)
 }
 
 // RoundTripError returns the absolute error introduced by one FP32→FP16→FP32

@@ -1,0 +1,172 @@
+package kernelbench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"hccmf/internal/dataset"
+	"hccmf/internal/sparse"
+)
+
+// Ingestion micro-benchmarks: the parallel zero-copy pipeline of
+// internal/dataset and the grid sort of internal/sparse, measured on the
+// same 2000×1000/200k matrix as the kernel suite rendered as a text file,
+// a MovieLens-style ratings.csv, and the binary format. Each parallel
+// path is paired with its serial reference benchmark so a single report
+// carries both sides of the comparison recorded in BENCH_*.json.
+
+// IngestWorkers is the worker count the parallel read benchmarks run
+// with. Fixed (rather than GOMAXPROCS) so reports from different hosts
+// measure the same configuration.
+const IngestWorkers = 8
+
+var (
+	ingestOnce sync.Once
+	ingestText []byte // WriteText rendering of Matrix()
+	ingestCSV  []byte // ratings.csv rendering of Matrix()
+	ingestBin  []byte // WriteBinary rendering of Matrix()
+)
+
+// ingestInit renders the shared input buffers once; every benchmark
+// parses from memory so the numbers measure parsing, not disk.
+func ingestInit() {
+	ingestOnce.Do(func() {
+		m := Matrix()
+		var tb, bb bytes.Buffer
+		err1 := dataset.WriteText(&tb, m)
+		err2 := dataset.WriteBinary(&bb, m)
+		if err1 != nil || err2 != nil {
+			// lint:invariant bytes.Buffer writes cannot fail; an error here means the writers themselves are broken.
+			panic(fmt.Sprint("kernelbench: rendering ingest fixtures: ", err1, err2))
+		}
+		ingestText, ingestBin = tb.Bytes(), bb.Bytes()
+		var cb bytes.Buffer
+		cb.WriteString("userId,movieId,rating,timestamp\n")
+		for i, e := range m.Entries {
+			fmt.Fprintf(&cb, "%d,%d,%g,%d\n", e.U+1, e.I+1, e.V, i)
+		}
+		ingestCSV = cb.Bytes()
+	})
+}
+
+// ReportIngest attaches the throughput metrics shared by every ingest
+// benchmark: input MB/s and parsed entries/s.
+func ReportIngest(b *testing.B, inputBytes, entries int) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 {
+		return
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(inputBytes)*n/sec/1e6, "MB/s")
+	b.ReportMetric(float64(entries)*n/sec, "entries/s")
+}
+
+func benchReadText(b *testing.B, workers int) {
+	ingestInit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.ReadTextWorkers(bytes.NewReader(ingestText), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ReportIngest(b, len(ingestText), NNZ)
+}
+
+// IngestReadText benchmarks the chunked parallel text parser.
+func IngestReadText(b *testing.B) { benchReadText(b, IngestWorkers) }
+
+// IngestReadTextSerial benchmarks the bufio.Scanner reference parser.
+func IngestReadTextSerial(b *testing.B) { benchReadText(b, 1) }
+
+func benchReadCSV(b *testing.B, workers int) {
+	ingestInit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dataset.ReadMovieLensCSVWorkers(bytes.NewReader(ingestCSV), workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ReportIngest(b, len(ingestCSV), NNZ)
+}
+
+// IngestReadMovieLensCSV benchmarks the two-phase parallel CSV loader.
+func IngestReadMovieLensCSV(b *testing.B) { benchReadCSV(b, IngestWorkers) }
+
+// IngestReadMovieLensCSVSerial benchmarks the serial reference loader.
+func IngestReadMovieLensCSVSerial(b *testing.B) { benchReadCSV(b, 1) }
+
+// IngestReadBinary benchmarks the 64 KiB block binary reader.
+func IngestReadBinary(b *testing.B) {
+	ingestInit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.ReadBinary(bytes.NewReader(ingestBin)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ReportIngest(b, len(ingestBin), NNZ)
+}
+
+// IngestReadBinarySerial benchmarks the per-record reference reader.
+func IngestReadBinarySerial(b *testing.B) {
+	ingestInit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.ReadBinarySerial(bytes.NewReader(ingestBin)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ReportIngest(b, len(ingestBin), NNZ)
+}
+
+// IngestSortByRow benchmarks the stable counting sort on the unsorted
+// benchmark matrix; each op restores the shuffled order first so every
+// iteration sorts the same permutation.
+func IngestSortByRow(b *testing.B) {
+	m := Matrix()
+	shuffled := append([]sparse.Rating(nil), m.Entries...)
+	entryBytes := NNZ * 12 // Rating is two int32 + one float32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(m.Entries, shuffled)
+		m.SortByRow()
+	}
+	ReportIngest(b, entryBytes, NNZ)
+}
+
+// IngestWriteBinary benchmarks the block binary writer.
+func IngestWriteBinary(b *testing.B) {
+	ingestInit()
+	m := Matrix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dataset.WriteBinary(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ReportIngest(b, len(ingestBin), NNZ)
+}
+
+// IngestSuite lists the ingestion benchmarks in report order. Names match
+// the BenchmarkIngest* wrappers in bench_test.go minus the prefix.
+func IngestSuite() []Bench {
+	return []Bench{
+		{"ReadText", IngestReadText},
+		{"ReadTextSerial", IngestReadTextSerial},
+		{"ReadMovieLensCSV", IngestReadMovieLensCSV},
+		{"ReadMovieLensCSVSerial", IngestReadMovieLensCSVSerial},
+		{"ReadBinary", IngestReadBinary},
+		{"ReadBinarySerial", IngestReadBinarySerial},
+		{"SortByRow", IngestSortByRow},
+		{"WriteBinary", IngestWriteBinary},
+	}
+}

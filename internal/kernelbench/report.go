@@ -12,6 +12,11 @@ import (
 // changes so downstream consumers (BENCH_*.json diffs) can tell.
 const Schema = "hccmf-bench/kernel/v1"
 
+// IngestSchema tags the ingestion benchmark group embedded in the same
+// document (the Ingest field). Versioned separately from the kernel group
+// so either suite can evolve without invalidating the other's diffs.
+const IngestSchema = "hccmf-bench/ingest/v1"
+
 // Workload records the fixed benchmark problem shape inside the report so
 // a checked-in document is self-describing.
 type Workload struct {
@@ -32,6 +37,8 @@ type Result struct {
 	NsPerOp       float64 `json:"ns_per_op,omitempty"`
 	NsPerUpdate   float64 `json:"ns_per_update,omitempty"`
 	UpdatesPerSec float64 `json:"updates_per_sec,omitempty"`
+	MBPerSec      float64 `json:"mb_per_sec,omitempty"`
+	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 }
@@ -45,6 +52,10 @@ type Report struct {
 	Race       bool     `json:"race,omitempty"`
 	Workload   Workload `json:"workload"`
 	Kernels    []Result `json:"kernels"`
+	// IngestSchema and Ingest carry the ingestion benchmark group
+	// (IngestSuite); both are omitted from kernel-only documents.
+	IngestSchema string   `json:"ingest_schema,omitempty"`
+	Ingest       []Result `json:"ingest,omitempty"`
 }
 
 // Bench is one named kernel micro-benchmark of the suite.
@@ -86,6 +97,10 @@ func Collect(count int) Report {
 	for _, bm := range Suite() {
 		rep.Kernels = append(rep.Kernels, collectOne(bm, count))
 	}
+	rep.IngestSchema = IngestSchema
+	for _, bm := range IngestSuite() {
+		rep.Ingest = append(rep.Ingest, collectOne(bm, count))
+	}
 	return rep
 }
 
@@ -105,6 +120,8 @@ func collectOne(bm Bench, count int) Result {
 		res.NsPerOp += float64(r.NsPerOp())
 		res.NsPerUpdate += r.Extra["ns/update"]
 		res.UpdatesPerSec += r.Extra["updates/s"]
+		res.MBPerSec += r.Extra["MB/s"]
+		res.EntriesPerSec += r.Extra["entries/s"]
 		res.AllocsPerOp += r.AllocsPerOp()
 		res.BytesPerOp += r.AllocedBytesPerOp()
 	}
@@ -115,6 +132,8 @@ func collectOne(bm Bench, count int) Result {
 	res.NsPerOp /= n
 	res.NsPerUpdate /= n
 	res.UpdatesPerSec /= n
+	res.MBPerSec /= n
+	res.EntriesPerSec /= n
 	res.AllocsPerOp /= int64(runs)
 	res.BytesPerOp /= int64(runs)
 	return res

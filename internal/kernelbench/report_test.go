@@ -35,6 +35,39 @@ func TestReportSchemaStable(t *testing.T) {
 	}
 }
 
+// TestIngestSchemaStable pins the ingest group's field set the same way:
+// the throughput metrics are MB/s and entries/s, and the kernel-only
+// fields stay omitted for ingest results.
+func TestIngestSchemaStable(t *testing.T) {
+	rep := Report{
+		Schema:       Schema,
+		GoVersion:    "go1.24.0",
+		GOMAXPROCS:   1,
+		Count:        3,
+		Workload:     Workload{Rows: Rows, Cols: Cols, NNZ: NNZ, K: K},
+		IngestSchema: IngestSchema,
+		Ingest: []Result{{
+			Name: "ReadText", Iterations: 10, NsPerOp: 1e6,
+			MBPerSec: 350, EntriesPerSec: 4.2e7,
+		}},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"hccmf-bench/kernel/v1","go_version":"go1.24.0",` +
+		`"gomaxprocs":1,"count":3,` +
+		`"workload":{"rows":2000,"cols":1000,"nnz":200000,"k":32},` +
+		`"kernels":null,` +
+		`"ingest_schema":"hccmf-bench/ingest/v1",` +
+		`"ingest":[{"name":"ReadText","iterations":10,"ns_per_op":1000000,` +
+		`"mb_per_sec":350,"entries_per_sec":42000000,` +
+		`"allocs_per_op":0,"bytes_per_op":0}]}`
+	if string(got) != want {
+		t.Fatalf("ingest schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestCollectOneAggregates checks run aggregation and skip handling with a
 // synthetic benchmark (the real suite is exercised by bench_test.go and
 // verify.sh's bench smoke step).

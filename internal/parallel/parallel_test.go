@@ -1,0 +1,74 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// collect runs Chunks and returns the ranges fn received, in ascending
+// order (ranges are disjoint, so sorting by lo is unambiguous).
+func collect(n, minChunk, workers int) [][2]int {
+	var mu sync.Mutex
+	var got [][2]int
+	Chunks(n, minChunk, workers, func(lo, hi int) {
+		mu.Lock()
+		got = append(got, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	// insertion sort; the slice is tiny
+	for i := 1; i < len(got); i++ {
+		for j := i; j > 0 && got[j][0] < got[j-1][0]; j-- {
+			got[j], got[j-1] = got[j-1], got[j]
+		}
+	}
+	return got
+}
+
+func TestChunksCoversRangeExactly(t *testing.T) {
+	for _, tc := range []struct{ n, minChunk, workers int }{
+		{0, 1, 4}, {1, 1, 4}, {10, 1, 4}, {10, 3, 4}, {100, 7, 8},
+		{1000, 1, 1}, {1000, 500, 16}, {5, 100, 8},
+	} {
+		got := collect(tc.n, tc.minChunk, tc.workers)
+		pos := 0
+		for _, r := range got {
+			if r[0] != pos {
+				t.Fatalf("n=%d minChunk=%d workers=%d: gap/overlap at %d (ranges %v)",
+					tc.n, tc.minChunk, tc.workers, pos, got)
+			}
+			if r[1] < r[0] {
+				t.Fatalf("inverted range %v", r)
+			}
+			pos = r[1]
+		}
+		if pos != tc.n {
+			t.Fatalf("n=%d minChunk=%d workers=%d: covered [0,%d), want [0,%d)",
+				tc.n, tc.minChunk, tc.workers, pos, tc.n)
+		}
+	}
+}
+
+func TestChunksClampsWorkers(t *testing.T) {
+	// 250 elements at minChunk 100 support at most ceil(250/100)=3 ranges.
+	if got := collect(250, 100, 8); len(got) > 3 {
+		t.Fatalf("got %d ranges, want <= 3: %v", len(got), got)
+	}
+	// Below one minChunk everything must run as a single inline range.
+	if got := collect(50, 100, 8); len(got) != 1 || got[0] != [2]int{0, 50} {
+		t.Fatalf("tiny input not inline: %v", got)
+	}
+	// n == 0 still calls fn once with an empty range (codec contract).
+	if got := collect(0, 100, 8); len(got) != 1 || got[0] != [2]int{0, 0} {
+		t.Fatalf("empty input: %v", got)
+	}
+}
+
+func TestChunksInlineOnOneWorker(t *testing.T) {
+	// With workers=1 fn must run on the caller's goroutine: a write to a
+	// captured local without synchronisation is race-free only then.
+	total := 0
+	Chunks(1_000_000, 1, 1, func(lo, hi int) { total += hi - lo })
+	if total != 1_000_000 {
+		t.Fatalf("total %d", total)
+	}
+}

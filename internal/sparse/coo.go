@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Rating is one observed entry of the rating matrix R: user u rated item i
@@ -50,11 +49,23 @@ func (m *COO) Add(u, i int32, v float32) {
 	m.Entries = append(m.Entries, Rating{U: u, I: i, V: v})
 }
 
+// CheckRange reports the out-of-range error Append would return for the
+// coordinate (u,i) in a rows×cols matrix, or nil when it is in range. The
+// dataset parsers share it so that a range error carries the same text
+// whether it comes from Append or from a parser worker that range-checks
+// before it owns a matrix.
+func CheckRange(u, i int32, rows, cols int) error {
+	if u < 0 || int(u) >= rows || i < 0 || int(i) >= cols {
+		return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d matrix", u, i, rows, cols)
+	}
+	return nil
+}
+
 // Append appends one rating, reporting an error when the coordinate is out
 // of range.
 func (m *COO) Append(u, i int32, v float32) error {
-	if u < 0 || int(u) >= m.Rows || i < 0 || int(i) >= m.Cols {
-		return fmt.Errorf("sparse: entry (%d,%d) outside %dx%d matrix", u, i, m.Rows, m.Cols)
+	if err := CheckRange(u, i, m.Rows, m.Cols); err != nil {
+		return err
 	}
 	m.Entries = append(m.Entries, Rating{U: u, I: i, V: v})
 	return nil
@@ -113,8 +124,18 @@ func (m *COO) Validate() error {
 
 // RowCounts returns, for each row, the number of stored entries. The
 // DataManager uses these histograms to cut balanced row grids.
-func (m *COO) RowCounts() []int {
-	counts := make([]int, m.Rows)
+func (m *COO) RowCounts() []int { return m.RowCountsInto(nil) }
+
+// RowCountsInto fills counts with per-row entry counts and returns it,
+// reusing the caller's buffer when it has capacity m.Rows and allocating
+// only otherwise. The radix grid sort and the sharding path call it with
+// pooled buffers so grid rebuilds stop allocating histograms per call.
+func (m *COO) RowCountsInto(counts []int) []int {
+	if cap(counts) < m.Rows {
+		counts = make([]int, m.Rows)
+	}
+	counts = counts[:m.Rows]
+	clear(counts)
 	for _, e := range m.Entries {
 		counts[e.U]++
 	}
@@ -122,37 +143,32 @@ func (m *COO) RowCounts() []int {
 }
 
 // ColCounts returns per-column entry counts.
-func (m *COO) ColCounts() []int {
-	counts := make([]int, m.Cols)
+func (m *COO) ColCounts() []int { return m.ColCountsInto(nil) }
+
+// ColCountsInto is the caller-buffer variant of ColCounts; see
+// RowCountsInto.
+func (m *COO) ColCountsInto(counts []int) []int {
+	if cap(counts) < m.Cols {
+		counts = make([]int, m.Cols)
+	}
+	counts = counts[:m.Cols]
+	clear(counts)
 	for _, e := range m.Entries {
 		counts[e.I]++
 	}
 	return counts
 }
 
-// SortByRow sorts entries by (row, col). FPSGD-style kernels rely on this
-// "block sorting by row" to improve cache hit rate (the paper applies the
-// same trick to cuMF_SGD's grid problem).
-func (m *COO) SortByRow() {
-	sort.Slice(m.Entries, func(a, b int) bool {
-		ea, eb := m.Entries[a], m.Entries[b]
-		if ea.U != eb.U {
-			return ea.U < eb.U
-		}
-		return ea.I < eb.I
-	})
-}
+// SortByRow sorts entries stably by (row, col). FPSGD-style kernels rely
+// on this "block sorting by row" to improve cache hit rate (the paper
+// applies the same trick to cuMF_SGD's grid problem). The sort is a
+// two-pass LSD counting sort keyed on the known (row, col) range — O(NNZ +
+// Rows + Cols) instead of O(NNZ log NNZ) — with a stable comparison-sort
+// fallback for degenerate shapes whose index space dwarfs the entry count.
+func (m *COO) SortByRow() { sortEntries(m, true) }
 
-// SortByCol sorts entries by (col, row).
-func (m *COO) SortByCol() {
-	sort.Slice(m.Entries, func(a, b int) bool {
-		ea, eb := m.Entries[a], m.Entries[b]
-		if ea.I != eb.I {
-			return ea.I < eb.I
-		}
-		return ea.U < eb.U
-	})
-}
+// SortByCol sorts entries stably by (col, row).
+func (m *COO) SortByCol() { sortEntries(m, false) }
 
 // Shuffle permutes entries with the Fisher-Yates algorithm driven by the
 // given source, making SGD's sampling order deterministic per seed.

@@ -1,0 +1,106 @@
+package sparse
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counting/radix sort for COO entry grids. SortByRow/SortByCol used to run
+// interface-dispatched sort.Slice — O(NNZ log NNZ) with a closure call per
+// comparison. The (row, col) key range is known, so two stable counting
+// passes (least-significant key first) sort in O(NNZ + Rows + Cols) while
+// touching the entry stream sequentially, which also speeds up every grid
+// rebuild that re-sorts shards. Scratch histograms and the scatter buffer
+// come from a pool, so steady-state sorting allocates nothing.
+
+// sortScratch holds the reusable buffers of one counting sort: the two key
+// histograms (reused via RowCountsInto/ColCountsInto) and the scatter
+// destination of the first pass.
+type sortScratch struct {
+	rowCounts []int
+	colCounts []int
+	tmp       []Rating
+}
+
+var sortScratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
+// sortFallbackFactor bounds the counting sort's histogram cost: when the
+// index space is more than this factor larger than the entry count, a
+// counting pass would be dominated by walking mostly-empty histograms and
+// the comparison sort wins. The fallback is stable too, so both paths
+// produce identical orderings.
+const sortFallbackFactor = 8
+
+// sortEntries sorts m.Entries stably by (U, I) when byRow, else by (I, U).
+func sortEntries(m *COO, byRow bool) {
+	n := len(m.Entries)
+	if n < 2 {
+		return
+	}
+	if int64(m.Rows)+int64(m.Cols) > sortFallbackFactor*int64(n) {
+		if byRow {
+			sort.SliceStable(m.Entries, func(a, b int) bool {
+				ea, eb := m.Entries[a], m.Entries[b]
+				if ea.U != eb.U {
+					return ea.U < eb.U
+				}
+				return ea.I < eb.I
+			})
+		} else {
+			sort.SliceStable(m.Entries, func(a, b int) bool {
+				ea, eb := m.Entries[a], m.Entries[b]
+				if ea.I != eb.I {
+					return ea.I < eb.I
+				}
+				return ea.U < eb.U
+			})
+		}
+		return
+	}
+
+	s := sortScratchPool.Get().(*sortScratch)
+	if cap(s.tmp) < n {
+		s.tmp = make([]Rating, n)
+	}
+	tmp := s.tmp[:n]
+	s.rowCounts = m.RowCountsInto(s.rowCounts)
+	s.colCounts = m.ColCountsInto(s.colCounts)
+
+	if byRow {
+		scatterByCol(tmp, m.Entries, s.colCounts)
+		scatterByRow(m.Entries, tmp, s.rowCounts)
+	} else {
+		scatterByRow(tmp, m.Entries, s.rowCounts)
+		scatterByCol(m.Entries, tmp, s.colCounts)
+	}
+	sortScratchPool.Put(s)
+}
+
+// scatterByRow stable-scatters src into dst ordered by U. counts must hold
+// per-row entry counts on entry; it is consumed (turned into offsets).
+func scatterByRow(dst, src []Rating, counts []int) {
+	off := 0
+	for r, c := range counts {
+		counts[r] = off
+		off += c
+	}
+	for _, e := range src {
+		p := counts[e.U]
+		counts[e.U] = p + 1
+		dst[p] = e
+	}
+}
+
+// scatterByCol stable-scatters src into dst ordered by I; see scatterByRow.
+func scatterByCol(dst, src []Rating, counts []int) {
+	off := 0
+	for c, n := range counts {
+		counts[c] = off
+		off += n
+	}
+	for _, e := range src {
+		p := counts[e.I]
+		counts[e.I] = p + 1
+		dst[p] = e
+	}
+}

@@ -1,5 +1,7 @@
 package sparse
 
+import "sync"
+
 // Row-grid sharding. BuildWorkerConfs used to materialise one COO copy per
 // worker (a full CSR build plus a per-worker gather: O(workers × alloc)
 // and ~2 extra passes over the entry stream). RowShards replaces that with
@@ -13,7 +15,17 @@ package sparse
 // position of row r's first entry in row-major stable order, and
 // starts[m.Rows] == m.NNZ().
 func RowStarts(m *COO) []int64 {
-	starts := make([]int64, m.Rows+1)
+	return rowStartsInto(nil, m)
+}
+
+// rowStartsInto is the caller-buffer variant of RowStarts, mirroring
+// RowCountsInto: it reuses starts when it has capacity m.Rows+1.
+func rowStartsInto(starts []int64, m *COO) []int64 {
+	if cap(starts) < m.Rows+1 {
+		starts = make([]int64, m.Rows+1)
+	}
+	starts = starts[:m.Rows+1]
+	clear(starts)
 	for _, e := range m.Entries {
 		starts[e.U+1]++
 	}
@@ -23,6 +35,16 @@ func RowStarts(m *COO) []int64 {
 	return starts
 }
 
+// shardScratch pools the two per-call histograms of RowShards (prefix
+// index and scatter cursor), so grid rebuilds — the eviction path re-shards
+// on every worker failure — stop allocating histograms per call. The shard
+// backing array itself is NOT pooled: it is handed to the caller.
+type shardScratch struct {
+	starts, next []int64
+}
+
+var shardScratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
 // RowShards cuts m into len(weights) contiguous row-range shards whose nnz
 // counts match the weights as closely as a contiguous cut allows (the same
 // greedy cut as CutRowGrid). Entries within each shard are in row-major
@@ -31,13 +53,19 @@ func RowStarts(m *COO) []int64 {
 // All shards share one backing array; each view's capacity is capped at
 // its own end, so growing one shard never corrupts another.
 func RowShards(m *COO, weights []float64) ([]Slice, []*COO, error) {
-	starts := RowStarts(m)
+	sc := shardScratchPool.Get().(*shardScratch)
+	defer shardScratchPool.Put(sc)
+	sc.starts = rowStartsInto(sc.starts, m)
+	starts := sc.starts
 	slices, err := cutGrid(starts, m.Rows, weights)
 	if err != nil {
 		return nil, nil, err
 	}
 	backing := make([]Rating, len(m.Entries))
-	next := make([]int64, m.Rows)
+	if cap(sc.next) < m.Rows {
+		sc.next = make([]int64, m.Rows)
+	}
+	next := sc.next[:m.Rows]
 	copy(next, starts[:m.Rows])
 	for _, e := range m.Entries {
 		pos := next[e.U]

@@ -7,11 +7,13 @@
 #   3. hccmf-vet ./...                 — the determinism analyzer suite
 #      (simtime, seededrand, panicpolicy, raceguard; see DESIGN.md §8)
 #   4. go test -race over the concurrent packages — ps, comm, mf,
-#      simengine; the intentional Hogwild races stay off these runs via
+#      simengine, plus the parallel-ingestion packages dataset, sparse,
+#      parallel; the intentional Hogwild races stay off these runs via
 #      internal/raceflag
 #   5. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
-#      once, so a PR cannot silently break the kernel suite behind
-#      hccmf-bench -json and BENCH_*.json (see DESIGN.md §9)
+#      once (including the ingest/v1 ingestion suite), so a PR cannot
+#      silently break the suites behind hccmf-bench -json and
+#      BENCH_*.json (see DESIGN.md §9–10)
 #   6. go test ./...                   — full test suite (includes the
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
 #
@@ -28,10 +30,11 @@ go vet ./...
 echo "== hccmf-vet ./... (determinism invariants)"
 go run ./cmd/hccmf-vet ./...
 
-echo "== go test -race (ps, comm, mf, simengine; raceflag gates Hogwild)"
-go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine
+echo "== go test -race (ps, comm, mf, simengine, dataset, sparse, parallel)"
+go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine \
+	./internal/dataset ./internal/sparse ./internal/parallel
 
-echo "== bench smoke (every benchmark once)"
+echo "== bench smoke (every benchmark once, kernel + ingest suites)"
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "== go test ./..."
