@@ -21,6 +21,7 @@ import (
 
 	"hccmf/internal/experiments"
 	"hccmf/internal/kernelbench"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -32,7 +33,13 @@ func main() {
 	report := flag.String("report", "", "also write the output to this file")
 	jsonOut := flag.String("json", "", "run the kernel micro-benchmark suite and write its JSON report to this file ('-' for stdout); tables/figures are skipped unless -only selects them")
 	jsonCount := flag.Int("json-count", 3, "benchmark runs averaged per kernel in -json mode")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-bench", version.String())
+		return
+	}
 
 	if *jsonOut != "" {
 		if err := writeKernelReport(*jsonOut, *jsonCount); err != nil {

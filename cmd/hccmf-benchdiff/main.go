@@ -1,0 +1,84 @@
+// Command hccmf-benchdiff compares kernel benchmark reports and flags
+// performance regressions. With no -candidate it runs the micro-benchmark
+// suite fresh (like `hccmf-bench -json`); with no -baseline it picks the
+// newest checked-in BENCH_*.json. CI runs it report-only; pass
+// -fail-on-regress to turn flagged kernels into a non-zero exit.
+//
+// Usage:
+//
+//	hccmf-benchdiff                            # fresh run vs newest BENCH_*.json
+//	hccmf-benchdiff -candidate new.json        # saved run vs newest baseline
+//	hccmf-benchdiff -baseline a.json -candidate b.json -fail-on-regress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hccmf/internal/kernelbench"
+	"hccmf/internal/version"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report: bare kernel report or BENCH_*.json comparison (default: newest BENCH_*.json in -dir)")
+	candidate := flag.String("candidate", "", "candidate report file (default: run the benchmark suite fresh)")
+	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when -baseline is unset")
+	count := flag.Int("count", 3, "benchmark runs averaged per kernel when measuring fresh")
+	threshold := flag.Float64("threshold", 0.15, "relative slowdown that counts as a regression (0.15 = 15%)")
+	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when any kernel regresses (CI runs report-only without this)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-benchdiff", version.String())
+		return
+	}
+
+	basePath := *baseline
+	if basePath == "" {
+		latest, err := kernelbench.LatestBaseline(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		basePath = latest
+	}
+	base, err := kernelbench.LoadReport(basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cand kernelbench.Report
+	if *candidate != "" {
+		cand, err = kernelbench.LoadReport(*candidate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("baseline : %s\ncandidate: %s\n\n", basePath, *candidate)
+	} else {
+		fmt.Printf("baseline : %s\ncandidate: fresh run (count=%d)\n\n", basePath, *count)
+		cand = kernelbench.Collect(*count)
+	}
+
+	deltas := kernelbench.Diff(base, cand, *threshold)
+	if len(deltas) == 0 {
+		fmt.Println("no comparable kernels between the two reports")
+		return
+	}
+	fmt.Print(kernelbench.FormatDeltas(deltas))
+
+	regs := kernelbench.Regressions(deltas)
+	if len(regs) == 0 {
+		fmt.Printf("\nno regressions beyond %.0f%%\n", *threshold*100)
+		return
+	}
+	fmt.Printf("\n%d kernel(s) regressed beyond %.0f%%\n", len(regs), *threshold*100)
+	if *failOnRegress {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hccmf-benchdiff:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 
 	"hccmf/internal/dataset"
 	"hccmf/internal/sparse"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -30,7 +31,13 @@ func main() {
 	convert := flag.String("convert", "", "convert this ratings file instead of generating")
 	split := flag.Bool("split", false, "write separate .train/.test files (90/10)")
 	ioWorkers := flag.Int("io-workers", runtime.GOMAXPROCS(0), "parser workers for -convert loading; 1 selects the serial reference parser")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-datagen", version.String())
+		return
+	}
 
 	if *out == "" {
 		fatal(fmt.Errorf("-out is required"))

@@ -19,6 +19,7 @@ import (
 	"hccmf/internal/mf"
 	"hccmf/internal/recommend"
 	"hccmf/internal/sparse"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -28,7 +29,13 @@ func main() {
 	n := flag.Int("n", 10, "number of recommendations")
 	evalHitRate := flag.Bool("eval", false, "also report hit-rate@N on a 10% held-out split of the ratings")
 	ioWorkers := flag.Int("io-workers", runtime.GOMAXPROCS(0), "parser workers for -ratings loading; 1 selects the serial reference parser")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-recommend", version.String())
+		return
+	}
 
 	if *modelPath == "" {
 		fatal(fmt.Errorf("-model is required"))

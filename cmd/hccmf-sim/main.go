@@ -22,7 +22,9 @@ import (
 	"hccmf/internal/core"
 	"hccmf/internal/dataset"
 	"hccmf/internal/device"
+	"hccmf/internal/obs"
 	"hccmf/internal/partition"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -34,7 +36,20 @@ func main() {
 	partitionFlag := flag.String("partition", "", "stop partition refinement at DP0, DP1 or DP2")
 	serverThreads := flag.Int("server-threads", 16, "server CPU thread count")
 	timeline := flag.Int("timeline", 0, "render an ASCII Gantt of the first N epochs (Figure 5 style)")
+	metricsOut := flag.String("metrics-out", "", "write an hccmf-obs/v1 metrics JSON document (sim gauges) to this file")
+	traceOut := flag.String("trace-out", "", "write the simulated timeline as a Chrome trace_event JSON document to this file")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-sim", version.String())
+		return
+	}
+
+	var observer *obs.Observer
+	if *metricsOut != "" || *traceOut != "" {
+		observer = obs.NewObserver(0, nil)
+	}
 
 	spec, err := dataset.Lookup(*preset)
 	if err != nil {
@@ -67,7 +82,7 @@ func main() {
 	}
 
 	res, err := core.Run(core.RunConfig{
-		Spec: spec, Platform: plat, Epochs: *epochs, Plan: opts,
+		Spec: spec, Platform: plat, Epochs: *epochs, Plan: opts, Obs: observer,
 	})
 	if err != nil {
 		fatal(err)
@@ -99,6 +114,19 @@ func main() {
 	fmt.Printf("  max worker %.4fs, sync total %.4fs (ratio %.1f, hidden=%v)\n",
 		res.Plan.Estimate.MaxWorker, res.Plan.Estimate.SyncTotal,
 		res.Plan.Estimate.SyncRatio, res.Plan.Estimate.SyncHidden)
+
+	if *metricsOut != "" {
+		if err := observer.WriteMetricsFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmetrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := observer.WriteTraceFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 }
 
 func parseWorker(name string) (core.WorkerSpec, error) {

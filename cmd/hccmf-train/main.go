@@ -13,6 +13,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -21,8 +23,10 @@ import (
 	"hccmf/internal/core"
 	"hccmf/internal/dataset"
 	"hccmf/internal/mf"
+	"hccmf/internal/obs"
 	"hccmf/internal/recommend"
 	"hccmf/internal/sparse"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -42,7 +46,29 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 42, "seed of the injected fault schedule")
 	retries := flag.Int("retries", 0, "per-transfer attempt budget with capped exponential backoff; <2 disables retry")
 	evict := flag.Bool("evict", false, "evict workers that exhaust the retry budget instead of aborting the run")
+	metricsOut := flag.String("metrics-out", "", "write an hccmf-obs/v1 metrics JSON document to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON document (load in chrome://tracing or Perfetto) to this file")
+	progress := flag.Bool("progress", false, "print a per-epoch progress line to stderr while training")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-train", version.String())
+		return
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hccmf-train: pprof:", err)
+			}
+		}()
+	}
+
+	var observer *obs.Observer
+	if *metricsOut != "" || *traceOut != "" || *progress {
+		observer = obs.NewObserver(0, nil)
+	}
 
 	plat := core.PaperPlatformOverall().FirstWorkers(*workers)
 
@@ -85,6 +111,12 @@ func main() {
 		Data:             data,
 		Schedule:         schedule,
 		Seed:             *seed,
+		Obs:              observer,
+		OnEpoch: func(epoch, total int, rmse, simSeconds float64) {
+			if *progress {
+				fmt.Fprintf(os.Stderr, "epoch %d/%d  rmse %.6f  sim %.3fs\n", epoch+1, total, rmse, simSeconds)
+			}
+		},
 		Resilience: core.Resilience{
 			Fault: comm.FaultSpec{
 				Transient: *faultRate,
@@ -120,6 +152,19 @@ func main() {
 	}
 	fmt.Println("\nper-phase simulated time:")
 	fmt.Print(res.Sim.Trace.Format())
+
+	if *metricsOut != "" {
+		if err := observer.WriteMetricsFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmetrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := observer.WriteTraceFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)

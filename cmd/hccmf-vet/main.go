@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"hccmf/internal/lint"
+	"hccmf/internal/version"
 )
 
 func main() {
@@ -34,8 +35,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, "hccmf-vet", version.String())
+		return 0
 	}
 	analyzers := lint.All()
 	if *list {

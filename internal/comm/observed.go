@@ -1,0 +1,52 @@
+package comm
+
+// TransferObserverFunc receives one completed (or finally failed) transfer:
+// the operation ("pull" or "push"), the accumulated stats, and whether it
+// failed. Implementations must be safe for concurrent use by distinct
+// workers and should not block — they run on the transfer path.
+type TransferObserverFunc func(op string, stats TransferStats, failed bool)
+
+// Observed decorates a Transport, reporting every Pull/Push outcome to a
+// callback. The decorator itself holds no clock and allocates nothing per
+// transfer, so it is legal inside the simulated-time packages; whatever
+// timing the callback's owner wants comes from the clock it closed over
+// (see internal/obs). Wrap Observed OUTSIDE Retrying so one observation is
+// one logical operation with its retries already folded into the stats.
+type Observed struct {
+	inner Transport
+	fn    TransferObserverFunc
+}
+
+// NewObserved wraps inner so fn sees every transfer. A nil fn returns
+// inner unchanged — uninstrumented stacks pay nothing.
+func NewObserved(inner Transport, fn TransferObserverFunc) Transport {
+	if inner == nil {
+		// lint:invariant a nil inner transport is a wiring bug in the decorator stack, never user input; every config path constructs the transport first.
+		panic("comm: NewObserved needs a transport")
+	}
+	if fn == nil {
+		return inner
+	}
+	return &Observed{inner: inner, fn: fn}
+}
+
+// Name implements Transport. Observation is transparent: the stack keeps
+// the inner transport's reported name.
+func (o *Observed) Name() string { return o.inner.Name() }
+
+// CopiesPerTransfer implements Transport.
+func (o *Observed) CopiesPerTransfer() int { return o.inner.CopiesPerTransfer() }
+
+// Pull implements Transport.
+func (o *Observed) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
+	st, err := o.inner.Pull(dst, src, enc)
+	o.fn("pull", st, err != nil)
+	return st, err
+}
+
+// Push implements Transport.
+func (o *Observed) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
+	st, err := o.inner.Push(dst, src, enc)
+	o.fn("push", st, err != nil)
+	return st, err
+}

@@ -1,0 +1,102 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestObservedReportsEveryTransfer(t *testing.T) {
+	type obs struct {
+		op     string
+		stats  TransferStats
+		failed bool
+	}
+	var (
+		mu   sync.Mutex
+		seen []obs
+	)
+	tr := NewObserved(NewSharedMem(1), func(op string, st TransferStats, failed bool) {
+		mu.Lock()
+		seen = append(seen, obs{op, st, failed})
+		mu.Unlock()
+	})
+	if tr.Name() != "COMM" || tr.CopiesPerTransfer() != 1 {
+		t.Fatalf("observation must be transparent: name=%q copies=%d", tr.Name(), tr.CopiesPerTransfer())
+	}
+	dst, src := make([]float32, 8), make([]float32, 8)
+	if _, err := tr.Pull(dst, src, FP32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Push(dst, src, FP32); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("observations = %d, want 2", len(seen))
+	}
+	if seen[0].op != "pull" || seen[1].op != "push" {
+		t.Fatalf("ops = %q, %q", seen[0].op, seen[1].op)
+	}
+	for _, o := range seen {
+		if o.failed || o.stats.BusBytes != 32 || o.stats.Copies != 1 {
+			t.Fatalf("observation = %+v", o)
+		}
+	}
+}
+
+func TestObservedReportsFailures(t *testing.T) {
+	faulty, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures, total int
+	tr := NewObserved(faulty, func(op string, st TransferStats, failed bool) {
+		total++
+		if failed {
+			failures++
+		}
+	})
+	dst, src := make([]float32, 4), make([]float32, 4)
+	if _, err := tr.Pull(dst, src, FP32); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if total != 1 || failures != 1 {
+		t.Fatalf("total=%d failures=%d, want 1/1", total, failures)
+	}
+}
+
+func TestObservedRetryFolding(t *testing.T) {
+	// Observed outside Retrying: one observation per logical operation,
+	// retries folded into the stats.
+	faulty, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observations int
+	var retries int
+	tr := NewObserved(NewRetrying(faulty, RetryPolicy{Attempts: 8}), func(op string, st TransferStats, failed bool) {
+		observations++
+		retries += st.Retries
+		if failed {
+			t.Fatalf("op %s failed despite 8 attempts", op)
+		}
+	})
+	dst, src := make([]float32, 4), make([]float32, 4)
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Pull(dst, src, FP32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if observations != 20 {
+		t.Fatalf("observations = %d, want 20 (one per logical pull)", observations)
+	}
+	if retries == 0 {
+		t.Fatal("expected some folded retries at 50% transient rate")
+	}
+}
+
+func TestObservedNilCallbackPassthrough(t *testing.T) {
+	inner := NewSharedMem(1)
+	if got := NewObserved(inner, nil); got != Transport(inner) {
+		t.Fatal("nil callback must return the inner transport unchanged")
+	}
+}

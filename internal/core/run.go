@@ -9,6 +9,7 @@ import (
 	"hccmf/internal/device"
 	"hccmf/internal/metrics"
 	"hccmf/internal/mf"
+	"hccmf/internal/obs"
 	"hccmf/internal/ps"
 	"hccmf/internal/sparse"
 )
@@ -54,6 +55,17 @@ type RunConfig struct {
 	// Tuning bounds host-side parallelism. The zero value keeps the
 	// historical defaults (engine threads and evaluation capped at 4).
 	Tuning Tuning
+	// Obs, when non-nil, instruments the run (see internal/obs): the real-
+	// execution cluster reports phase spans and run metrics through it,
+	// transfers are counted via a comm.Observed wrap, engines report epoch
+	// throughput, and the simulated results land as gauges plus ProcSim
+	// trace events.
+	Obs *obs.Observer
+	// OnEpoch, when non-nil, is called after every real-execution epoch
+	// with the 0-based epoch index, the planned total, the epoch's held-out
+	// RMSE, and the cumulative simulated seconds (the curve's time axis).
+	// It runs on the training goroutine; keep it fast.
+	OnEpoch func(epoch, total int, rmse, simSeconds float64)
 }
 
 // Resilience is the fault-tolerance policy of a run, layered outside-in:
@@ -161,6 +173,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.Power = metrics.ComputingPower(cfg.Spec.NNZ, cfg.Epochs, sim.TotalTime)
 	res.IdealPower = metrics.IdealPower(cfg.Platform.Rates(cfg.Spec.Name))
 	res.Utilization = metrics.Utilization(res.Power, res.IdealPower)
+	attachSimObs(cfg.Obs, res)
 
 	if cfg.MaterializeScale > 0 || cfg.Data != nil {
 		if err := runReal(cfg, plan, sim, res); err != nil {
@@ -216,10 +229,23 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	if cfg.Resilience.Retry.Enabled() {
 		transport = comm.NewRetrying(transport, cfg.Resilience.Retry)
 	}
+	// The observation wrap goes outside retrying so one observation is one
+	// logical transfer, retries already folded into its stats. Counters live
+	// here only — ps.account keeps feeding CommStats independently.
+	if run := cfg.Obs.RunMetrics(); run != nil {
+		transport = comm.NewObserved(transport, func(op string, st comm.TransferStats, failed bool) {
+			run.CountTransfer(st.BusBytes, st.Copies, st.Retries, failed)
+		})
+	}
 
 	confs, err := BuildWorkerConfs(plan.Platform, plan, train, cfg.Tuning)
 	if err != nil {
 		return err
+	}
+	for _, conf := range confs {
+		if m, ok := conf.Engine.(mf.Metered); ok {
+			m.SetMetrics(cfg.Obs.RunMetrics().EngineMetrics())
+		}
 	}
 	cluster, err := ps.New(ps.Config{
 		M: train.Rows, N: train.Cols, K: k,
@@ -234,20 +260,31 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 		Seed:           cfg.Seed + 1,
 		Schedule:       cfg.Schedule,
 		EvictOnFailure: cfg.Resilience.EvictOnFailure,
+		Obs:            cfg.Obs,
 	}, confs)
 	if err != nil {
 		return err
 	}
 
 	threads := cfg.Tuning.evalThreads()
+	evaluate := func(model *mf.Factors) float64 {
+		span := cfg.Obs.Span(obs.ProcReal, "server", "core", "eval")
+		rmse := mf.RMSEParallel(model, test.Entries, threads)
+		cfg.Obs.RunMetrics().ObserveEval(span.End())
+		return rmse
+	}
 	curve := &metrics.Curve{Label: "HCC-MF/" + spec.Name}
-	curve.Append(0, 0, mf.RMSEParallel(cluster.Snapshot(), test.Entries, threads))
+	curve.Append(0, 0, evaluate(cluster.Snapshot()))
 	cum := 0.0
 	err = cluster.Train(cfg.Epochs, func(e int, model *mf.Factors) {
 		if e < len(sim.EpochTimes) {
 			cum += sim.EpochTimes[e]
 		}
-		curve.Append(e+1, cum, mf.RMSEParallel(model, test.Entries, threads))
+		rmse := evaluate(model)
+		curve.Append(e+1, cum, rmse)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(e, cfg.Epochs, rmse, cum)
+		}
 	})
 	if err != nil {
 		return err

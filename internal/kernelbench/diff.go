@@ -1,0 +1,159 @@
+package kernelbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ComparisonSchema tags the checked-in before/after comparison documents
+// (BENCH_*.json). A comparison wraps two kernel reports; for diffing
+// purposes its `after` member is the baseline.
+const ComparisonSchema = "hccmf-bench/kernel-comparison/v1"
+
+// Delta is one kernel's change between a baseline and a candidate report.
+// Ratio is candidate/baseline of the chosen metric, so >1 means slower.
+type Delta struct {
+	Name      string  `json:"name"`
+	Group     string  `json:"group"`  // "kernel" or "ingest"
+	Metric    string  `json:"metric"` // "ns/update" or "ns/op"
+	Base      float64 `json:"base"`
+	Candidate float64 `json:"candidate"`
+	Ratio     float64 `json:"ratio"`
+	Regressed bool    `json:"regressed"`
+}
+
+// Diff compares a candidate report against a baseline, kernel by kernel.
+// A kernel regresses when its candidate time exceeds the baseline by more
+// than threshold (0.15 = 15% slower). Kernels present in only one report
+// or skipped in either are left out — renames and race-mode skips are not
+// regressions. Faster-than-baseline results never flag.
+func Diff(base, cand Report, threshold float64) []Delta {
+	var deltas []Delta
+	deltas = append(deltas, diffGroup("kernel", base.Kernels, cand.Kernels, threshold)...)
+	deltas = append(deltas, diffGroup("ingest", base.Ingest, cand.Ingest, threshold)...)
+	return deltas
+}
+
+func diffGroup(group string, base, cand []Result, threshold float64) []Delta {
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var deltas []Delta
+	for _, c := range cand {
+		b, ok := byName[c.Name]
+		if !ok || b.Skipped || c.Skipped {
+			continue
+		}
+		metric, bv, cv := pickMetric(b, c)
+		if bv <= 0 || cv <= 0 {
+			continue
+		}
+		d := Delta{
+			Name: c.Name, Group: group, Metric: metric,
+			Base: bv, Candidate: cv, Ratio: cv / bv,
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// pickMetric chooses the per-update time when both reports carry it (the
+// normalized number that survives workload-size changes) and falls back to
+// raw ns/op otherwise.
+func pickMetric(b, c Result) (string, float64, float64) {
+	if b.NsPerUpdate > 0 && c.NsPerUpdate > 0 {
+		return "ns/update", b.NsPerUpdate, c.NsPerUpdate
+	}
+	return "ns/op", b.NsPerOp, c.NsPerOp
+}
+
+// Regressions filters a delta list down to the flagged entries.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders the comparison as an aligned table, slowest change
+// first, flagged rows marked with "REGRESS".
+func FormatDeltas(deltas []Delta) string {
+	sorted := append([]Delta(nil), deltas...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ratio > sorted[j].Ratio })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-18s %-10s %14s %14s %8s\n",
+		"group", "name", "metric", "base", "candidate", "change")
+	for _, d := range sorted {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESS"
+		}
+		fmt.Fprintf(&sb, "%-8s %-18s %-10s %14.1f %14.1f %+7.1f%%%s\n",
+			d.Group, d.Name, d.Metric, d.Base, d.Candidate, (d.Ratio-1)*100, mark)
+	}
+	return sb.String()
+}
+
+// LoadReport reads a benchmark report from path, accepting either a bare
+// kernel report (hccmf-bench/kernel/v1, what `hccmf-bench -json` writes)
+// or a checked-in comparison document (BENCH_*.json), whose `after` member
+// is unwrapped as the baseline.
+func LoadReport(path string) (Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var sniff struct {
+		Schema string          `json:"schema"`
+		After  json.RawMessage `json:"after"`
+	}
+	if err := json.Unmarshal(buf, &sniff); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	switch sniff.Schema {
+	case Schema:
+		var rep Report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return Report{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return rep, nil
+	case ComparisonSchema:
+		if len(sniff.After) == 0 {
+			return Report{}, fmt.Errorf("%s: comparison document has no after report", path)
+		}
+		var rep Report
+		if err := json.Unmarshal(sniff.After, &rep); err != nil {
+			return Report{}, fmt.Errorf("%s: after: %w", path, err)
+		}
+		if rep.Schema != Schema {
+			return Report{}, fmt.Errorf("%s: after schema %q, want %q", path, rep.Schema, Schema)
+		}
+		return rep, nil
+	default:
+		return Report{}, fmt.Errorf("%s: unknown schema %q", path, sniff.Schema)
+	}
+}
+
+// LatestBaseline returns the newest checked-in BENCH_*.json in dir. The
+// files carry a zero-padded sequence number, so lexical order is creation
+// order.
+func LatestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baselines in %s", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}

@@ -18,7 +18,7 @@ import (
 )
 
 // wantRe extracts the expectation regexp from a fixture comment. Both
-// `// want "..."` and `// want `+"`...`"+`` forms are accepted.
+// `// want "..."` and `// want `+"`...`"+“ forms are accepted.
 var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
 
 type expectation struct {

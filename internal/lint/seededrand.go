@@ -5,17 +5,17 @@ package lint
 // names. Everything else reached through the package identifier draws
 // from (or reseeds) global state and breaks bit-reproducibility.
 var seededRandOK = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true,
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
 	"NewChaCha8": true,
-	"Rand":      true,
-	"Source":    true,
-	"Source64":  true,
-	"Zipf":      true,
-	"PCG":       true,
-	"ChaCha8":   true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
 }
 
 // SeededRand forbids math/rand's top-level, globally seeded functions

@@ -33,14 +33,25 @@ var wallClockFuncs = map[string]bool{
 	"NewTimer":  true,
 }
 
+// obsWallClockFuncs are the internal/obs entry points that construct a
+// wall-clock reader. The observability layer is wall-clock-aware by design
+// (it times real execution), but a simulated-platform package that builds
+// its own obs.WallClock has smuggled the real clock past the injection
+// points; the observer's clock must arrive pre-wired from outside.
+var obsWallClockFuncs = map[string]bool{
+	"WallClock": true,
+}
+
 // SimTime forbids wall-clock reads in the simulated-platform packages.
 // Both calls (time.Now()) and value references (f := time.Sleep) are
 // flagged: handing the wall clock to an injection point is how it leaks.
-// Test files are exempt — the invariant protects reported timings, and
-// tests may legitimately bound their own runtime.
+// The same applies to obs.WallClock — instrumented sim packages may call
+// an injected observer but never mint a real clock themselves. Test files
+// are exempt — the invariant protects reported timings, and tests may
+// legitimately bound their own runtime.
 var SimTime = &Analyzer{
 	Name: "simtime",
-	Doc: "forbid wall-clock calls (time.Now/Since/Sleep/Tick/...) in simulated-platform packages; " +
+	Doc: "forbid wall-clock calls (time.Now/Since/Sleep/Tick/... and obs.WallClock) in simulated-platform packages; " +
 		"all time must flow through simengine.Sim",
 	Run: runSimTime,
 }
@@ -54,7 +65,8 @@ func runSimTime(pass *Pass) error {
 			continue
 		}
 		timeName := ImportName(f, "time")
-		if timeName == "" {
+		obsName := ImportName(f, "hccmf/internal/obs")
+		if timeName == "" && obsName == "" {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -63,12 +75,19 @@ func runSimTime(pass *Pass) error {
 				return true
 			}
 			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != timeName || !wallClockFuncs[sel.Sel.Name] {
+			if !ok {
 				return true
 			}
-			pass.Reportf(f, sel.Pos(),
-				"wall-clock time.%s in simulated-platform package %q; use simengine.Sim virtual time",
-				sel.Sel.Name, pass.Pkg.Name)
+			switch {
+			case timeName != "" && id.Name == timeName && wallClockFuncs[sel.Sel.Name]:
+				pass.Reportf(f, sel.Pos(),
+					"wall-clock time.%s in simulated-platform package %q; use simengine.Sim virtual time",
+					sel.Sel.Name, pass.Pkg.Name)
+			case obsName != "" && id.Name == obsName && obsWallClockFuncs[sel.Sel.Name]:
+				pass.Reportf(f, sel.Pos(),
+					"obs.%s mints a wall clock in simulated-platform package %q; accept an injected observer instead",
+					sel.Sel.Name, pass.Pkg.Name)
+			}
 			return true
 		})
 	}

@@ -6,9 +6,9 @@ import "math/rand"
 
 // Pick breaks bit-reproducibility three ways.
 func Pick(n int) int {
-	rand.Seed(42)            // want "global rand.Seed"
+	rand.Seed(42)                      // want "global rand.Seed"
 	rand.Shuffle(n, func(i, j int) {}) // want "global rand.Shuffle"
-	return rand.Intn(n) // want "global rand.Intn"
+	return rand.Intn(n)                // want "global rand.Intn"
 }
 
 // Weight uses the global float stream.

@@ -15,7 +15,7 @@ func Measure() time.Duration {
 
 // Pace sleeps on the real clock.
 func Pace(d time.Duration) {
-	time.Sleep(d) // want "wall-clock time.Sleep"
+	time.Sleep(d)  // want "wall-clock time.Sleep"
 	<-time.Tick(d) // want "wall-clock time.Tick"
 }
 

@@ -1,0 +1,10 @@
+package costmodel
+
+import watch "hccmf/internal/obs"
+
+// MintRenamed leaks the wall clock through a renamed import; references
+// are as dangerous as calls.
+func MintRenamed() func() float64 {
+	clock := watch.WallClock // want "obs.WallClock mints a wall clock"
+	return clock()
+}

@@ -31,6 +31,12 @@ func (bt *Batched) Name() string { return fmt.Sprintf("batched-%d", bt.Groups) }
 
 // Epoch implements Engine.
 func (bt *Batched) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+	start := bt.metrics.EpochStart()
+	bt.epoch(f, train, h)
+	bt.metrics.EpochDone(start, int64(len(train.Entries)))
+}
+
+func (bt *Batched) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	groups := bt.Groups
 	if groups < 1 {
 		groups = 1

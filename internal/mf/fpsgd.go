@@ -34,6 +34,12 @@ func (fp *FPSGD) Name() string { return fmt.Sprintf("fpsgd-%d", fp.Threads) }
 
 // Epoch implements Engine.
 func (fp *FPSGD) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+	start := fp.metrics.EpochStart()
+	fp.epoch(f, train, h)
+	fp.metrics.EpochDone(start, int64(len(train.Entries)))
+}
+
+func (fp *FPSGD) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	threads := fp.Threads
 	if threads < 1 {
 		threads = 1

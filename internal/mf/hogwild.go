@@ -29,6 +29,12 @@ func (hw *Hogwild) Name() string { return fmt.Sprintf("hogwild-%d", hw.Threads) 
 // design. The chunk sweeps run on the engine's persistent worker pool, so
 // steady-state epochs allocate nothing.
 func (hw *Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
+	start := hw.metrics.EpochStart()
+	hw.epoch(f, train, h)
+	hw.metrics.EpochDone(start, int64(len(train.Entries)))
+}
+
+func (hw *Hogwild) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	threads := hw.Threads
 	if threads < 1 {
 		threads = 1

@@ -1,0 +1,23 @@
+package mf
+
+import "hccmf/internal/obs"
+
+// Metered is the optional engine capability of reporting epoch progress
+// into an observability bundle. The pool engines (FPSGD, Hogwild, Batched)
+// implement it through the embedded sweeper; Serial stays stateless and
+// unmetered. Callers attach instruments with a type assertion:
+//
+//	if m, ok := engine.(Metered); ok {
+//		m.SetMetrics(run.EngineMetrics())
+//	}
+//
+// A nil bundle (the default) keeps every hook a free no-op call, which is
+// how the instrumented engines preserve their 0 allocs/op steady state —
+// see the alloc guards in alloc_test.go.
+type Metered interface {
+	SetMetrics(*obs.EngineMetrics)
+}
+
+// SetMetrics installs (or, with nil, removes) the engine's metrics bundle.
+// Not safe to call concurrently with Epoch.
+func (s *sweeper) SetMetrics(m *obs.EngineMetrics) { s.metrics = m }

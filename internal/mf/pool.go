@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"hccmf/internal/obs"
 	"hccmf/internal/sparse"
 )
 
@@ -85,6 +86,9 @@ type sweeper struct {
 	pool *sweepPool
 	size int
 	wg   sync.WaitGroup
+	// metrics is the optional observability bundle installed by SetMetrics
+	// (see metered.go); nil keeps the epoch hooks inert.
+	metrics *obs.EngineMetrics
 }
 
 // ensure returns the engine's pool, (re)building it when the requested

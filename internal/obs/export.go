@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+)
+
+// Schema tags the versioned JSON metrics document WriteJSON emits. The
+// field set is pinned by TestDocumentSchemaStable; bump the version when
+// it changes so checked-in documents stay diffable.
+const Schema = "hccmf-obs/v1"
+
+// Document is the full metrics export.
+type Document struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Metrics    []MetricSnapshot `json:"metrics"`
+	// Events and DroppedEvents describe the tracer ring at export time
+	// (both 0 when the run had no tracer).
+	Events        int   `json:"events,omitempty"`
+	DroppedEvents int64 `json:"dropped_events,omitempty"`
+}
+
+// Document assembles the export for an observer (nil-safe: a nil observer
+// yields an empty, still-valid document).
+func (o *Observer) Document() Document {
+	doc := Document{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if o == nil {
+		return doc
+	}
+	doc.Metrics = o.Registry.Snapshot()
+	if o.Tracer != nil {
+		doc.Events = len(o.Tracer.Events())
+		doc.DroppedEvents = o.Tracer.Dropped()
+	}
+	return doc
+}
+
+// MarshalJSON renders +Inf bucket bounds as the string "+Inf" (bare JSON
+// numbers cannot carry infinities).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	type finite struct {
+		UpperBound float64 `json:"le"`
+		Count      int64   `json:"count"`
+	}
+	if math.IsInf(b.UpperBound, 1) {
+		return json.Marshal(struct {
+			UpperBound string `json:"le"`
+			Count      int64  `json:"count"`
+		}{"+Inf", b.Count})
+	}
+	return json.Marshal(finite{b.UpperBound, b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		UpperBound json.RawMessage `json:"le"`
+		Count      int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	var s string
+	if err := json.Unmarshal(raw.UpperBound, &s); err == nil {
+		if s != "+Inf" {
+			return fmt.Errorf("obs: bucket bound %q", s)
+		}
+		b.UpperBound = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.UpperBound, &b.UpperBound)
+}
+
+// WriteJSON writes the observer's metrics document to w.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(o.Document(), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteMetricsFile writes the hccmf-obs/v1 metrics document to path — the
+// CLI entry point behind -metrics-out.
+func (o *Observer) WriteMetricsFile(path string) error {
+	return writeFile(path, o.WriteJSON)
+}
+
+// WriteTraceFile writes the recorded events as a Chrome trace_event
+// document to path — the CLI entry point behind -trace-out.
+func (o *Observer) WriteTraceFile(path string) error {
+	var events []Event
+	if o != nil {
+		events = o.Tracer.Events()
+	}
+	return writeFile(path, func(w io.Writer) error { return WriteChromeTrace(w, events) })
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBucketJSONRoundTrip(t *testing.T) {
+	for _, b := range []Bucket{
+		{UpperBound: 0.5, Count: 3},
+		{UpperBound: math.Inf(1), Count: 7},
+	} {
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Bucket
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != b {
+			t.Fatalf("round trip %s: got %+v, want %+v", data, back, b)
+		}
+	}
+	if !strings.Contains(string(mustMarshal(t, Bucket{UpperBound: math.Inf(1)})), `"+Inf"`) {
+		t.Fatal("+Inf bound must marshal as the string \"+Inf\"")
+	}
+	var b Bucket
+	if err := json.Unmarshal([]byte(`{"le":"-Inf","count":1}`), &b); err == nil {
+		t.Fatal("unexpected string bound must be rejected")
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDocumentSchemaStable pins the hccmf-obs/v1 field set: consumers
+// (benchdiff-style tooling, checked-in artifacts) key on these names.
+func TestDocumentSchemaStable(t *testing.T) {
+	o := NewObserver(16, func() float64 { return 0 })
+	o.Run.Updates.Add(10)
+	o.Registry.Gauge("sim/total_seconds", "").Set(12.5)
+	o.Tracer.Instant(ProcReal, "server", "ps", "evict", "epoch", 1)
+
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("document is not valid JSON: %v", err)
+	}
+	if doc["schema"] != Schema {
+		t.Fatalf("schema = %v, want %q", doc["schema"], Schema)
+	}
+	for _, key := range []string{"go_version", "gomaxprocs", "metrics", "events"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("document missing %q: %s", key, buf.Bytes())
+		}
+	}
+	metrics, ok := doc["metrics"].([]any)
+	if !ok || len(metrics) == 0 {
+		t.Fatalf("metrics = %v", doc["metrics"])
+	}
+	// The updates counter must survive export with its value.
+	found := false
+	for _, m := range metrics {
+		mm := m.(map[string]any)
+		if mm["name"] == "train/updates_total" {
+			found = true
+			if mm["kind"] != "counter" || mm["value"] != 10.0 {
+				t.Fatalf("updates metric = %v", mm)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("train/updates_total missing from export")
+	}
+	// Round-trip: the document must parse back into the typed form.
+	var typed Document
+	if err := json.Unmarshal(buf.Bytes(), &typed); err != nil {
+		t.Fatalf("typed round trip: %v", err)
+	}
+	if typed.Events != 1 {
+		t.Fatalf("events = %d, want 1", typed.Events)
+	}
+}
+
+func TestNilObserverDocument(t *testing.T) {
+	var o *Observer
+	doc := o.Document()
+	if doc.Schema != Schema || doc.Metrics != nil || doc.Events != 0 {
+		t.Fatalf("nil observer document = %+v", doc)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil observer export is not valid JSON")
+	}
+}
+
+func TestRegistryFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c/total", "").Add(5)
+	r.Gauge("g", "").Set(0.25)
+	MustHistogram(r, "h", "", []float64{1, 2}).Observe(1.5)
+	out := r.Format()
+	for _, want := range []string{"c/total", "g", "h", "count 1", "mean 1.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

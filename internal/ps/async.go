@@ -5,7 +5,9 @@ import (
 	"sync"
 
 	"hccmf/internal/mf"
+	"hccmf/internal/obs"
 	"hccmf/internal/sparse"
+	"hccmf/internal/trace"
 )
 
 // updateOneLocal applies one SGD step against the worker-local factors.
@@ -96,21 +98,27 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 	// folded only after every worker (hence this one) has pushed it, and
 	// every push follows the pull, so no fold can precede any pull of the
 	// same slice.
+	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "pull")
 	st, err := tr.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], enc)
 	c.account(st)
+	c.metrics.ObservePhase(trace.Pull, span.EndArg("slice", float64(sj)))
 	if err != nil {
 		return fmt.Errorf("ps: async pull slice %d for %q: %v", sj, ws.conf.Name, err)
 	}
 
 	// Compute. Concurrent streams share ws.local.P — deliberately
 	// unsynchronised (see the package comment above).
+	span = c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "compute")
 	for _, e := range chunk {
 		updateOneLocal(ws.local, e, h)
 	}
+	c.metrics.ObservePhase(trace.Compute, span.EndArg("slice", float64(sj)))
 
 	// Push the slice into the worker's push buffer.
+	span = c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "push")
 	st, err = tr.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], enc)
 	c.account(st)
+	c.metrics.ObservePhase(trace.Push, span.EndArg("slice", float64(sj)))
 	if err != nil {
 		return fmt.Errorf("ps: async push slice %d for %q: %v", sj, ws.conf.Name, err)
 	}
@@ -238,9 +246,17 @@ func (sc *sliceCoordinator) arrive(ws *workerState, sj int) {
 	ready := sc.pending[sj] == 0
 	sc.mu.Unlock()
 	if ready {
-		sl := sc.slices[sj]
-		sc.cluster.foldQRows(sl.lo, sl.hi)
+		sc.foldSlice(sj)
 	}
+}
+
+// foldSlice folds one quiescent slice, recorded as a server sync span.
+func (sc *sliceCoordinator) foldSlice(sj int) {
+	c := sc.cluster
+	span := c.observer.Span(obs.ProcReal, "server", "ps", "sync")
+	sl := sc.slices[sj]
+	c.foldQRows(sl.lo, sl.hi)
+	c.metrics.ObservePhase(trace.Sync, span.EndArg("slice", float64(sj)))
 }
 
 // drop releases an evicted worker's outstanding arrivals: every slice it
@@ -259,8 +275,7 @@ func (sc *sliceCoordinator) drop(ws *workerState) {
 		}
 		sc.mu.Unlock()
 		if release {
-			sl := sc.slices[sj]
-			sc.cluster.foldQRows(sl.lo, sl.hi)
+			sc.foldSlice(sj)
 		}
 	}
 }

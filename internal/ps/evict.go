@@ -1,6 +1,10 @@
 package ps
 
-import "fmt"
+import (
+	"fmt"
+
+	"hccmf/internal/obs"
+)
 
 // Worker eviction — graceful degradation when a worker's link dies.
 //
@@ -102,6 +106,8 @@ func (c *Cluster) evict(epoch int, ws *workerState, cause error) error {
 		InheritedBy: heir.conf.Name,
 		Err:         cause,
 	})
+	c.metrics.CountEviction()
+	c.observer.Instant(obs.ProcReal, ws.conf.Name, "ps", "evict", "epoch", float64(epoch))
 	return nil
 }
 

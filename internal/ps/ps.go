@@ -20,7 +20,9 @@ import (
 	"hccmf/internal/comm"
 	"hccmf/internal/fp16"
 	"hccmf/internal/mf"
+	"hccmf/internal/obs"
 	"hccmf/internal/sparse"
+	"hccmf/internal/trace"
 )
 
 // WorkerConf describes one worker's assignment.
@@ -63,6 +65,11 @@ type Config struct {
 	// its row range and shard move to a survivor — instead of aborting
 	// the whole run. Off by default (a failure aborts, as before).
 	EvictOnFailure bool
+	// Obs, when non-nil, receives phase spans and run metrics from the
+	// training loop (see internal/obs). The cluster never reads a clock
+	// itself — events carry whatever clock the observer's tracer was built
+	// with, which keeps this package inside the simtime invariant.
+	Obs *obs.Observer
 }
 
 // Cluster is a live parameter-server training instance.
@@ -92,6 +99,11 @@ type Cluster struct {
 	// coord is the async mode's reused slice coordinator (see coordinator).
 	coord        *sliceCoordinator
 	coordStreams int
+
+	// observer/metrics mirror cfg.Obs; both are nil-safe on every path, so
+	// uninstrumented clusters pay only dead branches.
+	observer *obs.Observer
+	metrics  *obs.RunMetrics
 
 	mu    sync.Mutex
 	stats comm.TransferStats
@@ -156,9 +168,11 @@ func New(cfg Config, workers []WorkerConf) (*Cluster, error) {
 
 	rng := sparse.NewRand(cfg.Seed)
 	c := &Cluster{
-		cfg:    cfg,
-		global: mf.NewFactorsInit(cfg.M, cfg.N, cfg.K, cfg.MeanRating, rng),
-		baseQ:  make([]float32, cfg.N*cfg.K),
+		cfg:      cfg,
+		global:   mf.NewFactorsInit(cfg.M, cfg.N, cfg.K, cfg.MeanRating, rng),
+		baseQ:    make([]float32, cfg.N*cfg.K),
+		observer: cfg.Obs,
+		metrics:  cfg.Obs.RunMetrics(),
 	}
 	for i := range workers {
 		w := workers[i]
@@ -205,12 +219,21 @@ func (c *Cluster) RunEpoch(epoch, total int) error {
 	if epoch < 0 || total <= 0 || epoch >= total {
 		return fmt.Errorf("ps: epoch %d of %d", epoch, total)
 	}
+	span := c.observer.Span(obs.ProcReal, "server", "ps", "epoch")
+	err := c.runEpoch(epoch, total)
+	c.metrics.ObserveEpoch(span.EndArg("epoch", float64(epoch)))
+	return err
+}
+
+func (c *Cluster) runEpoch(epoch, total int) error {
 	if c.cfg.Strategy.Streams > 1 {
 		return c.runEpochAsync(epoch, total)
 	}
 	// Snapshot the Q every worker is about to pull; sync folds deltas
 	// against it.
+	snap := c.observer.Span(obs.ProcReal, "server", "ps", "snapshot")
 	c.snapshotBaseQ()
+	snap.End()
 	// A worker that fails a phase is settled — evicted or fatal — before
 	// the next phase starts, so an evicted worker never computes or pushes
 	// and its heir trains the absorbed shard the same epoch.
@@ -219,7 +242,9 @@ func (c *Cluster) RunEpoch(epoch, total int) error {
 	}
 	h := c.hyperFor(epoch)
 	if err := c.phase(epoch, func(ws *workerState) error {
+		span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "compute")
 		ws.conf.Engine.Epoch(ws.local, ws.conf.Shard, h)
+		c.metrics.ObservePhase(trace.Compute, span.End())
 		return nil
 	}); err != nil {
 		return err
@@ -229,7 +254,9 @@ func (c *Cluster) RunEpoch(epoch, total int) error {
 	}
 	// Sync runs on the server thread (the paper's Sync thread), draining
 	// all push buffers.
+	span := c.observer.Span(obs.ProcReal, "server", "ps", "sync")
 	c.syncAll(epoch, total)
+	c.metrics.ObservePhase(trace.Sync, span.End())
 	return nil
 }
 
@@ -308,6 +335,13 @@ func (c *Cluster) transportFor(ws *workerState) comm.Transport {
 // Transfer stats are accounted even when the transfer fails: a retried or
 // truncated attempt consumed real bus time.
 func (c *Cluster) pull(ws *workerState, epoch int) error {
+	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "pull")
+	err := c.pullData(ws, epoch)
+	c.metrics.ObservePhase(trace.Pull, span.End())
+	return err
+}
+
+func (c *Cluster) pullData(ws *workerState, epoch int) error {
 	enc := c.cfg.Strategy.Encoding
 	tr := c.transportFor(ws)
 	// Q always travels.
@@ -329,6 +363,13 @@ func (c *Cluster) pull(ws *workerState, epoch int) error {
 
 // push uploads the worker's updates into its push buffers.
 func (c *Cluster) push(ws *workerState, epoch, total int) error {
+	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "push")
+	err := c.pushData(ws, epoch, total)
+	c.metrics.ObservePhase(trace.Push, span.End())
+	return err
+}
+
+func (c *Cluster) pushData(ws *workerState, epoch, total int) error {
 	enc := c.cfg.Strategy.Encoding
 	tr := c.transportFor(ws)
 	st, err := tr.Push(ws.pushQ, ws.local.Q, enc)

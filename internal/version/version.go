@@ -1,0 +1,18 @@
+// Package version carries the build identity stamped into every hccmf
+// binary at link time:
+//
+//	go build -ldflags "-X hccmf/internal/version.Version=v1.2.3" ./cmd/...
+//
+// One stamp point covers all binaries; unstamped builds report "dev". CI
+// stamps releases with the commit that built them (see
+// .github/workflows/ci.yml).
+package version
+
+import "runtime"
+
+// Version is the stamped build version.
+var Version = "dev"
+
+// String renders the version together with the toolchain that built it,
+// the canonical -version output.
+func String() string { return Version + " (" + runtime.Version() + ")" }

@@ -1,25 +1,39 @@
 #!/usr/bin/env bash
-# verify.sh — the single verify entry point for HCC-MF.
+# verify.sh — the single verify entry point for HCC-MF (what CI runs).
 #
 # Runs, in order:
-#   1. go build ./...                  — everything compiles
-#   2. go vet ./...                    — stock vet
-#   3. hccmf-vet ./...                 — the determinism analyzer suite
-#      (simtime, seededrand, panicpolicy, raceguard; see DESIGN.md §8)
-#   4. go test -race over the concurrent packages — ps, comm, mf,
-#      simengine, plus the parallel-ingestion packages dataset, sparse,
-#      parallel; the intentional Hogwild races stay off these runs via
-#      internal/raceflag
-#   5. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
+#   1. gofmt -l                        — the tree is gofmt-clean
+#   2. go build ./...                  — everything compiles
+#   3. go vet ./...                    — stock vet
+#   4. hccmf-vet ./...                 — the determinism analyzer suite
+#      (simtime, seededrand, panicpolicy, raceguard; see DESIGN.md §8).
+#      simtime also polices obs.WallClock: sim packages may use an
+#      injected observer but never mint a real clock (DESIGN.md §11)
+#   5. go test -race over the concurrent packages — ps, comm, mf,
+#      simengine, obs, plus the parallel-ingestion packages dataset,
+#      sparse, parallel; the intentional Hogwild races stay off these
+#      runs via internal/raceflag
+#   6. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
 #      once (including the ingest/v1 ingestion suite), so a PR cannot
 #      silently break the suites behind hccmf-bench -json and
-#      BENCH_*.json (see DESIGN.md §9–10)
-#   6. go test ./...                   — full test suite (includes the
+#      BENCH_*.json (see DESIGN.md §9–10). Output lands in a log so a
+#      failure is diagnosable; the log's tail is echoed on error.
+#   7. go test ./...                   — full test suite (includes the
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
+#   8. go test -cover over the observability/measurement packages — a
+#      visible coverage summary for obs, kernelbench, trace
 #
 # Any failure aborts with a nonzero exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -30,14 +44,23 @@ go vet ./...
 echo "== hccmf-vet ./... (determinism invariants)"
 go run ./cmd/hccmf-vet ./...
 
-echo "== go test -race (ps, comm, mf, simengine, dataset, sparse, parallel)"
+echo "== go test -race (ps, comm, mf, simengine, obs, dataset, sparse, parallel)"
 go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine \
-	./internal/dataset ./internal/sparse ./internal/parallel
+	./internal/obs ./internal/dataset ./internal/sparse ./internal/parallel
 
 echo "== bench smoke (every benchmark once, kernel + ingest suites)"
-go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+bench_log=$(mktemp -t hccmf-bench-smoke.XXXXXX)
+if ! go test -run=NONE -bench=. -benchtime=1x ./... > "$bench_log" 2>&1; then
+	echo "bench smoke failed; last lines of $bench_log:" >&2
+	tail -n 40 "$bench_log" >&2
+	exit 1
+fi
+echo "   (full output: $bench_log)"
 
 echo "== go test ./..."
 go test ./...
+
+echo "== coverage summary (obs, kernelbench, trace)"
+go test -cover ./internal/obs ./internal/kernelbench ./internal/trace | awk '{print "   " $0}'
 
 echo "verify: OK"
