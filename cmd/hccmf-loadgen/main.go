@@ -1,0 +1,250 @@
+// Command hccmf-loadgen drives a running hccmf-serve with top-N traffic
+// and reports latency percentiles and throughput. The summary is printed
+// as a table and, with -out, written as a versioned hccmf-bench document
+// carrying a serving group (hccmf-bench/serve/v1) — the same shape the
+// in-process harness in internal/kernelbench emits, so hccmf-benchdiff
+// compares load-test runs like any other benchmark report.
+//
+// Usage:
+//
+//	hccmf-serve -synthetic 2000x1000x32 -addr 127.0.0.1:8080 &
+//	hccmf-loadgen -addr 127.0.0.1:8080 -requests 5000 -concurrency 8 -n 10
+//	hccmf-loadgen -addr 127.0.0.1:8080 -batch 32 -out serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hccmf/internal/kernelbench"
+	"hccmf/internal/sparse"
+	"hccmf/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "", "hccmf-serve address (host:port) or base URL")
+	requests := flag.Int("requests", 2000, "total requests to issue")
+	concurrency := flag.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent client workers")
+	n := flag.Int("n", 10, "items requested per user")
+	batch := flag.Int("batch", 0, "users per request: 0 issues single-user GETs, >0 issues batch POSTs")
+	seed := flag.Uint64("seed", 1, "seed of the random user sequence")
+	out := flag.String("out", "", "write the hccmf-bench JSON document here ('-' for stdout)")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-loadgen", version.String())
+		return
+	}
+	if *addr == "" {
+		fatal(fmt.Errorf("-addr is required"))
+	}
+	cfg := config{
+		base:        baseURL(*addr),
+		requests:    *requests,
+		concurrency: *concurrency,
+		n:           *n,
+		batch:       *batch,
+		seed:        *seed,
+	}
+	rep, err := run(cfg, http.DefaultClient)
+	if err != nil {
+		fatal(err)
+	}
+	printSummary(os.Stdout, rep.Serve)
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			os.Stdout.Write(buf)
+		} else {
+			if err := os.WriteFile(*out, buf, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "hccmf-loadgen: report written to %s\n", *out)
+		}
+	}
+}
+
+// config is one load run's shape.
+type config struct {
+	base        string // normalized base URL, no trailing slash
+	requests    int
+	concurrency int
+	n           int
+	batch       int
+	seed        uint64
+}
+
+// baseURL normalizes a host:port or URL flag value.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// discover asks /healthz for the served model's user/item space so the
+// generated user IDs stay in range.
+func discover(base string, client *http.Client) (users, items int, err error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, 0, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var gen int64
+	if _, err := fmt.Sscanf(string(body), "ok generation=%d users=%d items=%d", &gen, &users, &items); err != nil {
+		return 0, 0, fmt.Errorf("healthz: unrecognized body %q", strings.TrimSpace(string(body)))
+	}
+	if users <= 0 {
+		return 0, 0, fmt.Errorf("healthz: %d users", users)
+	}
+	return users, items, nil
+}
+
+// run fires cfg.requests at the target and aggregates the summary into a
+// benchmark report. Workers draw users from per-worker seeded streams, so
+// a run is reproducible for fixed (seed, concurrency).
+func run(cfg config, client *http.Client) (*kernelbench.Report, error) {
+	if cfg.requests <= 0 {
+		return nil, fmt.Errorf("loadgen: requests = %d", cfg.requests)
+	}
+	if cfg.concurrency <= 0 {
+		cfg.concurrency = 1
+	}
+	users, items, err := discover(cfg.base, client)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		next     atomic.Int64 // request ticket counter
+		errCount atomic.Int64
+		wg       sync.WaitGroup
+		perWork  = make([][]time.Duration, cfg.concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sparse.NewRand(cfg.seed + uint64(w)*0x9e3779b97f4a7c15)
+			lat := make([]time.Duration, 0, cfg.requests/cfg.concurrency+1)
+			var batchBuf bytes.Buffer
+			for {
+				if next.Add(1) > int64(cfg.requests) {
+					break
+				}
+				var err error
+				t0 := time.Now()
+				if cfg.batch > 0 {
+					err = doBatch(client, cfg, rng, users, &batchBuf)
+				} else {
+					err = doSingle(client, cfg, rng, users)
+				}
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+			perWork[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, lat := range perWork {
+		all = append(all, lat...)
+	}
+	name := fmt.Sprintf("TopN%d", cfg.n)
+	if cfg.batch > 0 {
+		name = fmt.Sprintf("TopN%dBatch%d", cfg.n, cfg.batch)
+	}
+	rep := &kernelbench.Report{
+		Schema:      kernelbench.Schema,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Count:       1,
+		Workload:    kernelbench.Workload{Rows: users, Cols: items},
+		ServeSchema: kernelbench.ServeSchema,
+		Serve:       []kernelbench.ServeResult{kernelbench.SummarizeServe(name, all, errCount.Load(), elapsed)},
+	}
+	return rep, nil
+}
+
+// doSingle issues one GET /topn and drains the response (keep-alive needs
+// the body consumed). Non-200 statuses count as errors.
+func doSingle(client *http.Client, cfg config, rng *sparse.Rand, users int) error {
+	u := int(rng.Uint64n(uint64(users)))
+	resp, err := client.Get(fmt.Sprintf("%s/topn?user=%d&n=%d", cfg.base, u, cfg.n))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// doBatch issues one POST /topn with cfg.batch random users.
+func doBatch(client *http.Client, cfg config, rng *sparse.Rand, users int, buf *bytes.Buffer) error {
+	buf.Reset()
+	buf.WriteString(`{"n":`)
+	fmt.Fprintf(buf, "%d", cfg.n)
+	buf.WriteString(`,"users":[`)
+	for i := 0; i < cfg.batch; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(buf, "%d", rng.Uint64n(uint64(users)))
+	}
+	buf.WriteString("]}")
+	resp, err := client.Post(cfg.base+"/topn", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// printSummary renders the serving results as an aligned table.
+func printSummary(w io.Writer, results []kernelbench.ServeResult) {
+	fmt.Fprintf(w, "%-16s %10s %8s %12s %10s %10s %10s\n",
+		"scenario", "requests", "errors", "qps", "p50(µs)", "p99(µs)", "mean(µs)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %10d %8d %12.1f %10.1f %10.1f %10.1f\n",
+			r.Name, r.Requests, r.Errors, r.QPS, r.P50us, r.P99us, r.MeanUs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hccmf-loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"hccmf/internal/kernelbench"
+)
+
+// stubServe mimics the hccmf-serve surface the load generator touches:
+// /healthz in the daemon's text form and /topn for both methods.
+func stubServe(t *testing.T, users, items int, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok generation=1 users=%d items=%d\n", users, items)
+	})
+	mux.HandleFunc("/topn", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		switch r.Method {
+		case http.MethodGet:
+			u, err := strconv.Atoi(r.URL.Query().Get("user"))
+			if err != nil || u < 0 || u >= users {
+				http.Error(w, "bad user", http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintf(w, `{"user":%d,"n":5,"generation":1,"items":[{"id":1,"score":2}]}`, u)
+		case http.MethodPost:
+			var req struct {
+				Users []int32 `json:"users"`
+				N     int     `json:"n"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Users) == 0 {
+				http.Error(w, "bad body", http.StatusBadRequest)
+				return
+			}
+			for _, u := range req.Users {
+				if u < 0 || int(u) >= users {
+					http.Error(w, "bad user", http.StatusBadRequest)
+					return
+				}
+			}
+			fmt.Fprint(w, `{"n":5,"generation":1,"results":[]}`)
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunSingles(t *testing.T) {
+	var hits atomic.Int64
+	ts := stubServe(t, 40, 90, &hits)
+	rep, err := run(config{base: ts.URL, requests: 120, concurrency: 4, n: 5, seed: 9}, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 120 {
+		t.Fatalf("server saw %d requests, want 120", hits.Load())
+	}
+	if rep.Schema != kernelbench.Schema || rep.ServeSchema != kernelbench.ServeSchema {
+		t.Fatalf("schemas: %q %q", rep.Schema, rep.ServeSchema)
+	}
+	if rep.Workload.Rows != 40 || rep.Workload.Cols != 90 {
+		t.Fatalf("workload from healthz: %+v", rep.Workload)
+	}
+	if len(rep.Serve) != 1 {
+		t.Fatalf("serve groups: %+v", rep.Serve)
+	}
+	r := rep.Serve[0]
+	if r.Name != "TopN5" || r.Requests != 120 || r.Errors != 0 {
+		t.Fatalf("summary: %+v", r)
+	}
+	if r.QPS <= 0 || r.P50us <= 0 || r.P99us < r.P50us || r.MeanUs <= 0 {
+		t.Fatalf("implausible latency summary: %+v", r)
+	}
+}
+
+func TestRunBatchAndBenchdiffRoundTrip(t *testing.T) {
+	var hits atomic.Int64
+	ts := stubServe(t, 40, 90, &hits)
+	rep, err := run(config{base: ts.URL, requests: 30, concurrency: 2, n: 5, batch: 8, seed: 3}, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serve[0].Name != "TopN5Batch8" || rep.Serve[0].Requests != 30 {
+		t.Fatalf("summary: %+v", rep.Serve[0])
+	}
+
+	// The written document must round-trip through the benchdiff loader
+	// and diff against itself as the serve group.
+	path := filepath.Join(t.TempDir(), "serve.json")
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := kernelbench.LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := kernelbench.Diff(loaded, loaded, 0.15)
+	if len(deltas) != 1 || deltas[0].Group != "serve" || deltas[0].Ratio != 1 {
+		t.Fatalf("self-diff: %+v", deltas)
+	}
+	if deltas[0].Regressed {
+		t.Fatalf("self-diff regressed: %+v", deltas[0])
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	// A user space larger than the server's triggers 400s for out-of-range
+	// draws; the run completes and reports them as errors.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok generation=1 users=10 items=10\n")
+	})
+	mux.HandleFunc("/topn", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	rep, err := run(config{base: ts.URL, requests: 20, concurrency: 2, n: 5, seed: 1}, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Serve[0].Errors != 20 || rep.Serve[0].Requests != 20 {
+		t.Fatalf("errors not counted: %+v", rep.Serve[0])
+	}
+}
+
+func TestDiscoverRejectsBadHealthz(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "something else\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if _, _, err := discover(ts.URL, ts.Client()); err == nil {
+		t.Fatal("unrecognized healthz accepted")
+	}
+	if _, err := run(config{base: ts.URL, requests: 0}, ts.Client()); err == nil {
+		t.Fatal("requests=0 accepted")
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080":         "http://127.0.0.1:8080",
+		"http://host:1/":         "http://host:1",
+		"https://example.com/x/": "https://example.com/x",
+	}
+	for in, want := range cases {
+		if got := baseURL(in); got != want {
+			t.Errorf("baseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

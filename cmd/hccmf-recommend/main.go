@@ -99,19 +99,9 @@ func loadModel(path string) (*mf.Factors, error) {
 }
 
 func loadRatings(path string, workers int) (*sparse.COO, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	// Try binary first (self-identifying magic), then text.
-	if m, err := dataset.ReadBinary(f); err == nil {
-		return m, nil
-	}
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, err
-	}
-	return dataset.ReadTextWorkers(f, workers)
+	// The magic decides the format: binary decode errors (truncation,
+	// corruption) propagate instead of being masked by a text re-parse.
+	return dataset.ReadRatingsFile(path, workers)
 }
 
 func fatal(err error) {

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hccmf/internal/sparse"
+)
+
+// Format sniffing. The CLIs used to "try binary first, fall back to text
+// on any error", which turned a truncated or corrupt binary file into a
+// nonsense text-parse error ("bad header \"HCMF...\"") that masked the
+// real problem. The shared helpers here decide the format from the magic
+// alone: a file that starts with the block-binary magic IS binary, and
+// every subsequent decode error propagates untouched; only files whose
+// first bytes don't match are handed to the text parser. hccmf-train,
+// hccmf-recommend and hccmf-serve all load ratings through this path.
+
+// SniffBinary reports whether rs begins with the block-binary magic
+// ("HCMF"). It reads at most 4 bytes and always seeks back to the start,
+// so the subsequent full read sees the whole stream. Inputs shorter than
+// the magic are not binary.
+func SniffBinary(rs io.ReadSeeker) (bool, error) {
+	var magic [4]byte
+	_, err := io.ReadFull(rs, magic[:])
+	if _, serr := rs.Seek(0, io.SeekStart); serr != nil {
+		return false, serr
+	}
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return false, nil
+		}
+		return false, err
+	}
+	return string(magic[:]) == binaryMagic, nil
+}
+
+// ReadAuto reads a ratings matrix in whichever format rs carries: the
+// magic selects ReadBinary (whose decode errors — truncation, bad
+// version, out-of-range records — propagate as binary errors), anything
+// else goes to the text parser with the given worker count.
+func ReadAuto(rs io.ReadSeeker, workers int) (*sparse.COO, error) {
+	bin, err := SniffBinary(rs)
+	if err != nil {
+		return nil, err
+	}
+	if bin {
+		return ReadBinary(rs)
+	}
+	return ReadTextWorkers(rs, workers)
+}
+
+// ReadRatingsFile opens path and reads it with ReadAuto, wrapping errors
+// with the file name.
+func ReadRatingsFile(path string, workers int) (*sparse.COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ReadAuto(f, workers)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hccmf/internal/sparse"
+)
+
+func sniffMatrix(t *testing.T) *sparse.COO {
+	t.Helper()
+	m := sparse.NewCOO(4, 5, 3)
+	m.Add(0, 1, 3.5)
+	m.Add(2, 4, 1)
+	m.Add(3, 0, 5)
+	return m
+}
+
+func TestReadAutoBinary(t *testing.T) {
+	m := sniffMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() || got.Rows != m.Rows || got.Cols != m.Cols {
+		t.Fatalf("binary round-trip lost shape: %dx%d nnz %d", got.Rows, got.Cols, got.NNZ())
+	}
+}
+
+func TestReadAutoText(t *testing.T) {
+	m := sniffMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() {
+		t.Fatalf("text round-trip lost entries: %d", got.NNZ())
+	}
+}
+
+// TestReadAutoCorruptBinaryPropagates is the regression test for the
+// silent-fallback bug: a truncated binary file must surface a binary
+// decode error, not be re-parsed as text into a nonsense header error.
+func TestReadAutoCorruptBinaryPropagates(t *testing.T) {
+	m := sniffMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-5] // cut into the last record
+	_, err := ReadAuto(bytes.NewReader(truncated), 2)
+	if err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+	if !strings.Contains(err.Error(), "record") {
+		t.Fatalf("truncation surfaced as %q, want a binary record error", err)
+	}
+	if strings.Contains(err.Error(), "header") {
+		t.Fatalf("truncation fell back to the text parser: %q", err)
+	}
+
+	// A bad version is likewise a binary error, never a text parse.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[4] = 0xFF // version field
+	_, err = ReadAuto(bytes.NewReader(bad), 2)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version surfaced as %v, want an unsupported-version error", err)
+	}
+}
+
+func TestSniffBinaryShortAndEmptyInputs(t *testing.T) {
+	for _, in := range []string{"", "HC", "1 1 0\n"} {
+		bin, err := SniffBinary(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if bin {
+			t.Fatalf("%q sniffed as binary", in)
+		}
+	}
+	bin, err := SniffBinary(strings.NewReader("HCMF garbage"))
+	if err != nil || !bin {
+		t.Fatalf("magic-prefixed input not sniffed as binary: %v %v", bin, err)
+	}
+	// The sniff must leave the reader rewound: text after a negative sniff
+	// parses from byte 0.
+	r := strings.NewReader("2 2 1\n0 0 1\n")
+	if _, err := SniffBinary(r); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadTextWorkers(r, 1); err != nil || m.NNZ() != 1 {
+		t.Fatalf("reader not rewound after sniff: %v %v", m, err)
+	}
+}
+
+func TestReadRatingsFileWrapsPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ratings.bin")
+	m := sniffMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadRatingsFile(path, 2)
+	if err == nil || !strings.Contains(err.Error(), "ratings.bin") {
+		t.Fatalf("error %v does not name the file", err)
+	}
+	good := filepath.Join(dir, "ratings.txt")
+	var tbuf bytes.Buffer
+	if err := WriteText(&tbuf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, tbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRatingsFile(good, 2)
+	if err != nil || got.NNZ() != m.NNZ() {
+		t.Fatalf("text file read failed: %v %v", got, err)
+	}
+}

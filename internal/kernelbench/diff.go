@@ -18,8 +18,8 @@ const ComparisonSchema = "hccmf-bench/kernel-comparison/v1"
 // Ratio is candidate/baseline of the chosen metric, so >1 means slower.
 type Delta struct {
 	Name      string  `json:"name"`
-	Group     string  `json:"group"`  // "kernel" or "ingest"
-	Metric    string  `json:"metric"` // "ns/update" or "ns/op"
+	Group     string  `json:"group"`  // "kernel", "ingest" or "serve"
+	Metric    string  `json:"metric"` // "ns/update", "ns/op" or "p99_us"
 	Base      float64 `json:"base"`
 	Candidate float64 `json:"candidate"`
 	Ratio     float64 `json:"ratio"`
@@ -35,6 +35,32 @@ func Diff(base, cand Report, threshold float64) []Delta {
 	var deltas []Delta
 	deltas = append(deltas, diffGroup("kernel", base.Kernels, cand.Kernels, threshold)...)
 	deltas = append(deltas, diffGroup("ingest", base.Ingest, cand.Ingest, threshold)...)
+	deltas = append(deltas, diffServe(base.Serve, cand.Serve, threshold)...)
+	return deltas
+}
+
+// diffServe compares the serving group on tail latency: the ratio is
+// candidate/baseline p99 in µs, so like the time-based groups >1 means
+// slower. QPS and p50 ride along in the reports for human reading; p99 is
+// the regression gate because it is the serving SLO number.
+func diffServe(base, cand []ServeResult, threshold float64) []Delta {
+	byName := make(map[string]ServeResult, len(base))
+	for _, r := range base {
+		byName[r.Name] = r
+	}
+	var deltas []Delta
+	for _, c := range cand {
+		b, ok := byName[c.Name]
+		if !ok || b.P99us <= 0 || c.P99us <= 0 {
+			continue
+		}
+		d := Delta{
+			Name: c.Name, Group: "serve", Metric: "p99_us",
+			Base: b.P99us, Candidate: c.P99us, Ratio: c.P99us / b.P99us,
+		}
+		d.Regressed = d.Ratio > 1+threshold
+		deltas = append(deltas, d)
+	}
 	return deltas
 }
 

@@ -56,6 +56,10 @@ type Report struct {
 	// (IngestSuite); both are omitted from kernel-only documents.
 	IngestSchema string   `json:"ingest_schema,omitempty"`
 	Ingest       []Result `json:"ingest,omitempty"`
+	// ServeSchema and Serve carry the serving benchmark group — written by
+	// Collect (in-process harness) and by hccmf-loadgen (over HTTP).
+	ServeSchema string        `json:"serve_schema,omitempty"`
+	Serve       []ServeResult `json:"serve,omitempty"`
 }
 
 // Bench is one named kernel micro-benchmark of the suite.
@@ -100,6 +104,12 @@ func Collect(count int) Report {
 	rep.IngestSchema = IngestSchema
 	for _, bm := range IngestSuite() {
 		rep.Ingest = append(rep.Ingest, collectOne(bm, count))
+	}
+	// The serving harness cannot fail on the fixed workload; if it somehow
+	// does, the group is omitted rather than poisoning the whole report.
+	if serve, err := CollectServe(count); err == nil {
+		rep.ServeSchema = ServeSchema
+		rep.Serve = serve
 	}
 	return rep
 }

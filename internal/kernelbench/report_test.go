@@ -68,6 +68,38 @@ func TestIngestSchemaStable(t *testing.T) {
 	}
 }
 
+// TestServeSchemaStable pins the serving group's field set: exact
+// nearest-rank percentiles in microseconds plus throughput. Requests and
+// Errors have no omitempty — 0 errors is the claim being recorded.
+func TestServeSchemaStable(t *testing.T) {
+	rep := Report{
+		Schema:      Schema,
+		GoVersion:   "go1.24.0",
+		GOMAXPROCS:  1,
+		Count:       3,
+		Workload:    Workload{Rows: Rows, Cols: Cols, NNZ: NNZ, K: K},
+		ServeSchema: ServeSchema,
+		Serve: []ServeResult{{
+			Name: "TopN10", Requests: 2000, QPS: 50000,
+			P50us: 18, P99us: 41, MeanUs: 20,
+		}},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"hccmf-bench/kernel/v1","go_version":"go1.24.0",` +
+		`"gomaxprocs":1,"count":3,` +
+		`"workload":{"rows":2000,"cols":1000,"nnz":200000,"k":32},` +
+		`"kernels":null,` +
+		`"serve_schema":"hccmf-bench/serve/v1",` +
+		`"serve":[{"name":"TopN10","requests":2000,"errors":0,"qps":50000,` +
+		`"p50_us":18,"p99_us":41,"mean_us":20}]}`
+	if string(got) != want {
+		t.Fatalf("serve schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestCollectOneAggregates checks run aggregation and skip handling with a
 // synthetic benchmark (the real suite is exercised by bench_test.go and
 // verify.sh's bench smoke step).

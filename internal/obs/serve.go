@@ -1,0 +1,135 @@
+package obs
+
+import "math"
+
+// Serving-side instruments. The training layers report through RunMetrics;
+// the hccmf-serve daemon and hccmf-loadgen report through ServeMetrics —
+// request counters, a latency histogram fine-grained enough for p50/p99
+// readouts, and reload accounting. Like every obs bundle, all methods are
+// nil-receiver safe so uninstrumented services pay nothing.
+
+// LatencyBuckets is the default bound set for request-latency histograms:
+// log-spaced from 1µs to 10s. DurationBuckets starts at 10µs, which is too
+// coarse for in-memory top-N scoring; serving latencies need resolution in
+// the single-microsecond range.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the owning bucket, the
+// standard Prometheus-style histogram_quantile estimate. Samples in the
+// +Inf overflow bucket are attributed to the last finite bound. Returns 0
+// on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= target {
+			if i >= len(h.bounds) {
+				// Overflow bucket: the last finite bound is the best
+				// statement the histogram can make.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (target - float64(cum)) / float64(c)
+			return lo + (hi-lo)*math.Min(math.Max(frac, 0), 1)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ServeMetrics is the standard instrument set of a serving process.
+type ServeMetrics struct {
+	// Requests counts top-N requests; UsersScored counts the users they
+	// covered (a batch request scores many); Errors counts failed requests.
+	Requests    *Counter
+	UsersScored *Counter
+	Errors      *Counter
+	// RequestSeconds distributes per-request latency (LatencyBuckets).
+	RequestSeconds *Histogram
+	// Reloads counts model reloads; ModelGeneration is the current model
+	// generation (1 = the model loaded at startup).
+	Reloads         *Counter
+	ModelGeneration *Gauge
+
+	// clock times requests (nil disables timing).
+	clock func() float64
+}
+
+// NewServeMetrics registers the serving instruments on r.
+func NewServeMetrics(r *Registry) *ServeMetrics {
+	return &ServeMetrics{
+		Requests:        r.Counter("serve/requests_total", "top-N requests handled"),
+		UsersScored:     r.Counter("serve/users_scored_total", "users scored across all requests"),
+		Errors:          r.Counter("serve/errors_total", "requests that failed"),
+		RequestSeconds:  MustHistogram(r, "serve/request_seconds", "per-request latency", LatencyBuckets),
+		Reloads:         r.Counter("serve/reloads_total", "model reloads applied"),
+		ModelGeneration: r.Gauge("serve/model_generation", "current model generation (1 = startup model)"),
+	}
+}
+
+// WithClock sets the clock request timing uses and returns m (nil passes
+// through).
+func (m *ServeMetrics) WithClock(clock func() float64) *ServeMetrics {
+	if m != nil {
+		m.clock = clock
+	}
+	return m
+}
+
+// RequestStart reads the serve clock (0 when timing is disabled).
+func (m *ServeMetrics) RequestStart() float64 {
+	if m == nil || m.clock == nil {
+		return 0
+	}
+	return m.clock()
+}
+
+// RequestDone records one finished request: the users it scored, whether
+// it failed, and (when the clock is enabled) its latency.
+func (m *ServeMetrics) RequestDone(start float64, users int, failed bool) {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+	m.UsersScored.Add(int64(users))
+	if failed {
+		m.Errors.Inc()
+	}
+	if m.clock != nil {
+		m.RequestSeconds.Observe(m.clock() - start)
+	}
+}
+
+// CountReload records one applied model reload and the new generation.
+func (m *ServeMetrics) CountReload(generation int64) {
+	if m == nil {
+		return
+	}
+	m.Reloads.Inc()
+	m.ModelGeneration.Set(float64(generation))
+}

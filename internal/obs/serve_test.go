@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	if _, err := newHistogram(LatencyBuckets); err != nil {
+		t.Fatal(err)
+	}
+	if LatencyBuckets[0] != 1e-6 || LatencyBuckets[len(LatencyBuckets)-1] != 10 {
+		t.Fatalf("bucket range moved: [%g, %g]", LatencyBuckets[0], LatencyBuckets[len(LatencyBuckets)-1])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram quantile = %v", got)
+	}
+	h := MustHistogram(NewRegistry(), "h", "", []float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+	// 100 samples in (1,2], 0 elsewhere: every quantile interpolates
+	// inside the (1,2] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("p50 of uniform bucket = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("p100 = %v, want bucket upper bound 2", got)
+	}
+	if got := h.Quantile(0); got < 1 || got > 2 {
+		t.Fatalf("p0 = %v, want inside (1,2]", got)
+	}
+
+	// Mixed distribution: 90 in (0,1], 10 in (2,4]. p50 lands in the
+	// first bucket, p99 in the last.
+	h2 := MustHistogram(NewRegistry(), "h", "", []float64{1, 2, 4})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(3)
+	}
+	if got := h2.Quantile(0.5); got <= 0 || got > 1 {
+		t.Fatalf("p50 = %v, want inside (0,1]", got)
+	}
+	if got := h2.Quantile(0.99); got <= 2 || got > 4 {
+		t.Fatalf("p99 = %v, want inside (2,4]", got)
+	}
+	// Rank 50 of 100 falls 50/90 of the way through the first bucket.
+	if got, want := h2.Quantile(0.5), 1.0*(50.0/90.0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p50 interpolation = %v, want %v", got, want)
+	}
+
+	// Overflow samples report the last finite bound.
+	h3 := MustHistogram(NewRegistry(), "h", "", []float64{1})
+	h3.Observe(100)
+	if got := h3.Quantile(0.5); got != 1 {
+		t.Fatalf("overflow quantile = %v, want last bound 1", got)
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	now := 0.0
+	m := NewServeMetrics(r).WithClock(func() float64 { now += 0.001; return now })
+
+	start := m.RequestStart()
+	m.RequestDone(start, 3, false)
+	start = m.RequestStart()
+	m.RequestDone(start, 1, true)
+
+	if got := m.Requests.Value(); got != 2 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := m.UsersScored.Value(); got != 4 {
+		t.Fatalf("users scored = %d", got)
+	}
+	if got := m.Errors.Value(); got != 1 {
+		t.Fatalf("errors = %d", got)
+	}
+	if got := m.RequestSeconds.Count(); got != 2 {
+		t.Fatalf("latency samples = %d", got)
+	}
+	m.CountReload(2)
+	if got := m.Reloads.Value(); got != 1 {
+		t.Fatalf("reloads = %d", got)
+	}
+	if got := m.ModelGeneration.Value(); got != 2 {
+		t.Fatalf("generation gauge = %v", got)
+	}
+}
+
+func TestServeMetricsNilSafe(t *testing.T) {
+	var m *ServeMetrics
+	start := m.RequestStart()
+	m.RequestDone(start, 5, true) // must not panic
+	m.CountReload(3)
+	m = m.WithClock(func() float64 { return 0 })
+	if m != nil {
+		t.Fatal("WithClock materialised a nil bundle")
+	}
+
+	// Clock-less bundle counts but does not time.
+	r := NewRegistry()
+	m2 := NewServeMetrics(r)
+	m2.RequestDone(m2.RequestStart(), 1, false)
+	if got := m2.Requests.Value(); got != 1 {
+		t.Fatalf("requests = %d", got)
+	}
+	if got := m2.RequestSeconds.Count(); got != 0 {
+		t.Fatalf("clock-less bundle recorded %d latency samples", got)
+	}
+}

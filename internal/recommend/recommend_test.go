@@ -2,6 +2,7 @@ package recommend
 
 import (
 	"sort"
+	"strings"
 	"testing"
 
 	"hccmf/internal/mf"
@@ -82,8 +83,8 @@ func TestMarkSeenDedupsAndValidates(t *testing.T) {
 	if err := r.MarkSeen(train); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.seen[0]) != 2 {
-		t.Fatalf("seen = %v, want deduped 2", r.seen[0])
+	if len(r.seen.rows[0]) != 2 {
+		t.Fatalf("seen = %v, want deduped 2", r.seen.rows[0])
 	}
 	if !r.hasSeen(0, 2) || r.hasSeen(0, 3) || r.hasSeen(1, 2) {
 		t.Fatal("hasSeen wrong")
@@ -218,6 +219,123 @@ func TestEvalValidation(t *testing.T) {
 	}
 	if _, err := r.RecallAtN(empty, 1, 1); err == nil {
 		t.Fatal("empty recall set accepted")
+	}
+}
+
+// TestTopNTieOrderGolden pins the tie-breaking contract on a tie-heavy
+// model: scores are quantized to three levels, so nearly every rank
+// decision is a tie, and the expected order is computable by hand —
+// descending score, ascending item ID within a score level.
+func TestTopNTieOrderGolden(t *testing.T) {
+	// 12 items, score = 2 - (i % 3): items ≡0 (mod 3) score 2, ≡1 score 1,
+	// ≡2 score 0.
+	s := newTable(1, 12, func(u, i int) float32 { return float32(2 - i%3) })
+	r, err := New(s, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 3, 6, 9, 1, 4, 7} // all four score-2 ids, then score-1 ids
+	top, err := r.TopN(0, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != len(want) {
+		t.Fatalf("got %d items, want %d", len(top), len(want))
+	}
+	for idx, it := range top {
+		if it.ID != want[idx] {
+			t.Fatalf("tie order drifted at rank %d: got %+v, want ids %v", idx, top, want)
+		}
+	}
+	// The same query through the batch path and a buffer-reusing call must
+	// agree bit for bit.
+	batch, err := r.TopNBatch([]int32{0, 0}, len(want), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Item, 0, len(want))
+	into, err := r.TopNInto(0, len(want), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range want {
+		if batch[0][idx] != top[idx] || batch[1][idx] != top[idx] || into[idx] != top[idx] {
+			t.Fatalf("paths disagree at rank %d: single %+v batch %+v into %+v",
+				idx, top[idx], batch[0][idx], into[idx])
+		}
+	}
+}
+
+// TestMarkSeenIncrementalEqualsMerged: marking two COO halves in two calls
+// must leave exactly the state of marking the merged COO once.
+func TestMarkSeenIncrementalEqualsMerged(t *testing.T) {
+	const users, items = 20, 30
+	rng := sparse.NewRand(5)
+	a := sparse.NewCOO(users, items, 0)
+	b := sparse.NewCOO(users, items, 0)
+	merged := sparse.NewCOO(users, items, 0)
+	for c := 0; c < 200; c++ {
+		u, i := int32(rng.Intn(users)), int32(rng.Intn(items))
+		if c%2 == 0 {
+			a.Add(u, i, 1)
+		} else {
+			b.Add(u, i, 1)
+		}
+		merged.Add(u, i, 1)
+	}
+	// Overlap: some items rated in both halves must still dedup.
+	a.Add(3, 7, 1)
+	b.Add(3, 7, 1)
+	merged.Add(3, 7, 1)
+	merged.Add(3, 7, 1)
+
+	s := newTable(users, items, func(u, i int) float32 { return 0 })
+	two, _ := New(s, users, items)
+	if err := two.MarkSeen(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := two.MarkSeen(b); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := New(s, users, items)
+	if err := one.MarkSeen(merged); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < users; u++ {
+		got, want := two.seen.rows[u], one.seen.rows[u]
+		if len(got) != len(want) {
+			t.Fatalf("user %d: two-call seen %v != one-call %v", u, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("user %d: two-call seen %v != one-call %v", u, got, want)
+			}
+		}
+		if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+			t.Fatalf("user %d: seen not sorted: %v", u, got)
+		}
+	}
+}
+
+// TestTopNBatchReportsFailingUser: an out-of-range user in a batch must
+// surface an error naming that user, and the other users' results must
+// still be present.
+func TestTopNBatchReportsFailingUser(t *testing.T) {
+	s := newTable(4, 6, func(u, i int) float32 { return float32(i) })
+	r, _ := New(s, 4, 6)
+	users := []int32{0, 9, 2} // 9 is out of range
+	out, err := r.TopNBatch(users, 2, 2)
+	if err == nil {
+		t.Fatal("out-of-range batch user accepted")
+	}
+	if !strings.Contains(err.Error(), "user 9") || !strings.Contains(err.Error(), "index 1") {
+		t.Fatalf("error does not identify the failing user: %v", err)
+	}
+	if out == nil || out[0] == nil || out[2] == nil {
+		t.Fatalf("partial results discarded: %v", out)
+	}
+	if out[1] != nil {
+		t.Fatalf("failed user has results: %v", out[1])
 	}
 }
 

@@ -10,9 +10,9 @@
 #      simtime also polices obs.WallClock: sim packages may use an
 #      injected observer but never mint a real clock (DESIGN.md §11)
 #   5. go test -race over the concurrent packages — ps, comm, mf,
-#      simengine, obs, plus the parallel-ingestion packages dataset,
-#      sparse, parallel; the intentional Hogwild races stay off these
-#      runs via internal/raceflag
+#      simengine, obs, recommend, plus the parallel-ingestion packages
+#      dataset, sparse, parallel; the intentional Hogwild races stay off
+#      these runs via internal/raceflag
 #   6. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
 #      once (including the ingest/v1 ingestion suite), so a PR cannot
 #      silently break the suites behind hccmf-bench -json and
@@ -22,6 +22,11 @@
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
 #   8. go test -cover over the observability/measurement packages — a
 #      visible coverage summary for obs, kernelbench, trace
+#   9. serve smoke — build hccmf-serve + hccmf-loadgen, start the daemon
+#      on a random port with a synthetic model, drive it with real HTTP
+#      traffic, feed the resulting serve/v1 report through
+#      hccmf-benchdiff, and shut the daemon down with SIGTERM
+#      (see DESIGN.md §13)
 #
 # Any failure aborts with a nonzero exit.
 set -euo pipefail
@@ -44,9 +49,9 @@ go vet ./...
 echo "== hccmf-vet ./... (determinism invariants)"
 go run ./cmd/hccmf-vet ./...
 
-echo "== go test -race (ps, comm, mf, simengine, obs, dataset, sparse, parallel)"
+echo "== go test -race (ps, comm, mf, simengine, obs, recommend, dataset, sparse, parallel)"
 go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine \
-	./internal/obs ./internal/dataset ./internal/sparse ./internal/parallel
+	./internal/obs ./internal/recommend ./internal/dataset ./internal/sparse ./internal/parallel
 
 echo "== bench smoke (every benchmark once, kernel + ingest suites)"
 bench_log=$(mktemp -t hccmf-bench-smoke.XXXXXX)
@@ -62,5 +67,35 @@ go test ./...
 
 echo "== coverage summary (obs, kernelbench, trace)"
 go test -cover ./internal/obs ./internal/kernelbench ./internal/trace | awk '{print "   " $0}'
+
+echo "== serve smoke (hccmf-serve + hccmf-loadgen + hccmf-benchdiff)"
+smoke_dir=$(mktemp -d -t hccmf-serve-smoke.XXXXXX)
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+go build -o "$smoke_dir/hccmf-serve" ./cmd/hccmf-serve
+go build -o "$smoke_dir/hccmf-loadgen" ./cmd/hccmf-loadgen
+go build -o "$smoke_dir/hccmf-benchdiff" ./cmd/hccmf-benchdiff
+"$smoke_dir/hccmf-serve" -synthetic 500x300x16 -addr 127.0.0.1:0 \
+	-ready-file "$smoke_dir/addr" -metrics-out "$smoke_dir/metrics.json" \
+	2> "$smoke_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+	[ -s "$smoke_dir/addr" ] && break
+	if ! kill -0 "$serve_pid" 2>/dev/null; then
+		echo "serve smoke: daemon died during startup:" >&2
+		cat "$smoke_dir/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+[ -s "$smoke_dir/addr" ] || { echo "serve smoke: daemon never became ready" >&2; exit 1; }
+serve_addr=$(head -n1 "$smoke_dir/addr")
+"$smoke_dir/hccmf-loadgen" -addr "$serve_addr" -requests 200 -concurrency 4 \
+	-n 10 -out "$smoke_dir/serve.json" | awk '{print "   " $0}'
+"$smoke_dir/hccmf-benchdiff" -baseline "$smoke_dir/serve.json" \
+	-candidate "$smoke_dir/serve.json" -fail-on-regress | awk '{print "   " $0}'
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero:" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
+[ -s "$smoke_dir/metrics.json" ] || { echo "serve smoke: no metrics document on shutdown" >&2; exit 1; }
+trap 'rm -rf "$smoke_dir"' EXIT
 
 echo "verify: OK"
