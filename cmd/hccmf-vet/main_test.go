@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"hccmf/internal/lint"
 )
 
 // The multichecker must report the known-bad fixture (exit 1, findings
@@ -14,7 +19,13 @@ func TestVetReportsKnownBadFixture(t *testing.T) {
 		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
 	}
 	got := out.String()
-	for _, want := range []string{"(simtime)", "(seededrand)", "(panicpolicy)", "time.Now", "rand.Intn", "panic in exported"} {
+	for _, want := range []string{
+		"(simtime)", "(seededrand)", "(panicpolicy)",
+		"(errflow)", "(hotalloc)", "(goroutinepolicy)", "(schemaconst)",
+		"time.Now", "rand.Intn", "panic in exported",
+		"saveState returns an error", "not provably joined",
+		"inline schema literal", "calls make",
+	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
@@ -37,7 +48,10 @@ func TestVetListsAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"simtime", "seededrand", "panicpolicy", "raceguard"} {
+	for _, name := range []string{
+		"simtime", "seededrand", "panicpolicy", "raceguard",
+		"errflow", "hotalloc", "goroutinepolicy", "nilobs", "schemaconst",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list missing %s", name)
 		}
@@ -51,5 +65,107 @@ func TestVetRejectsUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown analyzer") {
 		t.Errorf("stderr missing unknown-analyzer message: %s", errb.String())
+	}
+}
+
+// -json must emit a valid hccmf-vet/v1 document with per-analyzer counts.
+func TestVetJSONDocument(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", "./testdata/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var doc lint.Document
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Schema != lint.VetSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, lint.VetSchema)
+	}
+	if doc.Fresh == 0 || len(doc.Findings) != doc.Fresh+doc.Baselined {
+		t.Errorf("inconsistent counts: fresh=%d baselined=%d findings=%d",
+			doc.Fresh, doc.Baselined, len(doc.Findings))
+	}
+	if doc.Counts["simtime"] == 0 || doc.Counts["errflow"] == 0 {
+		t.Errorf("per-analyzer counts missing tripped analyzers: %v", doc.Counts)
+	}
+	if doc.Counts["nilobs"] != 0 {
+		t.Errorf("clean analyzer nilobs should count 0, got %d", doc.Counts["nilobs"])
+	}
+}
+
+// The ratchet: a baseline recording the bad fixture's findings turns the
+// run green; removing one entry makes that finding fresh again.
+func TestVetBaselineRatchet(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "lint.baseline")
+
+	var out, errb strings.Builder
+	if code := run([]string{"-write-baseline", baseline, "./testdata/bad"}, &out, &errb); code != 0 {
+		t.Fatalf("-write-baseline exit = %d; stderr: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "./testdata/bad"}, &out, &errb); code != 0 {
+		t.Fatalf("fully baselined run exit = %d, want 0; stdout: %s stderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[baselined]") {
+		t.Errorf("baselined findings not marked in text output:\n%s", out.String())
+	}
+
+	// Drop one baseline line: that finding is fresh again and fails.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	kept := lines[:0]
+	dropped := false
+	for _, l := range lines {
+		if !dropped && strings.HasPrefix(l, "simtime\t") {
+			dropped = true
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if !dropped {
+		t.Fatalf("no simtime entry to drop in baseline:\n%s", data)
+	}
+	if err := os.WriteFile(baseline, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "./testdata/bad"}, &out, &errb); code != 1 {
+		t.Fatalf("shrunk baseline exit = %d, want 1", code)
+	}
+}
+
+// A malformed baseline is a usage error, not a silent pass.
+func TestVetRejectsMalformedBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "lint.baseline")
+	if err := os.WriteFile(baseline, []byte("not a tabbed line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", baseline, "./testdata/good"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+// -summary prints per-analyzer counts to stderr.
+func TestVetSummary(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-summary", "./testdata/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "hccmf-vet summary:") {
+		t.Errorf("stderr missing summary header: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "simtime") {
+		t.Errorf("summary missing per-analyzer line: %s", errb.String())
 	}
 }

@@ -1,0 +1,27 @@
+// This file extends the known-bad fixture to trip the v2 analyzers:
+// errflow, hotalloc, goroutinepolicy and schemaconst.
+package costmodel
+
+// Schema tags the fixture output document.
+const Schema = "hccmf-fixturebad/v1"
+
+// saveState pretends to persist and can fail.
+func saveState() error { return nil }
+
+// Flush drops the error and leaks a goroutine.
+func Flush() {
+	saveState()
+	go func() {}()
+}
+
+// Emit inlines the declared schema literal.
+func Emit() string {
+	return "hccmf-fixturebad/v1"
+}
+
+// Hot is annotated hot and allocates anyway.
+//
+// lint:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}

@@ -30,3 +30,33 @@ func TestPanicPolicyIgnoresMain(t *testing.T) {
 func TestRaceGuard(t *testing.T) {
 	linttest.Run(t, lint.RaceGuard, "testdata/src/raceguard/mf")
 }
+
+func TestRaceGuardCrossPackage(t *testing.T) {
+	linttest.RunTree(t, lint.RaceGuard, "testdata/src/raceguardx")
+}
+
+func TestSeededRandSkipsShadowedImport(t *testing.T) {
+	// shadow.go lives in the same fixture package as TestSeededRand's
+	// files; the dedicated run here documents the shadow case on its own.
+	linttest.Run(t, lint.SeededRand, "testdata/src/seededrand/sched")
+}
+
+func TestErrFlow(t *testing.T) {
+	linttest.RunTree(t, lint.ErrFlow, "testdata/src/errflow")
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotAlloc, "testdata/src/hotalloc/hot")
+}
+
+func TestGoroutinePolicy(t *testing.T) {
+	linttest.RunTree(t, lint.GoroutinePolicy, "testdata/src/goroutinepolicy")
+}
+
+func TestNilObs(t *testing.T) {
+	linttest.Run(t, lint.NilObs, "testdata/src/nilobs/obs")
+}
+
+func TestSchemaConst(t *testing.T) {
+	linttest.RunTree(t, lint.SchemaConst, "testdata/src/schemaconst")
+}

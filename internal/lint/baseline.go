@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the ratchet: a multiset of findings the tree is known (and
+// tolerated) to contain. hccmf-vet fails only on findings NOT in the
+// baseline, so the suite can grow a new analyzer without first paying
+// down every pre-existing hit — while any NEW violation, of any analyzer,
+// fails CI immediately. Shrinking the baseline is always safe; growing it
+// is a reviewed decision (regenerate with -write-baseline and defend the
+// diff).
+//
+// Keys deliberately exclude line numbers: a finding is identified by
+// (analyzer, slash-cleaned file, message), counted with multiplicity, so
+// pure refactors that move a tolerated finding up or down a file do not
+// churn the baseline. Two identical findings in one file occupy two
+// baseline slots — fixing one and adding another elsewhere in the file
+// still ratchets.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey renders the line-insensitive identity of a finding.
+func baselineKey(d Diagnostic) string {
+	return d.Analyzer + "\t" + filepath.ToSlash(d.Pos.Filename) + "\t" + d.Message
+}
+
+// NewBaseline records the given findings as tolerated.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{counts: map[string]int{}}
+	for _, d := range diags {
+		b.counts[baselineKey(d)]++
+	}
+	return b
+}
+
+// Len returns the number of tolerated finding slots.
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// Filter splits findings into fresh (not covered by the baseline — these
+// fail the run) and baselined (tolerated). Each baseline slot absorbs at
+// most one finding; order within the input decides which duplicates are
+// absorbed, which is irrelevant because duplicates share an identity.
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, baselined []Diagnostic) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	for _, d := range diags {
+		k := baselineKey(d)
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined = append(baselined, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, baselined
+}
+
+// FormatBaseline renders findings as baseline file content: a comment
+// header, then one tab-separated "analyzer\tfile\tmessage" line per
+// tolerated finding, sorted for stable diffs.
+func FormatBaseline(diags []Diagnostic) string {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, baselineKey(d))
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# hccmf-vet baseline: tolerated pre-existing findings (analyzer\\tfile\\tmessage).\n")
+	sb.WriteString("# New findings not listed here fail the run. Regenerate with: hccmf-vet -write-baseline lint.baseline ./...\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ParseBaseline reads baseline file content. Blank lines and #-comments
+// are skipped; anything else must have the three tab-separated fields.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("baseline line %d: want 3 tab-separated fields (analyzer\\tfile\\tmessage), got %q", lineno, line)
+		}
+		b.counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

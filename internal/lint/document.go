@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"path/filepath"
+	"sort"
+)
+
+// VetSchema tags hccmf-vet's machine-readable output, versioned like
+// every other schema the module emits so CI consumers can dispatch on it.
+const VetSchema = "hccmf-vet/v1"
+
+// Finding is one diagnostic in the machine-readable document.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	// Baselined marks findings tolerated by the ratchet: present in the
+	// committed baseline, reported for visibility, not failing the run.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// Document is the top-level JSON shape hccmf-vet -json emits.
+type Document struct {
+	Schema    string         `json:"schema"`
+	Analyzers []string       `json:"analyzers"`
+	Findings  []Finding      `json:"findings"`
+	Counts    map[string]int `json:"counts"`
+	// Fresh is the number of non-baselined findings — the exit-code signal.
+	Fresh int `json:"fresh"`
+	// Baselined is the number of tolerated findings.
+	Baselined int `json:"baselined"`
+}
+
+// NewDocument assembles the machine-readable document from a run's
+// analyzer set and its fresh/baselined finding split. Counts is keyed by
+// analyzer name over ALL findings (fresh + baselined), so the summary
+// reflects the tree's total debt, and carries a zero entry for every
+// analyzer that ran clean.
+func NewDocument(analyzers []*Analyzer, fresh, baselined []Diagnostic) *Document {
+	doc := &Document{
+		Schema:    VetSchema,
+		Counts:    map[string]int{},
+		Findings:  []Finding{},
+		Fresh:     len(fresh),
+		Baselined: len(baselined),
+	}
+	for _, a := range analyzers {
+		doc.Analyzers = append(doc.Analyzers, a.Name)
+		doc.Counts[a.Name] = 0
+	}
+	sort.Strings(doc.Analyzers)
+	add := func(diags []Diagnostic, baselined bool) {
+		for _, d := range diags {
+			doc.Counts[d.Analyzer]++
+			doc.Findings = append(doc.Findings, Finding{
+				Analyzer:  d.Analyzer,
+				File:      filepath.ToSlash(d.Pos.Filename),
+				Line:      d.Pos.Line,
+				Column:    d.Pos.Column,
+				Message:   d.Message,
+				Baselined: baselined,
+			})
+		}
+	}
+	add(fresh, false)
+	add(baselined, true)
+	sort.Slice(doc.Findings, func(i, j int) bool {
+		a, b := doc.Findings[i], doc.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return doc
+}

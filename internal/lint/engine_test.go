@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The module loader must derive module-qualified import paths from go.mod
+// and index functions so analyzers can follow calls across packages.
+func TestLoadBuildsModuleIndex(t *testing.T) {
+	mod, err := Load("testdata/src/errflow/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if mod.Path != "hccmf" {
+		t.Fatalf("module path = %q, want hccmf", mod.Path)
+	}
+	if len(mod.Pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(mod.Pkgs))
+	}
+	const helperPath = "hccmf/internal/lint/testdata/src/errflow/helper"
+	helper := mod.Package(helperPath)
+	if helper == nil {
+		t.Fatalf("Package(%q) = nil; loaded: %v", helperPath, importPaths(mod))
+	}
+	if helper.Name != "helper" {
+		t.Errorf("helper package name = %q", helper.Name)
+	}
+	if ref := mod.Func(helperPath, "Write"); ref == nil {
+		t.Errorf("cross-package Func lookup of helper.Write failed")
+	} else if ref.Pkg != helper {
+		t.Errorf("Func ref resolved into wrong package %q", ref.Pkg.ImportPath)
+	}
+	if mod.Func(helperPath, "NoSuchFunc") != nil {
+		t.Errorf("unknown function resolved to a ref")
+	}
+}
+
+// ImportedPackage must resolve a file's selector base through its import
+// table, honoring renames, and return nil for out-of-module imports.
+func TestImportedPackage(t *testing.T) {
+	mod, err := Load("testdata/src/errflow/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	consumer := mod.Package("hccmf/internal/lint/testdata/src/errflow/consumer")
+	if consumer == nil {
+		t.Fatalf("consumer package not loaded")
+	}
+	var file = consumer.Files[0]
+	for _, f := range consumer.Files {
+		if strings.HasSuffix(consumer.Filename[f], "consumer.go") {
+			file = f
+		}
+	}
+	if p := mod.ImportedPackage(file, "helper"); p == nil || p.Name != "helper" {
+		t.Errorf("ImportedPackage(helper) = %v", p)
+	}
+	if p := mod.ImportedPackage(file, "nosuch"); p != nil {
+		t.Errorf("ImportedPackage(nosuch) = %q, want nil", p.ImportPath)
+	}
+}
+
+// Method lookup must key on the bare receiver type name, star or not.
+func TestPackageMethodIndex(t *testing.T) {
+	mod, err := Load("testdata/src/nilobs/obs")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg := mod.Pkgs[0]
+	if ref := pkg.Method("Counter", "Add"); ref == nil {
+		t.Errorf("Method(Counter, Add) = nil")
+	}
+	if ref := pkg.Method("Counter", "Nope"); ref != nil {
+		t.Errorf("Method(Counter, Nope) resolved")
+	}
+}
+
+// A file that fails to parse becomes LoadAnalyzer diagnostics; the rest
+// of the directory still loads and analyzes.
+func TestLoadCollectsParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := "package broken\n\n// Fine parses.\nfunc Fine() int { return 1 }\n"
+	bad := "package broken\n\nfunc Broken() {\n\tif {\n"
+	if err := os.WriteFile(filepath.Join(dir, "good.go"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(mod.ParseErrors) == 0 {
+		t.Fatalf("no parse-error diagnostics for broken file")
+	}
+	for _, d := range mod.ParseErrors {
+		if d.Analyzer != LoadAnalyzer {
+			t.Errorf("parse diagnostic under analyzer %q, want %q", d.Analyzer, LoadAnalyzer)
+		}
+		if !strings.HasSuffix(filepath.ToSlash(d.Pos.Filename), "bad.go") {
+			t.Errorf("parse diagnostic filed against %s", d.Pos.Filename)
+		}
+	}
+	if len(mod.Pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (good file should still load)", len(mod.Pkgs))
+	}
+	if mod.Pkgs[0].Func("Fine") == nil {
+		t.Errorf("good file's function missing from index")
+	}
+	// Run surfaces the parse errors alongside analyzer findings.
+	diags, err := Run(mod, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == LoadAnalyzer {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Run dropped the parse-error diagnostics")
+	}
+}
+
+// A cascade of syntax errors in one file is capped at
+// maxParseDiagsPerFile plus a summary line.
+func TestParseErrorsCappedPerFile(t *testing.T) {
+	dir := t.TempDir()
+	src := "package broken\n\nfunc A() { if }\nfunc B() { if }\nfunc C() { if }\nfunc D() { if }\nfunc E() { if }\nfunc F() { if }\n"
+	if err := os.WriteFile(filepath.Join(dir, "cascade.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(mod.ParseErrors) == 0 {
+		t.Fatalf("no diagnostics for cascade file")
+	}
+	if got := len(mod.ParseErrors); got > maxParseDiagsPerFile+1 {
+		t.Fatalf("got %d parse diagnostics, want <= %d", got, maxParseDiagsPerFile+1)
+	}
+	last := mod.ParseErrors[len(mod.ParseErrors)-1]
+	if !strings.Contains(last.Message, "more syntax errors") {
+		t.Errorf("capped cascade missing summary line; last = %q", last.Message)
+	}
+}
+
+// The recursive pattern walk must skip testdata, vendor and hidden
+// directories, matching the go tool.
+func TestLoadSkipsTestdataInWalk(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "pkg")
+	skip := filepath.Join(sub, "testdata")
+	if err := os.MkdirAll(skip, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "a.go"), []byte("package pkg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(skip, "b.go"), []byte("package fixture\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(filepath.Join(dir, "..."))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range mod.Pkgs {
+		if strings.Contains(filepath.ToSlash(p.Dir), "testdata") {
+			t.Errorf("walk descended into %s", p.Dir)
+		}
+	}
+}
+
+func importPaths(mod *Module) []string {
+	var out []string
+	for _, p := range mod.Pkgs {
+		out = append(out, p.ImportPath)
+	}
+	return out
+}

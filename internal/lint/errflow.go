@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// ErrFlow flags statement-position calls whose callee returns an error
+// that the caller silently drops:
+//
+//	dataset.WriteBinary(w, m)      // finding: error discarded
+//	_ = dataset.WriteBinary(w, m)  // explicit discard, allowed
+//	defer f.Close()                // defer is conventional, allowed
+//
+// The class of bug this polices is PR 6's silent binary→text fallback: an
+// error return that nobody looked at turned a corrupted model file into
+// quietly-wrong recommendations. Resolution is module-aware and purely
+// syntactic: same-package calls resolve through the package function
+// index, `pkg.Func(...)` calls resolve through the module's cross-package
+// index, so every function this module itself declares is covered.
+// Method calls and out-of-module callees are skipped — without go/types
+// their result lists are unknowable.
+//
+// Example trees (examples/) are exempt: they trade rigor for brevity by
+// design. Test files are exempt.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag silently dropped error returns of module functions in statement position; " +
+		"handle the error or discard it explicitly with _ =",
+	Run: runErrFlow,
+}
+
+func runErrFlow(pass *Pass) error {
+	if dirHasElement(pass.Pkg.Dir, "examples") {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ref := resolveCall(pass, f, call)
+			if ref == nil || !returnsError(ref.Decl) {
+				return true
+			}
+			pass.ReportRangef(f, stmt,
+				"%s returns an error that is silently dropped; handle it or discard explicitly with _ =",
+				calleeLabel(pass, ref))
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveCall resolves a call expression to a function declared in this
+// module: a plain identifier through the package index, a pkg.Func
+// selector through the module's import-path index. Shadowed names and
+// method calls resolve to nil.
+func resolveCall(pass *Pass, f *ast.File, call *ast.CallExpr) *FuncRef {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := fun.Obj; obj != nil && obj.Kind != ast.Fun && obj.Kind != ast.Bad {
+			return nil // func-valued variable or other local shadow
+		}
+		return pass.Pkg.Func(fun.Name)
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := id.Obj; obj != nil && obj.Kind != ast.Pkg && obj.Kind != ast.Bad {
+			return nil // method call on a local value
+		}
+		if p := pass.Module.ImportedPackage(f, id.Name); p != nil {
+			return p.Func(fun.Sel.Name)
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the declaration's result list includes a
+// plain `error`.
+func returnsError(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel renders the resolved callee for a finding message,
+// qualified by package when the call crossed a package boundary.
+func calleeLabel(pass *Pass, ref *FuncRef) string {
+	if ref.Pkg == pass.Pkg {
+		return ref.Decl.Name.Name
+	}
+	return ref.Pkg.Name + "." + ref.Decl.Name.Name
+}
+
+// dirHasElement reports whether the slash-cleaned directory path contains
+// the given path element.
+func dirHasElement(dir, elem string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(dir), "/") {
+		if part == elem {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GoroutinePolicy requires every `go` statement in library code to be
+// provably joined, so no code path can leak a goroutine per call — the
+// goroutine-per-user shape the serving layer's batch path was rebuilt to
+// eliminate. Accepted join shapes, checked syntactically:
+//
+//   - the spawning function joins: its body contains a .Wait() call
+//     (WaitGroup discipline), a channel receive, or a select statement
+//     that collects the goroutine's completion;
+//   - the goroutine is a persistent pool worker: `go worker(ch)` on a
+//     named function (same package or `pkg.Worker` across packages via
+//     the module index) whose body drains a channel-typed parameter —
+//     the pool shape of internal/mf, internal/recommend and friends,
+//     joined collectively by closing the channel.
+//
+// Anything else — in particular a bare `go func(){...}()` whose
+// completion nobody observes — is a finding. A deliberate fire-and-forget
+// goroutine carries a `lint:allow goroutinepolicy <reason>` annotation.
+// Package main and test files are exempt (daemons own their lifetime;
+// tests have the race detector and t.Cleanup).
+var GoroutinePolicy = &Analyzer{
+	Name: "goroutinepolicy",
+	Doc: "require goroutines in library code to be joined (WaitGroup/channel collection) " +
+		"or to be pool workers draining a channel; no leaked goroutine-per-call paths",
+	Run: runGoroutinePolicy,
+}
+
+func runGoroutinePolicy(pass *Pass) error {
+	if pass.Pkg.Name == "main" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var joined *bool // lazily computed per enclosing function
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if joined == nil {
+					j := hasJoinEvidence(fd.Body)
+					joined = &j
+				}
+				if *joined || poolWorkerTarget(pass, f, g) {
+					return true
+				}
+				pass.ReportRangef(f, g,
+					"goroutine in %s is not provably joined (no WaitGroup.Wait, channel receive or pool-worker drain in scope); "+
+						"join it or justify with lint:allow goroutinepolicy",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// hasJoinEvidence reports whether the function body observes goroutine
+// completion: a .Wait() call, a channel receive, or a select statement.
+func hasJoinEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// poolWorkerTarget reports whether the go statement launches a named
+// function (resolved same-package or cross-package through the module
+// index) that drains a channel-typed parameter — the persistent
+// worker-pool shape, joined by closing the channel.
+func poolWorkerTarget(pass *Pass, f *ast.File, g *ast.GoStmt) bool {
+	var ref *FuncRef
+	switch fun := g.Call.Fun.(type) {
+	case *ast.Ident:
+		if obj := fun.Obj; obj != nil && obj.Kind != ast.Fun && obj.Kind != ast.Bad {
+			return false
+		}
+		ref = pass.Pkg.Func(fun.Name)
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if p := pass.Module.ImportedPackage(f, id.Name); p != nil {
+			ref = p.Func(fun.Sel.Name)
+		}
+	}
+	if ref == nil {
+		return false
+	}
+	return drainsChannelParam(ref.Decl)
+}
+
+// drainsChannelParam reports whether the function ranges over (or
+// receives from) one of its own channel-typed parameters.
+func drainsChannelParam(fd *ast.FuncDecl) bool {
+	chans := map[string]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, ok := field.Type.(*ast.ChanType); !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				chans[name.Name] = true
+			}
+		}
+	}
+	if len(chans) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if id, ok := n.X.(*ast.Ident); ok && chans[id.Name] {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if id, ok := n.X.(*ast.Ident); ok && chans[id.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

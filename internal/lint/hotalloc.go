@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotAlloc polices the 0 allocs/op discipline of the training and serving
+// hot paths. A function opts in with a doc-comment annotation:
+//
+//	// scanRange scores items [lo,hi) ...
+//	//
+//	// lint:hotpath
+//	func scanRange(...) []Item { ... }
+//
+// and the analyzer then flags every allocation-inducing construct in its
+// body:
+//
+//   - `go func(){...}` closures (a closure + stack allocation per call —
+//     the shape the persistent worker pools replaced)
+//   - calls through the fmt package (boxing the arguments + formatting
+//     buffers)
+//   - make and new (fresh heap allocation; preallocate in setup instead)
+//   - append that is not the amortized self-append `s = append(s, x)`
+//     (or `return append(param, x)`, which hands growth to the caller)
+//   - explicit interface boxing via any(...) / interface{}(...)
+//
+// The annotation documents the same contract the AllocsPerRun guard tests
+// in internal/mf and internal/recommend enforce at runtime; the analyzer
+// catches the regression at review time, on every build, without running
+// a benchmark. Cold setup branches inside an annotated function carry a
+// per-site `lint:allow hotalloc <reason>`. Test files are exempt.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-inducing constructs (go closures, fmt, make/new, non-amortized append, " +
+		"interface boxing) inside functions annotated // lint:hotpath",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		fmtName := ImportName(f, "fmt")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(pass, f, fd, fmtName)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports the lint:hotpath doc annotation.
+func isHotpath(fd *ast.FuncDecl) bool {
+	return fd.Doc != nil && strings.Contains(fd.Doc.Text(), "lint:hotpath")
+}
+
+func checkHotBody(pass *Pass, f *ast.File, fd *ast.FuncDecl, fmtName string) {
+	amortized := amortizedAppends(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				pass.ReportRangef(f, n,
+					"hotpath %s spawns a goroutine closure (allocates per call); use a persistent worker pool",
+					fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch {
+				case isBuiltinName(fun, "make") || isBuiltinName(fun, "new"):
+					pass.ReportRangef(f, n,
+						"hotpath %s calls %s (allocates); preallocate in setup and reuse",
+						fd.Name.Name, fun.Name)
+				case isBuiltinName(fun, "append") && !amortized[n]:
+					pass.ReportRangef(f, n,
+						"hotpath %s appends into a fresh slice; use the amortized s = append(s, ...) form over a preallocated buffer",
+						fd.Name.Name)
+				case isBuiltinName(fun, "any") && len(n.Args) == 1:
+					pass.ReportRangef(f, n,
+						"hotpath %s boxes a value into an interface; keep hot-path data concrete",
+						fd.Name.Name)
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && fmtName != "" && id.Name == fmtName && (id.Obj == nil || id.Obj.Kind == ast.Pkg) {
+					pass.ReportRangef(f, n,
+						"hotpath %s calls fmt.%s (boxes arguments and allocates buffers); move formatting off the hot path",
+						fd.Name.Name, fun.Sel.Name)
+				}
+			case *ast.InterfaceType:
+				pass.ReportRangef(f, n,
+					"hotpath %s boxes a value into an interface; keep hot-path data concrete",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinName reports whether the identifier names the given builtin
+// and is not shadowed by a local declaration.
+func isBuiltinName(id *ast.Ident, name string) bool {
+	return id.Name == name && (id.Obj == nil || id.Obj.Kind == ast.Bad)
+}
+
+// amortizedAppends collects append calls in the two shapes that do not
+// put a fresh backing array on the steady-state path: the classic
+// `s = append(s, ...)` (including `s := append(s, ...)` re-slices) and
+// `return append(param, ...)` where the base is one of the function's
+// own slice parameters (the caller owns the buffer and its growth).
+func amortizedAppends(fd *ast.FuncDecl) map[*ast.CallExpr]bool {
+	params := map[string]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || !isBuiltinName(fun, "append") {
+					continue
+				}
+				lhs, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if base, ok := call.Args[0].(*ast.Ident); ok && base.Name == lhs.Name && (n.Tok == token.ASSIGN || n.Tok == token.DEFINE) {
+					out[call] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || !isBuiltinName(fun, "append") {
+					continue
+				}
+				if base, ok := call.Args[0].(*ast.Ident); ok && params[base.Name] {
+					out[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,5 +1,5 @@
 // Package lint is HCC-MF's custom analyzer suite. It mechanically enforces
-// the determinism invariants the reproduction's timing and convergence
+// the invariants the reproduction's timing, convergence and serving
 // claims rest on — invariants that were previously enforced only by
 // reviewer vigilance:
 //
@@ -12,14 +12,30 @@
 //     instead of panicking, unless the panic is a justified internal
 //     invariant.
 //   - raceguard: Hogwild-style intentional races stay quarantined in
-//     files that reference the raceflag package.
+//     files that reference the raceflag package — followed across package
+//     boundaries via the module index.
+//   - errflow: error returns of module functions are never silently
+//     dropped in statement position.
+//   - hotalloc: functions annotated `// lint:hotpath` contain no
+//     allocation-inducing constructs (the 0 allocs/op discipline).
+//   - goroutinepolicy: every goroutine in library code is provably
+//     joined — WaitGroup, channel collection, or a pool-worker drain.
+//   - nilobs: obs instrument types that promise nil-receiver safety keep
+//     that promise on every exported method.
+//   - schemaconst: versioned wire-schema strings are declared exactly
+//     once and referenced through that constant.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer / Pass /
 // Diagnostic) but is built on the stdlib go/parser alone, so the module
-// stays dependency-free. Analyzers are purely syntactic: they resolve
-// package identifiers through each file's import table rather than
-// go/types, which is sufficient for the patterns they police and keeps
-// them runnable on any tree that parses.
+// stays dependency-free. Load parses the whole module into a Module — a
+// cross-package index of packages, functions and methods keyed by import
+// path — so analyzers can follow calls across package boundaries without
+// go/types. Analyzers stay syntactic: they resolve package identifiers
+// through each file's import table, which is sufficient for the patterns
+// they police and keeps them runnable on any tree that parses. A file
+// that does not parse is itself reported as a finding (analyzer "load")
+// rather than aborting the run: one broken file still yields findings
+// for the rest of the tree.
 //
 // Findings are suppressed only by a *justified* annotation comment:
 //
@@ -34,6 +50,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"os"
 	"path/filepath"
@@ -53,6 +70,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 }
 
+// LoadAnalyzer names the pseudo-analyzer parse failures are reported
+// under, so a broken file flows through the same finding/baseline
+// machinery as a real invariant violation.
+const LoadAnalyzer = "load"
+
 // Analyzer is one named check, in the shape of x/tools' analysis.Analyzer.
 type Analyzer struct {
 	Name string
@@ -66,11 +88,18 @@ type Package struct {
 	Name string
 	// Dir is the directory holding the sources, relative to the load
 	// root when possible ("internal/mf").
-	Dir   string
-	Fset  *token.FileSet
-	Files []*ast.File
+	Dir string
+	// ImportPath is the module-qualified import path ("hccmf/internal/mf"),
+	// derived from the nearest enclosing go.mod. Falls back to Dir when no
+	// module file is found.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
 	// Filename maps each parsed file back to its path on disk.
 	Filename map[*ast.File]string
+
+	funcs   map[string]*FuncRef
+	methods map[string]*FuncRef
 }
 
 // IsTestFile reports whether f was parsed from a _test.go file.
@@ -78,11 +107,137 @@ func (p *Package) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Filename[f], "_test.go")
 }
 
+// FuncRef locates one function or method declaration inside a module.
+type FuncRef struct {
+	Pkg  *Package
+	File *ast.File
+	Decl *ast.FuncDecl
+}
+
+// Func returns the package's top-level function of the given name (from a
+// non-test file, with a body), or nil.
+func (p *Package) Func(name string) *FuncRef { return p.funcs[name] }
+
+// Method returns the method name on receiver type recv ("Cluster",
+// "Tracer" — the bare type name without a star), or nil.
+func (p *Package) Method(recv, name string) *FuncRef { return p.methods[recv+"."+name] }
+
+// index builds the package's function and method tables. Test files are
+// excluded: following a call into test-only code is never load-bearing
+// for the invariants the suite polices.
+func (p *Package) index() {
+	p.funcs = map[string]*FuncRef{}
+	p.methods = map[string]*FuncRef{}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ref := &FuncRef{Pkg: p, File: f, Decl: fd}
+			if fd.Recv == nil {
+				p.funcs[fd.Name.Name] = ref
+				continue
+			}
+			if recv := receiverTypeName(fd.Recv); recv != "" {
+				p.methods[recv+"."+fd.Name.Name] = ref
+			}
+		}
+	}
+}
+
+// receiverTypeName resolves the bare type name of a method receiver
+// ("*Cluster" and "Cluster" both yield "Cluster"; generic receivers drop
+// their type arguments).
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// Module is the unit Load produces and Run consumes: every loaded package
+// plus the cross-package index analyzers use to follow calls over package
+// boundaries.
+type Module struct {
+	// Path is the module path from go.mod ("hccmf"), or "" when no module
+	// file encloses the loaded directories.
+	Path string
+	// Root is the absolute directory holding go.mod ("" without one).
+	Root string
+	// Pkgs are the loaded packages, sorted by directory.
+	Pkgs []*Package
+	// ParseErrors carries per-file parse failures as diagnostics under
+	// LoadAnalyzer. The failing files are excluded from their package;
+	// everything else is analyzed normally.
+	ParseErrors []Diagnostic
+
+	byImport map[string]*Package
+
+	// schemaIdx memoizes the schemaconst analyzer's module-wide constant
+	// index (built lazily on first use; Run is sequential).
+	schemaIdx *schemaIndex
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (m *Module) Package(importPath string) *Package { return m.byImport[importPath] }
+
+// ImportedPackage resolves the selector base name local (as used in
+// `local.Sym` inside f) through f's import table to a package loaded in
+// this module. Returns nil for stdlib imports, unloaded packages, or
+// names that are not imports of f.
+func (m *Module) ImportedPackage(f *ast.File, local string) *Package {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == local {
+			return m.byImport[path]
+		}
+	}
+	return nil
+}
+
+// Func returns the named top-level function of the package with the given
+// import path, or nil when either is unknown.
+func (m *Module) Func(importPath, name string) *FuncRef {
+	if p := m.byImport[importPath]; p != nil {
+		return p.Func(name)
+	}
+	return nil
+}
+
 // Pass carries one (analyzer, package) run, again mirroring x/tools.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Module is the whole loaded module, for cross-package resolution.
+	Module *Module
+	report func(Diagnostic)
 }
 
 // allowRe matches a justified suppression: the analyzer name followed by a
@@ -92,10 +247,41 @@ var allowRe = regexp.MustCompile(`lint:allow\s+([a-z]+)\s+\S`)
 // invariantRe matches a justified invariant annotation for panicpolicy.
 var invariantRe = regexp.MustCompile(`lint:invariant\s+\S`)
 
+// allowsAnalyzer reports whether the comment text carries a justified
+// "lint:allow <name> <reason>" for the named analyzer. A comment may
+// carry several allow annotations; each needs its own reason.
+func allowsAnalyzer(text, name string) bool {
+	for _, m := range allowRe.FindAllStringSubmatch(text, -1) {
+		if m[1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// hasInvariantText reports whether the comment text carries a justified
+// lint:invariant annotation.
+func hasInvariantText(text string) bool { return invariantRe.MatchString(text) }
+
 // Reportf files a diagnostic at pos unless a justified lint:allow comment
 // for this analyzer covers that line (same line or the line above).
 func (p *Pass) Reportf(file *ast.File, pos token.Pos, format string, args ...any) {
-	if p.allowedAt(file, pos, p.Analyzer.Name) {
+	line := p.Pkg.Fset.Position(pos).Line
+	p.reportAt(file, pos, line, line, format, args...)
+}
+
+// ReportRangef files a diagnostic at n's position unless a justified
+// lint:allow comment for this analyzer covers the node: the line above
+// it, or any line the node spans — so an end-of-line annotation on the
+// last line of a multi-line statement suppresses too.
+func (p *Pass) ReportRangef(file *ast.File, n ast.Node, format string, args ...any) {
+	start := p.Pkg.Fset.Position(n.Pos()).Line
+	end := p.Pkg.Fset.Position(n.End()).Line
+	p.reportAt(file, n.Pos(), start, end, format, args...)
+}
+
+func (p *Pass) reportAt(file *ast.File, pos token.Pos, startLine, endLine int, format string, args ...any) {
+	if p.allowedAt(file, startLine, endLine, p.Analyzer.Name) {
 		return
 	}
 	p.report(Diagnostic{
@@ -106,16 +292,15 @@ func (p *Pass) Reportf(file *ast.File, pos token.Pos, format string, args ...any
 }
 
 // allowedAt reports whether a justified "lint:allow <name> <reason>"
-// comment sits on pos's line or the line immediately above it.
-func (p *Pass) allowedAt(file *ast.File, pos token.Pos, name string) bool {
-	line := p.Pkg.Fset.Position(pos).Line
+// comment sits on any line in [startLine-1, endLine].
+func (p *Pass) allowedAt(file *ast.File, startLine, endLine int, name string) bool {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			cl := p.Pkg.Fset.Position(c.Pos()).Line
-			if cl != line && cl != line-1 {
+			if cl < startLine-1 || cl > endLine {
 				continue
 			}
-			if m := allowRe.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+			if allowsAnalyzer(c.Text, name) {
 				return true
 			}
 		}
@@ -126,14 +311,14 @@ func (p *Pass) allowedAt(file *ast.File, pos token.Pos, name string) bool {
 // HasInvariantComment reports whether a justified lint:invariant comment
 // covers pos (same line, the line above) or appears in doc.
 func (p *Pass) HasInvariantComment(file *ast.File, pos token.Pos, doc *ast.CommentGroup) bool {
-	if doc != nil && invariantRe.MatchString(doc.Text()) {
+	if doc != nil && hasInvariantText(doc.Text()) {
 		return true
 	}
 	line := p.Pkg.Fset.Position(pos).Line
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			cl := p.Pkg.Fset.Position(c.Pos()).Line
-			if (cl == line || cl == line-1) && invariantRe.MatchString(c.Text) {
+			if (cl == line || cl == line-1) && hasInvariantText(c.Text) {
 				return true
 			}
 		}
@@ -169,27 +354,38 @@ type selRef struct {
 	pos  token.Pos
 }
 
-// forEachPkgSelector visits every pkgName.<sel> expression in f. Purely
-// syntactic: a local variable shadowing the import name would also match,
-// which the analyzers accept as a conservative false positive.
+// forEachPkgSelector visits every pkgName.<sel> expression in f. A
+// selector whose base identifier resolves to a function-scope (or
+// package-level) redeclaration shadowing the import name is skipped:
+// `rand := newLocal(); rand.Intn(3)` is not a use of package math/rand.
+// Identifiers declared in *other* files of the package stay unresolved by
+// go/parser and still match — a conservative false positive the analyzers
+// accept.
 func forEachPkgSelector(f *ast.File, pkgName string, fn func(selRef)) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
 		}
-		if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkgName {
-			fn(selRef{name: sel.Sel.Name, pos: sel.Pos()})
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != pkgName {
+			return true
 		}
+		if obj := id.Obj; obj != nil && obj.Kind != ast.Pkg && obj.Kind != ast.Bad {
+			return true // shadowed by a local declaration
+		}
+		fn(selRef{name: sel.Sel.Name, pos: sel.Pos()})
 		return true
 	})
 }
 
-// Load parses every package under each pattern. Patterns follow the go
-// tool's shape: "./..." walks recursively, a plain directory loads just
-// that directory. testdata, vendor and dot-directories are skipped by the
-// recursive walk, matching the go tool.
-func Load(patterns ...string) ([]*Package, error) {
+// Load parses every package under each pattern into a Module. Patterns
+// follow the go tool's shape: "./..." walks recursively, a plain
+// directory loads just that directory. testdata, vendor and
+// dot-directories are skipped by the recursive walk, matching the go
+// tool. Files that fail to parse become LoadAnalyzer diagnostics in
+// Module.ParseErrors instead of aborting the load.
+func Load(patterns ...string) (*Module, error) {
 	var dirs []string
 	seen := map[string]bool{}
 	for _, pat := range patterns {
@@ -228,28 +424,105 @@ func Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Strings(dirs)
 
-	var pkgs []*Package
+	mod := &Module{byImport: map[string]*Package{}}
+	modCache := map[string][2]string{} // dir -> {root, module path}
 	for _, dir := range dirs {
-		pkg, err := loadDir(dir)
+		pkg, perrs, err := loadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+		mod.ParseErrors = append(mod.ParseErrors, perrs...)
+		if pkg == nil {
+			continue
+		}
+		root, path := findModule(dir, modCache)
+		pkg.ImportPath = importPathFor(dir, root, path)
+		if mod.Path == "" && path != "" {
+			mod.Path, mod.Root = path, root
+		}
+		pkg.index()
+		mod.Pkgs = append(mod.Pkgs, pkg)
+		mod.byImport[pkg.ImportPath] = pkg
+	}
+	return mod, nil
+}
+
+// findModule walks up from dir looking for a go.mod and returns the
+// directory holding it plus the declared module path ("", "" without
+// one). Results are memoized per directory.
+func findModule(dir string, cache map[string][2]string) (root, path string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	if got, ok := cache[abs]; ok {
+		return got[0], got[1]
+	}
+	cur := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(cur, "go.mod"))
+		if err == nil {
+			path = moduleLine(string(data))
+			if path != "" {
+				cache[abs] = [2]string{cur, path}
+				return cur, path
+			}
+		}
+		parent := filepath.Dir(cur)
+		if parent == cur {
+			cache[abs] = [2]string{}
+			return "", ""
+		}
+		cur = parent
+	}
+}
+
+// moduleLine extracts the module path from go.mod content.
+func moduleLine(content string) string {
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest
+			}
 		}
 	}
-	return pkgs, nil
+	return ""
+}
+
+// importPathFor maps a loaded directory to its module-qualified import
+// path, falling back to the slash-cleaned directory outside any module.
+func importPathFor(dir, root, modPath string) string {
+	if modPath == "" {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Clean(dir))
+	}
+	if rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
 }
 
 // loadDir parses the .go files of one directory into a Package, or nil
-// when the directory holds no Go source.
-func loadDir(dir string) (*Package, error) {
+// when the directory holds no (parsable) Go source. Parse failures are
+// returned as LoadAnalyzer diagnostics; only I/O failures are errors.
+func loadDir(dir string) (*Package, []Diagnostic, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fset := token.NewFileSet()
 	pkg := &Package{Dir: dir, Fset: fset, Filename: map[*ast.File]string{}}
+	var perrs []Diagnostic
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -257,7 +530,8 @@ func loadDir(dir string) (*Package, error) {
 		path := filepath.Join(dir, e.Name())
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			perrs = append(perrs, parseDiagnostics(path, err)...)
+			continue
 		}
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filename[f] = path
@@ -266,20 +540,55 @@ func loadDir(dir string) (*Package, error) {
 		}
 	}
 	if len(pkg.Files) == 0 {
-		return nil, nil
+		return nil, perrs, nil
 	}
-	return pkg, nil
+	return pkg, perrs, nil
 }
 
-// Run executes every analyzer over every package and returns the combined
-// findings ordered by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
+// maxParseDiagsPerFile bounds how many syntax errors one broken file
+// contributes: a missing brace cascades, and the first few errors carry
+// all the signal.
+const maxParseDiagsPerFile = 3
+
+// parseDiagnostics converts a parse failure into LoadAnalyzer findings.
+func parseDiagnostics(path string, err error) []Diagnostic {
+	var out []Diagnostic
+	if list, ok := err.(scanner.ErrorList); ok {
+		for i, e := range list {
+			if i == maxParseDiagsPerFile {
+				out = append(out, Diagnostic{
+					Pos:      token.Position{Filename: path, Line: e.Pos.Line, Column: e.Pos.Column},
+					Analyzer: LoadAnalyzer,
+					Message:  fmt.Sprintf("... and %d more syntax errors", len(list)-maxParseDiagsPerFile),
+				})
+				break
+			}
+			out = append(out, Diagnostic{
+				Pos:      token.Position{Filename: e.Pos.Filename, Line: e.Pos.Line, Column: e.Pos.Column},
+				Analyzer: LoadAnalyzer,
+				Message:  "syntax error: " + e.Msg,
+			})
+		}
+		return out
+	}
+	return []Diagnostic{{
+		Pos:      token.Position{Filename: path, Line: 1, Column: 1},
+		Analyzer: LoadAnalyzer,
+		Message:  err.Error(),
+	}}
+}
+
+// Run executes every analyzer over every package of the module and
+// returns the combined findings — including the module's parse errors —
+// ordered by position.
+func Run(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags := append([]Diagnostic(nil), mod.ParseErrors...)
+	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
+				Module:   mod,
 				report:   func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
@@ -295,12 +604,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }
 
 // All returns the full HCC-MF analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SimTime, SeededRand, PanicPolicy, RaceGuard}
+	return []*Analyzer{
+		SimTime, SeededRand, PanicPolicy, RaceGuard,
+		ErrFlow, HotAlloc, GoroutinePolicy, NilObs, SchemaConst,
+	}
 }

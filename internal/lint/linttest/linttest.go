@@ -33,38 +33,59 @@ type expectation struct {
 // diagnostics against the fixture's want comments.
 func Run(t *testing.T, a *lint.Analyzer, dir string) {
 	t.Helper()
-	pkgs, err := lint.Load(dir)
+	mod, err := lint.Load(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	if len(mod.Pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(mod.Pkgs))
 	}
-	pkg := pkgs[0]
+	check(t, a, mod, dir)
+}
 
+// RunTree loads every package under root (recursively, "root/..." style)
+// into one module and runs the analyzer over all of them, so fixtures can
+// exercise cross-package resolution: a helper package declaring the
+// callee, a consumer package carrying the want comments.
+func RunTree(t *testing.T, a *lint.Analyzer, root string) {
+	t.Helper()
+	mod, err := lint.Load(root + "/...")
+	if err != nil {
+		t.Fatalf("loading fixture tree %s: %v", root, err)
+	}
+	if len(mod.Pkgs) == 0 {
+		t.Fatalf("fixture tree %s: no packages loaded", root)
+	}
+	check(t, a, mod, root)
+}
+
+func check(t *testing.T, a *lint.Analyzer, mod *lint.Module, dir string) {
+	t.Helper()
 	var wants []*expectation
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 				}
-				pat := m[1]
-				if pat == "" {
-					pat = m[2]
-				}
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}
 
-	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	diags, err := lint.Run(mod, []*lint.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NilObs enforces internal/obs's documented nil-receiver contract:
+// uninstrumented runs pass nil instrument bundles and every call site
+// stays unconditional, so *every* exported method of a nil-safe type must
+// begin with the guard —
+//
+//	func (c *Counter) Add(n int64) {
+//		if c == nil || n < 0 {
+//			return
+//		}
+//		...
+//
+// The contract is opt-in per type and self-consistent: a type becomes
+// nil-safe the moment any of its pointer-receiver methods carries a nil
+// guard, and from then on each exported pointer-receiver method must
+// either (a) open with a guard — an if statement testing the receiver
+// against nil before any receiver field is touched — or (b) be field-free,
+// touching the receiver only through its own (guarded) methods, like
+// Counter.Inc delegating to Add. One forgotten guard turns a documented
+// no-op into a crash exactly when observability is disabled — the
+// configuration that otherwise never runs in tests.
+//
+// The analyzer runs on packages named "obs". Test files are exempt.
+var NilObs = &Analyzer{
+	Name: "nilobs",
+	Doc: "exported pointer-receiver methods of nil-safe obs types must open with the " +
+		"documented nil-receiver guard (or touch the receiver only through guarded methods)",
+	Run: runNilObs,
+}
+
+func runNilObs(pass *Pass) error {
+	if pass.Pkg.Name != "obs" {
+		return nil
+	}
+	type method struct {
+		fd   *ast.FuncDecl
+		file *ast.File
+		recv string // receiver identifier ("c" in (c *Counter))
+	}
+	byType := map[string][]method{}
+	var order []string
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			// Only pointer receivers can be nil.
+			if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); !ok {
+				continue
+			}
+			typeName := receiverTypeName(fd.Recv)
+			if typeName == "" {
+				continue
+			}
+			recvName := ""
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if _, seen := byType[typeName]; !seen {
+				order = append(order, typeName)
+			}
+			byType[typeName] = append(byType[typeName], method{fd: fd, file: f, recv: recvName})
+		}
+	}
+	for _, typeName := range order {
+		methods := byType[typeName]
+		nilSafe := false
+		for _, m := range methods {
+			if m.recv != "" && m.recv != "_" && opensWithNilGuard(m.fd, m.recv) {
+				nilSafe = true
+				break
+			}
+		}
+		if !nilSafe {
+			continue
+		}
+		for _, m := range methods {
+			if !isExportedName(m.fd.Name.Name) {
+				continue
+			}
+			if m.recv == "" || m.recv == "_" {
+				// An unnamed receiver cannot touch fields; trivially safe.
+				continue
+			}
+			if opensWithNilGuard(m.fd, m.recv) || fieldFree(m.fd, m.recv) {
+				continue
+			}
+			pass.ReportRangef(m.file, m.fd.Name,
+				"exported method (*%s).%s lacks the nil-receiver guard its type promises; "+
+					"open with `if %s == nil` before touching receiver fields",
+				typeName, m.fd.Name.Name, m.recv)
+		}
+	}
+	return nil
+}
+
+// opensWithNilGuard reports whether a nil test on the receiver appears in
+// the method's top-level statements before the first statement that
+// accesses a receiver field directly.
+func opensWithNilGuard(fd *ast.FuncDecl, recv string) bool {
+	for _, stmt := range fd.Body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && condTestsNil(ifs.Cond, recv) {
+			return true
+		}
+		if accessesField(stmt, recv) {
+			return false
+		}
+	}
+	return false
+}
+
+// condTestsNil reports whether the condition compares the receiver
+// identifier against nil anywhere (covering `r == nil || ...` chains).
+func condTestsNil(cond ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return !found
+		}
+		if isIdentNamed(b.X, recv) && isIdentNamed(b.Y, "nil") {
+			found = true
+		}
+		if isIdentNamed(b.Y, recv) && isIdentNamed(b.X, "nil") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// fieldFree reports whether the method never dereferences a receiver
+// field: every `recv.X` selector is itself the function of a call (a
+// method call on the receiver, which carries its own guard).
+func fieldFree(fd *ast.FuncDecl, recv string) bool {
+	return !accessesField(fd.Body, recv)
+}
+
+// accessesField reports whether any `recv.field` selector occurs in n
+// outside method-call position.
+func accessesField(n ast.Node, recv string) bool {
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			callFuns[call.Fun] = true
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		sel, ok := c.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if isIdentNamed(sel.X, recv) && !callFuns[ast.Expr(sel)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

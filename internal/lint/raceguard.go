@@ -14,47 +14,35 @@ var sharedUpdaters = map[string]bool{
 	"TrainEntry":   true,
 }
 
-// RaceGuard keeps Hogwild's intentional data races quarantined. In
-// package mf it flags goroutine bodies that write captured (shared)
-// slices by index, or that call a shared-factor updater, when nothing
-// marks the race as intentional. A file or enclosing function that
-// references raceflag — the package that gates those paths under the race
-// detector — is the quarantine marker; a per-site "lint:allow raceguard"
-// with a justification covers writes that are disjoint by construction
-// rather than racy. Goroutine bodies that take a mutex are assumed
-// synchronized. Purely syntactic: `go func(){...}` literals are inspected
-// directly, and `go worker(...)` on a named same-package function follows
-// one level into the worker's body (the persistent worker-pool pattern) —
-// a worker that calls a shared-factor updater is held to the same
-// quarantine unless its own file or doc references raceflag. The point is
-// that every NEW concurrent write path in mf must either declare itself
+// RaceGuard keeps Hogwild's intentional data races quarantined — now
+// across the whole module, not just package mf. A goroutine that calls a
+// shared-factor updater (TrainEntries/TrainEntry, unqualified inside mf
+// or as mf.TrainEntries from any other package, resolved through the
+// module's import index) is flagged unless something marks the race as
+// intentional: the file or enclosing function references raceflag — the
+// package that gates those paths under the race detector — or a per-site
+// "lint:allow raceguard <reason>" covers a write that is disjoint by
+// construction rather than racy. Inside package mf, goroutine closures
+// that write captured (shared) slices by index are additionally flagged.
+//
+// Resolution is purely syntactic but module-aware: `go func(){...}`
+// literals are inspected directly, and `go worker(...)` on a named
+// function — same package through the package index, `pkg.Worker`
+// across packages through the module index — follows one level into the
+// worker's body. A worker that calls a shared-factor updater is held to
+// the same quarantine unless its own file or doc references raceflag.
+// The point is that every NEW concurrent write path to the shared
+// factors, wherever it is launched from, must either declare itself
 // Hogwild (reference raceflag) or justify itself.
 var RaceGuard = &Analyzer{
 	Name: "raceguard",
-	Doc: "flag unsynchronized shared-slice writes in mf goroutines outside " +
-		"raceflag-referencing files/functions; Hogwild races stay quarantined",
+	Doc: "flag goroutines that reach shared-factor updaters (directly, via closures, or " +
+		"through workers followed cross-package) outside raceflag-referencing files/functions",
 	Run: runRaceGuard,
 }
 
 func runRaceGuard(pass *Pass) error {
-	if pass.Pkg.Name != "mf" {
-		return nil
-	}
-	// Index top-level functions (and their files) so `go worker(...)` can
-	// follow the call one level into the worker's declaration.
-	decls := map[string]*ast.FuncDecl{}
-	declFile := map[string]*ast.File{}
-	for _, f := range pass.Pkg.Files {
-		if pass.Pkg.IsTestFile(f) {
-			continue
-		}
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
-				decls[fd.Name.Name] = fd
-				declFile[fd.Name.Name] = f
-			}
-		}
-	}
+	inMF := pass.Pkg.Name == "mf"
 	for _, f := range pass.Pkg.Files {
 		if pass.Pkg.IsTestFile(f) || fileReferencesRaceflag(f) {
 			continue
@@ -72,12 +60,11 @@ func runRaceGuard(pass *Pass) error {
 				if !ok {
 					return true
 				}
-				switch fun := g.Call.Fun.(type) {
-				case *ast.FuncLit:
-					checkGoroutineBody(pass, f, fun)
-				case *ast.Ident:
-					checkGoroutineTarget(pass, f, g, fun, decls, declFile)
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineBody(pass, f, lit, inMF)
+					return true
 				}
+				checkGoroutineTarget(pass, f, g)
 				return true
 			})
 		}
@@ -86,42 +73,110 @@ func runRaceGuard(pass *Pass) error {
 }
 
 // checkGoroutineTarget handles `go worker(...)` on a named function: the
-// updater itself launched directly, or a same-package worker whose body
-// calls one. The worker's own file or doc referencing raceflag quarantines
-// it (the worker-pool files declare their Hogwild nature where the sweep
-// loop lives).
-func checkGoroutineTarget(pass *Pass, f *ast.File, g *ast.GoStmt, id *ast.Ident, decls map[string]*ast.FuncDecl, declFile map[string]*ast.File) {
-	if sharedUpdaters[id.Name] {
-		pass.Reportf(f, g.Pos(),
+// updater itself launched directly, or a worker — resolved same-package
+// or cross-package through the module index — whose body calls one. The
+// worker's own file or doc referencing raceflag quarantines it (the
+// worker-pool files declare their Hogwild nature where the sweep loop
+// lives).
+func checkGoroutineTarget(pass *Pass, f *ast.File, g *ast.GoStmt) {
+	if name := updaterCallIn(pass.Module, pass.Pkg, f, g.Call); name != "" {
+		pass.ReportRangef(f, g,
 			"goroutine calls shared-factor updater %s; Hogwild paths must reference raceflag (file or function doc) to stay quarantined",
-			id.Name)
+			name)
 		return
 	}
-	fd := decls[id.Name]
-	if fd == nil {
+	ref := resolveGoTarget(pass, f, g)
+	if ref == nil {
 		return
 	}
-	if df := declFile[id.Name]; df != nil && fileReferencesRaceflag(df) {
+	if fileReferencesRaceflag(ref.File) {
 		return
 	}
-	if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "raceflag") {
+	if ref.Decl.Doc != nil && strings.Contains(ref.Decl.Doc.Text(), "raceflag") {
 		return
 	}
 	calls := ""
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(ref.Decl.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
-			if cid, ok := call.Fun.(*ast.Ident); ok && sharedUpdaters[cid.Name] {
-				calls = cid.Name
+			if name := updaterCallIn(pass.Module, ref.Pkg, ref.File, call); name != "" {
+				calls = name
 				return false
 			}
 		}
 		return calls == ""
 	})
 	if calls != "" {
-		pass.Reportf(f, g.Pos(),
+		pass.ReportRangef(f, g,
 			"goroutine worker %s calls shared-factor updater %s; quarantine the worker behind raceflag or justify with lint:allow raceguard",
-			id.Name, calls)
+			workerLabel(pass, ref), calls)
 	}
+}
+
+// resolveGoTarget resolves the function a go statement launches — a plain
+// identifier through the package index, a pkg.Worker selector through the
+// module index. Method values and shadowed names resolve to nil.
+func resolveGoTarget(pass *Pass, f *ast.File, g *ast.GoStmt) *FuncRef {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.Ident:
+		if obj := fun.Obj; obj != nil && obj.Kind != ast.Fun && obj.Kind != ast.Bad {
+			return nil
+		}
+		return pass.Pkg.Func(fun.Name)
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := id.Obj; obj != nil && obj.Kind != ast.Pkg && obj.Kind != ast.Bad {
+			return nil
+		}
+		if p := pass.Module.ImportedPackage(f, id.Name); p != nil {
+			return p.Func(fun.Sel.Name)
+		}
+	}
+	return nil
+}
+
+// workerLabel renders the followed worker for a finding message,
+// package-qualified when the go statement crossed a package boundary.
+func workerLabel(pass *Pass, ref *FuncRef) string {
+	if ref.Pkg == pass.Pkg {
+		return ref.Decl.Name.Name
+	}
+	return ref.Pkg.Name + "." + ref.Decl.Name.Name
+}
+
+// updaterCallIn reports the shared-factor updater a call invokes, as seen
+// from file f of package pkg: an unqualified TrainEntries/TrainEntry
+// inside package mf itself, or a selector that resolves through f's
+// imports to a loaded package named mf declaring the function. Returns ""
+// for anything else (including locally shadowed names).
+func updaterCallIn(mod *Module, pkg *Package, f *ast.File, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if pkg.Name != "mf" || !sharedUpdaters[fun.Name] {
+			return ""
+		}
+		if obj := fun.Obj; obj != nil && obj.Kind != ast.Fun && obj.Kind != ast.Bad {
+			return ""
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if !sharedUpdaters[fun.Sel.Name] {
+			return ""
+		}
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		if obj := id.Obj; obj != nil && obj.Kind != ast.Pkg && obj.Kind != ast.Bad {
+			return ""
+		}
+		if p := mod.ImportedPackage(f, id.Name); p != nil && p.Name == "mf" && p.Func(fun.Sel.Name) != nil {
+			return id.Name + "." + fun.Sel.Name
+		}
+	}
+	return ""
 }
 
 // fileReferencesRaceflag reports whether the file imports raceflag, names
@@ -150,8 +205,10 @@ func fileReferencesRaceflag(f *ast.File) bool {
 	return false
 }
 
-// checkGoroutineBody flags shared writes inside one `go func(){...}` body.
-func checkGoroutineBody(pass *Pass, f *ast.File, lit *ast.FuncLit) {
+// checkGoroutineBody flags shared writes inside one `go func(){...}`
+// body: updater calls from any package, captured-slice index writes only
+// inside package mf (where the shared factor slices live).
+func checkGoroutineBody(pass *Pass, f *ast.File, lit *ast.FuncLit, inMF bool) {
 	// A goroutine that takes a lock is presumed to guard its writes.
 	locked := false
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -167,6 +224,9 @@ func checkGoroutineBody(pass *Pass, f *ast.File, lit *ast.FuncLit) {
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
+			if !inMF {
+				return true
+			}
 			for _, lhs := range n.Lhs {
 				idx, ok := lhs.(*ast.IndexExpr)
 				if !ok {
@@ -179,10 +239,10 @@ func checkGoroutineBody(pass *Pass, f *ast.File, lit *ast.FuncLit) {
 				}
 			}
 		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && sharedUpdaters[id.Name] {
+			if name := updaterCallIn(pass.Module, pass.Pkg, f, n); name != "" {
 				pass.Reportf(f, n.Pos(),
 					"goroutine calls shared-factor updater %s; Hogwild paths must reference raceflag (file or function doc) to stay quarantined",
-					id.Name)
+					name)
 			}
 		}
 		return true

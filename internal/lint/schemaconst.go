@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// schemaLitRe matches HCC-MF's versioned wire-schema tags:
+// "hccmf-obs/v1", "hccmf-bench/kernel/v1", "hccmf-vet/v1", ...
+var schemaLitRe = regexp.MustCompile(`^hccmf-[a-z0-9]+(/[a-z0-9-]+)*/v[0-9]+$`)
+
+// SchemaConst pins every versioned schema string to a single declared
+// constant. The tags name on-disk and on-wire formats that external
+// tooling diffs (hccmf-benchdiff, CI artifacts); a second spelling —
+// an inline literal in an exporter, or a duplicate constant in another
+// package — is how two writers drift apart while both "pass" their own
+// tests. Policed module-wide through the cross-package index:
+//
+//   - a string literal matching hccmf-*/vN outside a top-level const
+//     declaration is a finding, naming the constant to use;
+//   - the same schema string declared as a constant in two places is a
+//     finding on every declaration after the canonical (first by import
+//     path, then name).
+//
+// Test files are exempt: golden tests pin the literal bytes on purpose,
+// so a schema change breaks a test instead of silently re-tagging data.
+var SchemaConst = &Analyzer{
+	Name: "schemaconst",
+	Doc: "versioned schema strings (hccmf-*/vN) must be referenced via a single declared " +
+		"constant; inline literals and duplicate declarations are findings",
+	Run: runSchemaConst,
+}
+
+// schemaDecl is one constant declaration whose value is a schema string.
+type schemaDecl struct {
+	pkg  *Package
+	name string
+	pos  token.Position
+}
+
+// schemaIndex is the module-wide map from schema string to its
+// declarations, plus the set of literal positions that are declarations
+// (so the per-package walk can tell a const's own literal from an inline
+// use).
+type schemaIndex struct {
+	decls    map[string][]schemaDecl
+	declPos  map[token.Position]bool
+	declDup  map[token.Position]bool // non-canonical declarations
+	constFor map[string]string       // schema -> "pkg.ConstName" label of the canonical decl
+}
+
+// schemaIndexOf builds (once per Module) the cross-package constant index.
+func schemaIndexOf(mod *Module) *schemaIndex {
+	if mod.schemaIdx != nil {
+		return mod.schemaIdx
+	}
+	idx := &schemaIndex{
+		decls:    map[string][]schemaDecl{},
+		declPos:  map[token.Position]bool{},
+		declDup:  map[token.Position]bool{},
+		constFor: map[string]string{},
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			if pkg.IsTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, v := range vs.Values {
+						lit, ok := v.(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING || i >= len(vs.Names) {
+							continue
+						}
+						val := strings.Trim(lit.Value, "`\"")
+						if !schemaLitRe.MatchString(val) {
+							continue
+						}
+						pos := pkg.Fset.Position(lit.Pos())
+						idx.decls[val] = append(idx.decls[val], schemaDecl{pkg: pkg, name: vs.Names[i].Name, pos: pos})
+						idx.declPos[pos] = true
+					}
+				}
+			}
+		}
+	}
+	for val, decls := range idx.decls {
+		sort.Slice(decls, func(i, j int) bool {
+			if decls[i].pkg.ImportPath != decls[j].pkg.ImportPath {
+				return decls[i].pkg.ImportPath < decls[j].pkg.ImportPath
+			}
+			return decls[i].name < decls[j].name
+		})
+		idx.constFor[val] = decls[0].pkg.Name + "." + decls[0].name
+		for _, d := range decls[1:] {
+			idx.declDup[d.pos] = true
+		}
+	}
+	mod.schemaIdx = idx
+	return idx
+}
+
+func runSchemaConst(pass *Pass) error {
+	idx := schemaIndexOf(pass.Module)
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			val := strings.Trim(lit.Value, "`\"")
+			if !schemaLitRe.MatchString(val) {
+				return true
+			}
+			pos := pass.Pkg.Fset.Position(lit.Pos())
+			switch {
+			case idx.declDup[pos]:
+				pass.ReportRangef(f, lit,
+					"schema %q is already declared as %s; keep a single constant per schema",
+					val, idx.constFor[val])
+			case idx.declPos[pos]:
+				// The canonical declaration itself.
+			case idx.constFor[val] != "":
+				pass.ReportRangef(f, lit,
+					"inline schema literal %q; reference the declared constant %s",
+					val, idx.constFor[val])
+			default:
+				pass.ReportRangef(f, lit,
+					"inline schema literal %q; declare it once as a named constant and reference that",
+					val)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The allow grammar demands a reason: "lint:allow <analyzer> <reason>".
+func TestAllowsAnalyzerGrammar(t *testing.T) {
+	cases := []struct {
+		text, analyzer string
+		want           bool
+	}{
+		{"// lint:allow simtime timers are simulated here", "simtime", true},
+		{"// lint:allow simtime timers are simulated here", "seededrand", false},
+		{"// lint:allow simtime", "simtime", false},        // bare: no reason
+		{"// lint:allow simtime   ", "simtime", false},     // whitespace is not a reason
+		{"// lint:allow simtimer extra", "simtime", false}, // wrong analyzer name
+		{"// lint:allowsimtime reason", "simtime", false},  // missing separator
+		{"/* lint:allow hotalloc cold branch */", "hotalloc", true},
+		{"// lint:allow hotalloc cold branch lint:allow raceguard disjoint blocks", "raceguard", true},
+		{"// lint:allow hotalloc cold branch lint:allow raceguard disjoint blocks", "hotalloc", true},
+		{"// lint:allow hotalloc x lint:allow raceguard", "raceguard", false}, // second allow bare
+		{"", "simtime", false},
+	}
+	for _, c := range cases {
+		if got := allowsAnalyzer(c.text, c.analyzer); got != c.want {
+			t.Errorf("allowsAnalyzer(%q, %q) = %v, want %v", c.text, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestInvariantGrammar(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"// lint:invariant reaching this is a programmer bug", true},
+		{"// lint:invariant", false},
+		{"// lint:invariant   ", false},
+		{"// an unrelated comment", false},
+	}
+	for _, c := range cases {
+		if got := hasInvariantText(c.text); got != c.want {
+			t.Errorf("hasInvariantText(%q) = %v, want %v", c.text, c.want, c.want)
+		}
+	}
+}
+
+// loadSnippet parses one source string as a single-file package in a
+// temp dir and returns the module.
+func loadSnippet(t *testing.T, src string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return mod
+}
+
+func runOn(t *testing.T, mod *Module, a *Analyzer) []Diagnostic {
+	t.Helper()
+	diags, err := Run(mod, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return diags
+}
+
+// An end-of-line allow on the LAST line of a multi-line statement must
+// suppress a range-reported finding whose position is the first line.
+func TestAllowOnLastLineOfMultiLineStatement(t *testing.T) {
+	src := `package lib
+
+// Leak spawns an unjoined goroutine across several lines.
+func Leak() {
+	go func() {
+		_ = 1
+	}() // lint:allow goroutinepolicy suppression from the closing line must reach the whole statement
+}
+`
+	if diags := runOn(t, loadSnippet(t, src), GoroutinePolicy); len(diags) != 0 {
+		t.Errorf("allow on closing line did not suppress: %v", diags)
+	}
+	// Without the annotation the same snippet is a finding.
+	bare := strings.Replace(src, " // lint:allow goroutinepolicy suppression from the closing line must reach the whole statement", "", 1)
+	if diags := runOn(t, loadSnippet(t, bare), GoroutinePolicy); len(diags) != 1 {
+		t.Errorf("unsuppressed snippet: got %d findings, want 1", len(diags))
+	}
+}
+
+// A bare lint:allow with no reason must NOT suppress.
+func TestBareAllowDoesNotSuppress(t *testing.T) {
+	src := `package lib
+
+// Leak spawns an unjoined goroutine.
+func Leak() {
+	go func() {}() // lint:allow goroutinepolicy
+}
+`
+	if diags := runOn(t, loadSnippet(t, src), GoroutinePolicy); len(diags) != 1 {
+		t.Errorf("bare allow suppressed anyway: got %d findings, want 1", len(diags))
+	}
+}
+
+// An allow naming a different analyzer must not suppress this one.
+func TestAllowForWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	src := `package lib
+
+// Leak spawns an unjoined goroutine.
+func Leak() {
+	go func() {}() // lint:allow hotalloc justified for a different analyzer
+}
+`
+	if diags := runOn(t, loadSnippet(t, src), GoroutinePolicy); len(diags) != 1 {
+		t.Errorf("wrong-analyzer allow suppressed: got %d findings, want 1", len(diags))
+	}
+}
+
+// lint:invariant inside a declaration's doc group must cover panics in
+// the body (panicpolicy's documented contract).
+func TestInvariantInDocGroup(t *testing.T) {
+	src := `package lib
+
+// Mangle panics on impossible state.
+//
+// lint:invariant impossible state means the builder above is broken.
+func Mangle(n int) int {
+	if n < 0 {
+		panic("impossible")
+	}
+	return n
+}
+`
+	if diags := runOn(t, loadSnippet(t, src), PanicPolicy); len(diags) != 0 {
+		t.Errorf("doc-group invariant did not cover the panic: %v", diags)
+	}
+}
+
+// FuzzSuppressionGrammar hammers the allow/invariant comment parsers with
+// arbitrary text: they must never panic, and a positive allow must
+// actually contain the marker and the analyzer name.
+func FuzzSuppressionGrammar(f *testing.F) {
+	f.Add("// lint:allow simtime reason", "simtime")
+	f.Add("// lint:allow simtime", "simtime")
+	f.Add("lint:allow", "hotalloc")
+	f.Add("// lint:invariant why", "raceguard")
+	f.Add("lint:allow \t raceguard x", "raceguard")
+	f.Add("// lint:allow a b lint:allow c d", "c")
+	f.Add(strings.Repeat("lint:allow x y ", 50), "x")
+	f.Fuzz(func(t *testing.T, text, analyzer string) {
+		got := allowsAnalyzer(text, analyzer)
+		if got {
+			if !strings.Contains(text, "lint:allow") {
+				t.Fatalf("allow matched text without marker: %q", text)
+			}
+			if !strings.Contains(text, analyzer) {
+				t.Fatalf("allow matched text without analyzer name %q: %q", analyzer, text)
+			}
+		}
+		inv := hasInvariantText(text)
+		if inv && !strings.Contains(text, "lint:invariant") {
+			t.Fatalf("invariant matched text without marker: %q", text)
+		}
+	})
+}

@@ -1,0 +1,24 @@
+// Package consumer is the errflow fixture: module functions whose error
+// returns are dropped in statement position, same-package and across the
+// package boundary.
+package consumer
+
+import helper "hccmf/internal/lint/testdata/src/errflow/helper"
+
+// save pretends to persist and can fail.
+func save() error { return nil }
+
+// Use exercises every resolution and exemption path.
+func Use() {
+	save()         // want "save returns an error that is silently dropped"
+	helper.Write() // want "helper.Write returns an error that is silently dropped"
+	helper.Pure()
+	_ = save()
+	if err := save(); err != nil {
+		_ = err
+	}
+	defer save()
+	save() // lint:allow errflow fixture demonstrates a justified drop
+	f := save
+	f()
+}

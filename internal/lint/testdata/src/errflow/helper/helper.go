@@ -1,0 +1,9 @@
+// Package helper is the errflow fixture's cross-package callee: the
+// consumer package drops errors returned from here.
+package helper
+
+// Write pretends to persist something and can fail.
+func Write() error { return nil }
+
+// Pure returns no error; statement-position calls are fine.
+func Pure() int { return 0 }

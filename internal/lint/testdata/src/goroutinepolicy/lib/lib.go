@@ -1,0 +1,50 @@
+// Package lib is the goroutinepolicy fixture: goroutines in library code
+// must be joined or be pool workers draining a channel.
+package lib
+
+import (
+	"sync"
+
+	pool "hccmf/internal/lint/testdata/src/goroutinepolicy/pool"
+)
+
+// Leak spawns a goroutine nobody observes.
+func Leak() {
+	go func() {}() // want "not provably joined"
+}
+
+// Joined waits on a WaitGroup.
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// Collected receives the goroutine's result.
+func Collected() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Pooled launches a same-package worker that drains a channel.
+func Pooled(tasks chan int) {
+	go drain(tasks)
+}
+
+func drain(tasks chan int) {
+	for range tasks {
+	}
+}
+
+// CrossPooled launches a cross-package pool worker, resolved through the
+// module index.
+func CrossPooled(tasks chan int) {
+	go pool.Worker(tasks)
+}
+
+// Fire is a justified fire-and-forget.
+func Fire() {
+	go func() {}() // lint:allow goroutinepolicy fixture demonstrates a justified fire-and-forget
+}

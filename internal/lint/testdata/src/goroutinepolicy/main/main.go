@@ -1,0 +1,8 @@
+// Package main is exempt from goroutinepolicy: a daemon owns its own
+// goroutine lifetimes.
+package main
+
+func main() {
+	go func() {}()
+	select {}
+}

@@ -1,0 +1,9 @@
+// Package pool is the goroutinepolicy fixture's cross-package worker:
+// launching pool.Worker is the sanctioned persistent-pool shape.
+package pool
+
+// Worker drains its task channel until closed.
+func Worker(tasks chan int) {
+	for range tasks {
+	}
+}

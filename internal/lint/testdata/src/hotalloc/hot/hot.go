@@ -1,0 +1,48 @@
+// Package hot is the hotalloc fixture: functions annotated lint:hotpath
+// must contain no allocation-inducing constructs.
+package hot
+
+import "fmt"
+
+type item struct{ id int }
+
+// Scan is a clean hot kernel: amortized self-append into the caller's
+// buffer and parameter-append on return.
+//
+// lint:hotpath
+func Scan(buf []item, n int) []item {
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, item{id: i})
+	}
+	return append(buf, out...)
+}
+
+// Bad trips every construct the analyzer polices.
+//
+// lint:hotpath
+func Bad(n int) []item {
+	tmp := make([]item, 0, n) // want "calls make"
+	box := any(n)             // want "boxes a value into an interface"
+	_ = box
+	_ = interface{}(n) // want "boxes a value into an interface"
+	fmt.Println(n)     // want "calls fmt.Println"
+	go func() {        // want "spawns a goroutine closure"
+		_ = n
+	}()
+	var other []item
+	tmp = append(other, item{id: n}) // want "appends into a fresh slice"
+	return tmp
+}
+
+// Cold is unannotated: the same constructs draw no findings.
+func Cold(n int) []item {
+	return make([]item, n)
+}
+
+// Allowed shows a justified cold branch inside a hot function.
+//
+// lint:hotpath
+func Allowed(n int) []item {
+	return make([]item, n) // lint:allow hotalloc fixture demonstrates a justified cold resize branch
+}

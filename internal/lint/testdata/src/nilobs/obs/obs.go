@@ -1,0 +1,55 @@
+// Package obs is the nilobs fixture: the nil-receiver contract is opt-in
+// per type — one guarded method binds every exported pointer-receiver
+// method of that type.
+package obs
+
+// Counter opted in: Add carries the guard.
+type Counter struct{ n int64 }
+
+// Add opens with the documented guard.
+func (c *Counter) Add(d int64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.n += d
+}
+
+// Inc is field-free: it touches the receiver only through the guarded
+// Add, so it inherits nil-safety without its own guard.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value touches the field with no guard.
+func (c *Counter) Value() int64 { // want "Value lacks the nil-receiver guard"
+	return c.n
+}
+
+// reset is unexported; the contract binds only the exported surface.
+func (c *Counter) reset() { c.n = 0 }
+
+// Gauge never opted in: unguarded methods are legal because the type
+// makes no nil-safety promise.
+type Gauge struct{ v float64 }
+
+// Set is unguarded and fine.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Meter opted in but Snapshot guards after reading a field: the guard
+// must come first.
+type Meter struct{ total int64 }
+
+// Observe opens with the guard.
+func (m *Meter) Observe(v int64) {
+	if m == nil {
+		return
+	}
+	m.total += v
+}
+
+// Snapshot reads the field before testing nil.
+func (m *Meter) Snapshot() int64 { // want "Snapshot lacks the nil-receiver guard"
+	t := m.total
+	if m == nil {
+		return 0
+	}
+	return t
+}

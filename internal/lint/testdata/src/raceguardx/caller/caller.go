@@ -1,0 +1,30 @@
+// Package caller launches mf's shared updater from another package —
+// the cross-package paths raceguard follows through the module index.
+package caller
+
+import mf "hccmf/internal/lint/testdata/src/raceguardx/mf"
+
+// Direct hands the cross-package updater straight to go.
+func Direct(f *mf.Factors, entries []mf.Rating, h mf.HyperParams) {
+	go mf.TrainEntries(f, entries, h) // want "shared-factor updater mf.TrainEntries"
+}
+
+// viaWorker wraps the updater behind an innocent-looking local function.
+func viaWorker(f *mf.Factors, entries []mf.Rating, h mf.HyperParams) {
+	mf.TrainEntries(f, entries, h)
+}
+
+// Indirect launches the local worker; the analyzer follows one level in.
+func Indirect(f *mf.Factors, entries []mf.Rating, h mf.HyperParams) {
+	go viaWorker(f, entries, h) // want "worker viaWorker calls shared-factor updater mf.TrainEntries"
+}
+
+// Synchronous calls are not goroutines; no finding.
+func Synchronous(f *mf.Factors, entries []mf.Rating, h mf.HyperParams) {
+	mf.TrainEntries(f, entries, h)
+}
+
+// Allowed is a justified disjoint-by-construction launch.
+func Allowed(f *mf.Factors, entries []mf.Rating, h mf.HyperParams) {
+	go mf.TrainEntries(f, entries, h) // lint:allow raceguard fixture demonstrates a disjoint-by-construction launch
+}

@@ -1,0 +1,23 @@
+// Package mf is the cross-package raceguard fixture stub, mirroring the
+// real package's shared-updater surface.
+package mf
+
+// Factors stands in for the shared factor matrices.
+type Factors struct{ P []float32 }
+
+// HyperParams is the SGD step configuration.
+type HyperParams struct{ Gamma float32 }
+
+// Rating is one training entry.
+type Rating struct {
+	U, I int32
+	V    float32
+}
+
+// TrainEntries updates shared factors in place — the updater raceguard
+// tracks across package boundaries.
+func TrainEntries(f *Factors, entries []Rating, h HyperParams) {
+	for range entries {
+		f.P[0] += h.Gamma
+	}
+}

@@ -1,0 +1,9 @@
+// Package alpha declares the canonical schema constant of the
+// schemaconst fixture tree; the declaration itself draws no finding.
+package alpha
+
+// Schema tags the fixture document format.
+const Schema = "hccmf-fixture/v1"
+
+// Tag returns the canonical tag through the constant.
+func Tag() string { return Schema }

@@ -1,0 +1,22 @@
+// Package beta trips schemaconst: it re-declares alpha's schema and
+// inlines schema literals.
+package beta
+
+// DupSchema re-declares a schema that alpha already owns.
+const DupSchema = "hccmf-fixture/v1" // want "already declared as alpha.Schema"
+
+// Fresh is a distinct schema; its first declaration is canonical.
+const Fresh = "hccmf-beta/v2"
+
+// Inline returns a declared schema as a raw literal.
+func Inline() string {
+	return "hccmf-fixture/v1" // want "inline schema literal"
+}
+
+// Unpinned inlines a schema no constant declares anywhere.
+func Unpinned() string {
+	return "hccmf-loose/v9" // want "declare it once as a named constant"
+}
+
+// Other is not a schema string.
+func Other() string { return "hccmf/plain" }

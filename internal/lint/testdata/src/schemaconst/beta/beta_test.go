@@ -1,0 +1,7 @@
+package beta
+
+// Test files pin literal bytes on purpose: golden comparisons must break
+// when a schema changes, so inline literals here are exempt.
+func goldenSchema() string {
+	return "hccmf-fixture/v1"
+}

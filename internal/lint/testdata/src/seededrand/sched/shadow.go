@@ -1,0 +1,19 @@
+package sched
+
+import "math/rand"
+
+// generator mimics a local generator type whose variable shadows the
+// import name.
+type generator struct{ state int }
+
+// Intn is the local method the shadowed selector resolves to.
+func (generator) Intn(n int) int { return n }
+
+// Shadowed redeclares rand as a function-scope value: rand.Intn below is
+// the local's method, not math/rand's global generator.
+func Shadowed(seed int64, n int) int {
+	src := rand.NewSource(seed)
+	_ = src
+	rand := generator{}
+	return rand.Intn(n)
+}

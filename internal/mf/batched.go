@@ -30,12 +30,15 @@ type Batched struct {
 func (bt *Batched) Name() string { return fmt.Sprintf("batched-%d", bt.Groups) }
 
 // Epoch implements Engine.
+//
+// lint:hotpath
 func (bt *Batched) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	start := bt.metrics.EpochStart()
 	bt.epoch(f, train, h)
 	bt.metrics.EpochDone(start, int64(len(train.Entries)))
 }
 
+// lint:hotpath
 func (bt *Batched) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	groups := bt.Groups
 	if groups < 1 {
@@ -58,6 +61,8 @@ func (bt *Batched) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 // launch is one simulated kernel launch over a batch. The group sweeps run
 // on the engine's persistent worker pool; the wg.Wait is the kernel-launch
 // barrier.
+//
+// lint:hotpath
 func (bt *Batched) launch(f *Factors, entries []sparse.Rating, h HyperParams, groups int) {
 	n := len(entries)
 	if groups == 1 || n < 4*groups {

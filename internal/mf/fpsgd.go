@@ -33,12 +33,15 @@ type FPSGD struct {
 func (fp *FPSGD) Name() string { return fmt.Sprintf("fpsgd-%d", fp.Threads) }
 
 // Epoch implements Engine.
+//
+// lint:hotpath
 func (fp *FPSGD) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	start := fp.metrics.EpochStart()
 	fp.epoch(f, train, h)
 	fp.metrics.EpochDone(start, int64(len(train.Entries)))
 }
 
+// lint:hotpath
 func (fp *FPSGD) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	threads := fp.Threads
 	if threads < 1 {

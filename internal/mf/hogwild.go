@@ -28,12 +28,15 @@ func (hw *Hogwild) Name() string { return fmt.Sprintf("hogwild-%d", hw.Threads) 
 // the (pre-shuffled) entry stream; races on hot rows are tolerated by
 // design. The chunk sweeps run on the engine's persistent worker pool, so
 // steady-state epochs allocate nothing.
+//
+// lint:hotpath
 func (hw *Hogwild) Epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	start := hw.metrics.EpochStart()
 	hw.epoch(f, train, h)
 	hw.metrics.EpochDone(start, int64(len(train.Entries)))
 }
 
+// lint:hotpath
 func (hw *Hogwild) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 	threads := hw.Threads
 	if threads < 1 {

@@ -41,6 +41,8 @@ type sweepTask struct {
 // sweepWorker drains tasks until the pool's channel is closed by the
 // finalizer. It is a top-level function (not a closure) so starting it
 // allocates only its goroutine, once, at pool construction.
+//
+// lint:hotpath
 func sweepWorker(tasks <-chan sweepTask) {
 	for t := range tasks {
 		if t.sched != nil {

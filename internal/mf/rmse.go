@@ -22,6 +22,8 @@ func RMSE(f *Factors, entries []sparse.Rating) float64 {
 // (as in TrainEntries) so the flat P/Q base pointers and K stay in
 // registers, and the dot product uses Dot's exact partial-sum order so the
 // result is bit-identical to calling f.Predict per entry.
+//
+// lint:hotpath
 func sumSqErr(f *Factors, entries []sparse.Rating) float64 {
 	k := f.K
 	fp, fq := f.P, f.Q
@@ -60,6 +62,8 @@ func sumSqErr(f *Factors, entries []sparse.Rating) float64 {
 // reused partial-sum buffer, so warm calls allocate nothing. The pool's
 // mutex serialises concurrent RMSEParallel calls; every current caller
 // (per-epoch observers, benchmarks) evaluates sequentially anyway.
+//
+// lint:hotpath
 func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
 	n := len(entries)
 	if n == 0 {
@@ -130,6 +134,8 @@ func startRMSEEval() {
 // rmseEvalWorker drains evaluation chunks for the lifetime of the process.
 // Each task's out pointer is owned exclusively by that task; wg.Wait in
 // RMSEParallel orders the reads.
+//
+// lint:hotpath
 func rmseEvalWorker(tasks <-chan rmseTask) {
 	for t := range tasks {
 		*t.out = sumSqErr(t.f, t.entries)

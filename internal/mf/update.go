@@ -33,6 +33,8 @@ type HyperParams struct {
 // 1,5,9,…; …), and the update writes are element-independent, so results
 // are bit-identical to the unfused kernel — locked in by
 // TestUpdateOneMatchesReference.
+//
+// lint:hotpath
 func UpdateOne(p, q []float32, r float32, h HyperParams) float32 {
 	n := len(p)
 	q = q[:n]
@@ -119,6 +121,8 @@ func UpdateBytes(k int) int { return 16*k + 4 }
 // task; callers own any required synchronisation. Row slicing is inlined
 // (rather than going through PRow/QRow) so the flat P/Q base pointers and
 // K stay in registers across the sweep.
+//
+// lint:hotpath
 func TrainEntries(f *Factors, entries []sparse.Rating, h HyperParams) {
 	k := f.K
 	p, q := f.P, f.Q

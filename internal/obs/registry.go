@@ -211,8 +211,13 @@ func (r *Registry) lookup(name, help, kind string) *metric {
 	return m
 }
 
-// Counter registers (or retrieves) the named counter.
+// Counter registers (or retrieves) the named counter. On a nil Registry
+// it returns a nil *Counter, itself a no-op — an uninstrumented run needs
+// no branches at the call sites.
 func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.lookup(name, help, "counter")
@@ -222,8 +227,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 	return m.counter
 }
 
-// Gauge registers (or retrieves) the named gauge.
+// Gauge registers (or retrieves) the named gauge. On a nil Registry it
+// returns a nil *Gauge, itself a no-op.
 func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.lookup(name, help, "gauge")
@@ -235,8 +244,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 
 // Histogram registers (or retrieves) the named histogram with the given
 // ascending bucket bounds (DurationBuckets is the usual choice). A second
-// registration ignores bounds and returns the existing histogram.
+// registration ignores bounds and returns the existing histogram. On a
+// nil Registry it returns a nil *Histogram, itself a no-op.
 func (r *Registry) Histogram(name, help string, bounds []float64) (*Histogram, error) {
+	if r == nil {
+		return nil, nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := r.lookup(name, help, "histogram")

@@ -98,6 +98,8 @@ func pushBounded(h []Item, n int, it Item) []Item {
 // sortDesc orders a bounded heap best-first in place (heapsort): the
 // weakest root is swapped to the end and the prefix re-sifted, so the
 // final order is descending score with ascending-ID ties.
+//
+// lint:hotpath
 func sortDesc(h []Item) {
 	for end := len(h) - 1; end > 0; end-- {
 		h[0], h[end] = h[end], h[0]
@@ -110,6 +112,8 @@ func sortDesc(h []Item) {
 // and so is the scan), and maintains the n-bounded heap in h. It is the
 // shared scan kernel of Recommender.TopN and the Service shard workers,
 // and allocates nothing when cap(h) >= n.
+//
+// lint:hotpath
 func scanRange(model Scorer, u int32, seen []int32, lo, hi int32, n int, h []Item) []Item {
 	// Lower-bound the seen cursor at lo so a shard scan skips the prefix.
 	c, top := 0, len(seen)
@@ -242,12 +246,14 @@ func (r *Recommender) TopN(u int32, n int) ([]Item, error) {
 // built in buf[:0] and sorted best-first in place. With cap(buf) >= n the
 // call performs no allocations, which is what keeps the serving hot path
 // at 0 allocs/op. The returned slice aliases buf.
+//
+// lint:hotpath
 func (r *Recommender) TopNInto(u int32, n int, buf []Item) ([]Item, error) {
 	if u < 0 || int(u) >= r.users {
-		return nil, fmt.Errorf("recommend: user %d out of range [0,%d)", u, r.users)
+		return nil, fmt.Errorf("recommend: user %d out of range [0,%d)", u, r.users) // lint:allow hotalloc validation error path, never taken in steady state
 	}
 	if n <= 0 {
-		return nil, fmt.Errorf("recommend: n = %d", n)
+		return nil, fmt.Errorf("recommend: n = %d", n) // lint:allow hotalloc validation error path, never taken in steady state
 	}
 	h := scanRange(r.model, u, r.seen.rows[u], 0, int32(r.items), n, buf[:0])
 	sortDesc(h)

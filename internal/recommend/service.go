@@ -75,6 +75,8 @@ type serveTask struct {
 
 // serveWorker drains tasks until the channel is closed. Top-level function
 // (not a closure) so pool construction allocates only the goroutines.
+//
+// lint:hotpath
 func serveWorker(tasks <-chan serveTask) {
 	for t := range tasks {
 		*t.dst = scanRange(t.model, t.u, t.seen, t.lo, t.hi, t.n, (*t.dst)[:0])
@@ -181,6 +183,8 @@ func (s *Service) Reload(model Scorer, users, items int) error {
 // service's shards on the persistent pool and merging the shard heaps
 // best-first into buf. With cap(buf) >= n the call allocates nothing in
 // steady state. The returned slice aliases buf.
+//
+// lint:hotpath
 func (s *Service) TopNInto(u int32, n int, buf []Item) ([]Item, error) {
 	if err := s.checkQuery(u, n); err != nil {
 		return nil, err
@@ -214,13 +218,15 @@ func (s *Service) TopNInto(u int32, n int, buf []Item) ([]Item, error) {
 // cap(bufs[i]) >= n the call allocates nothing in steady state. Row i of
 // bufs is re-sliced to user i's results. Validation happens before any
 // task is dispatched, and errors name the offending user.
+//
+// lint:hotpath
 func (s *Service) TopNBatch(users []int32, n int, bufs [][]Item) error {
 	if len(bufs) < len(users) {
-		return fmt.Errorf("recommend: batch of %d users with %d result buffers", len(users), len(bufs))
+		return fmt.Errorf("recommend: batch of %d users with %d result buffers", len(users), len(bufs)) // lint:allow hotalloc validation error path, never taken in steady state
 	}
 	for i, u := range users {
 		if err := s.checkQuery(u, n); err != nil {
-			return fmt.Errorf("recommend: batch user %d (index %d): %w", u, i, err)
+			return fmt.Errorf("recommend: batch user %d (index %d): %w", u, i, err) // lint:allow hotalloc validation error path, never taken in steady state
 		}
 	}
 	model := s.model.Load().s

@@ -77,6 +77,7 @@ func (b *BlockCollaborative) Epoch(f *mf.Factors, train *sparse.COO, h mf.HyperP
 					return
 				}
 				b.addAcquisitions(acquisitions)
+				// lint:allow raceguard the exclusive scheduler hands each worker a block whose row/col range no other in-flight block shares, so updates are disjoint by construction.
 				mf.TrainEntries(f, grid.Blocks[idx].Entries, h)
 				sched.release(idx)
 			}

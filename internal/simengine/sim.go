@@ -139,6 +139,7 @@ func (s *Sim) Go(name string, body func(p *Proc)) {
 	p := &Proc{sim: s, name: name, wake: make(chan struct{})}
 	s.processes++
 	s.Schedule(0, func() {
+		// lint:allow goroutinepolicy the process goroutine is joined by the event loop: every exit path sends on s.paused, received by waitPaused below and by Run's dispatch loop.
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {

@@ -5,8 +5,12 @@
 #   1. gofmt -l                        — the tree is gofmt-clean
 #   2. go build ./...                  — everything compiles
 #   3. go vet ./...                    — stock vet
-#   4. hccmf-vet ./...                 — the determinism analyzer suite
-#      (simtime, seededrand, panicpolicy, raceguard; see DESIGN.md §8).
+#   4. hccmf-vet ./...                 — the invariant analyzer suite
+#      (simtime, seededrand, panicpolicy, raceguard, errflow, hotalloc,
+#      goroutinepolicy, nilobs, schemaconst; see DESIGN.md §8 and §14).
+#      Runs module-aware against the committed lint.baseline ratchet:
+#      recorded findings are tolerated, new findings fail. Emits the
+#      hccmf-vet/v1 JSON document plus a per-analyzer count summary.
 #      simtime also polices obs.WallClock: sim packages may use an
 #      injected observer but never mint a real clock (DESIGN.md §11)
 #   5. go test -race over the concurrent packages — ps, comm, mf,
@@ -46,8 +50,10 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== hccmf-vet ./... (determinism invariants)"
-go run ./cmd/hccmf-vet ./...
+echo "== hccmf-vet ./... (invariant suite, baseline ratchet)"
+vet_json=$(mktemp -t hccmf-vet.XXXXXX.json)
+go run ./cmd/hccmf-vet -baseline lint.baseline -json -summary ./... > "$vet_json"
+echo "   (machine-readable findings: $vet_json)"
 
 echo "== go test -race (ps, comm, mf, simengine, obs, recommend, dataset, sparse, parallel)"
 go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine \
