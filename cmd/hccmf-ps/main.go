@@ -1,0 +1,82 @@
+// Command hccmf-ps runs a standalone parameter server speaking
+// hccmf-wire/v1. Workers started with `hccmf-train -connect <addr>` pull
+// and push factor shards against it over TCP, turning the in-process
+// COMM-P message path into a real multi-process deployment — with
+// bit-identical training results.
+//
+// Usage:
+//
+//	hccmf-ps -listen 127.0.0.1:9770
+//	hccmf-ps -listen 127.0.0.1:0 -ready-file /tmp/ps.addr
+//
+// With -ready-file the bound address (useful with port 0) is written to
+// the file once the server accepts connections; process supervisors and
+// test harnesses poll for it instead of racing the listener. On SIGINT or
+// SIGTERM the server drains: the listener closes, in-flight requests
+// finish, and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	commnet "hccmf/internal/comm/net"
+	"hccmf/internal/version"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9770", "address to listen on (port 0 picks a free port; see -ready-file)")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once serving")
+	noFP16 := flag.Bool("no-fp16", false, "decline fp16 wire compression at handshake")
+	idle := flag.Duration("idle-timeout", commnet.DefaultIdleTimeout, "drop connections idle for this long")
+	verbose := flag.Bool("verbose", false, "log connection-level diagnostics to stderr")
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("hccmf-ps", version.String())
+		return
+	}
+
+	cfg := commnet.ServerConfig{NoFP16: *noFP16, IdleTimeout: *idle}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	s, err := commnet.Listen(*listen, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hccmf-ps %s serving %s on %s\n", version.String(), commnet.WireSchema, s.Addr())
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(s.Addr()+"\n"), 0o644); err != nil {
+			_ = s.Close()
+			fatal(err)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("hccmf-ps: %v — draining\n", got)
+	start := time.Now()
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hccmf-ps: close:", err)
+	}
+	st := s.Stats()
+	fmt.Printf("hccmf-ps: drained in %v: %d conns, %d frames (%d pulls, %d pushes, %d syncs, %d errors)\n",
+		time.Since(start).Round(time.Millisecond), st.Conns, st.Frames, st.Pulls, st.Pushes, st.Syncs, st.Errors)
+	if *readyFile != "" {
+		_ = os.Remove(*readyFile)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hccmf-ps:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 //
 //	hccmf-train -preset netflix -scale 0.002 -epochs 30 -k 16
 //	hccmf-train -input ratings.txt -epochs 20
+//	hccmf-train -preset netflix -scale 0.002 -connect 127.0.0.1:9770
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"hccmf/internal/comm"
+	commnet "hccmf/internal/comm/net"
 	"hccmf/internal/core"
 	"hccmf/internal/dataset"
 	"hccmf/internal/mf"
@@ -46,6 +49,11 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 42, "seed of the injected fault schedule")
 	retries := flag.Int("retries", 0, "per-transfer attempt budget with capped exponential backoff; <2 disables retry")
 	evict := flag.Bool("evict", false, "evict workers that exhaust the retry budget instead of aborting the run")
+	transport := flag.String("transport", comm.KindShared,
+		"communication transport: "+strings.Join(comm.Kinds(), ", ")+" ("+commnet.Kind+" needs -connect)")
+	connect := flag.String("connect", "",
+		"address of a running hccmf-ps parameter server (implies -transport "+commnet.Kind+")")
+	netTimeout := flag.Duration("net-timeout", commnet.DefaultOpTimeout, "per-operation deadline for wire transports")
 	metricsOut := flag.String("metrics-out", "", "write an hccmf-obs/v1 metrics JSON document to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON document (load in chrome://tracing or Perfetto) to this file")
 	progress := flag.Bool("progress", false, "print a per-epoch progress line to stderr while training")
@@ -101,6 +109,12 @@ func main() {
 	if *decay > 0 {
 		schedule = mf.InverseDecay{Gamma0: spec.Params.Gamma, Beta: float32(*decay)}
 	}
+	kind := *transport
+	if *connect != "" {
+		kind = commnet.Kind
+	} else if kind == commnet.Kind {
+		fatal(fmt.Errorf("-transport %s needs -connect with the hccmf-ps address", commnet.Kind))
+	}
 	res, err := core.Run(core.RunConfig{
 		Spec:             spec,
 		Platform:         plat,
@@ -111,6 +125,7 @@ func main() {
 		Data:             data,
 		Schedule:         schedule,
 		Seed:             *seed,
+		TransportSpec:    comm.Spec{Kind: kind, Addr: *connect, OpTimeout: *netTimeout},
 		Obs:              observer,
 		OnEpoch: func(epoch, total int, rmse, simSeconds float64) {
 			if *progress {
@@ -146,6 +161,10 @@ func main() {
 	fmt.Printf("\nfinal RMSE: %.6f\n", res.FinalRMSE)
 	fmt.Printf("communication: %.1f MiB over the bus, %d copies, %d retries\n",
 		float64(res.CommStats.BusBytes)/(1<<20), res.CommStats.Copies, res.CommStats.Retries)
+	if res.CommStats.Frames > 0 {
+		fmt.Printf("wire: %.1f MiB in %d frames, %d handshakes\n",
+			float64(res.CommStats.WireBytes)/(1<<20), res.CommStats.Frames, res.CommStats.Handshakes)
+	}
 	for _, ev := range res.Evictions {
 		fmt.Printf("evicted worker %s in epoch %d (rows [%d,%d) → %s): %v\n",
 			ev.Worker, ev.Epoch, ev.RowLo, ev.RowHi, ev.InheritedBy, ev.Err)

@@ -19,7 +19,8 @@ type FaultSpec struct {
 	Truncate float64
 	// Delay is the probability of a latency spike of DelayFor.
 	Delay float64
-	// DelayFor is the spike duration (default 1ms when Delay > 0).
+	// DelayFor is the spike duration (default 1ms when Delay > 0; see
+	// Normalized).
 	DelayFor time.Duration
 	// Seed drives the fault schedule.
 	Seed uint64
@@ -32,6 +33,20 @@ type FaultSpec struct {
 // Active reports whether the spec injects anything at all.
 func (s FaultSpec) Active() bool {
 	return s.Transient > 0 || s.Truncate > 0 || s.Delay > 0
+}
+
+// Normalized returns the spec with documented defaults applied: DelayFor
+// becomes 1ms when Delay > 0 and no duration was set. Every construction
+// path goes through this one function so a spec describes the same fault
+// schedule no matter which decorated transport it lands on — previously
+// the default was applied only inside NewFaulty, so code that read
+// spec.DelayFor before wrapping (or compared specs across stacks) saw 0
+// where the injector would sleep 1ms.
+func (s FaultSpec) Normalized() FaultSpec {
+	if s.Delay > 0 && s.DelayFor <= 0 {
+		s.DelayFor = time.Millisecond
+	}
+	return s
 }
 
 // Validate checks that every rate is a probability.
@@ -78,9 +93,7 @@ func NewFaulty(inner Transport, spec FaultSpec) (*Faulty, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if spec.Delay > 0 && spec.DelayFor <= 0 {
-		spec.DelayFor = time.Millisecond
-	}
+	spec = spec.Normalized()
 	if spec.Sleep == nil {
 		// lint:allow simtime — real-execution default for injected latency spikes; simulated runs and tests supply a virtual clock via FaultSpec.Sleep.
 		spec.Sleep = time.Sleep
@@ -94,14 +107,37 @@ func (f *Faulty) Name() string { return f.inner.Name() + "+faulty" }
 // CopiesPerTransfer implements Transport.
 func (f *Faulty) CopiesPerTransfer() int { return f.inner.CopiesPerTransfer() }
 
+// Unwrap implements Unwrapper.
+func (f *Faulty) Unwrap() Transport { return f.inner }
+
 // Pull implements Transport.
-func (f *Faulty) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return f.transfer("pull", dst, src, enc, f.inner.Pull)
+func (f *Faulty) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	return f.transfer("pull", dst, src, x, f.inner.Pull)
 }
 
 // Push implements Transport.
-func (f *Faulty) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return f.transfer("push", dst, src, enc, f.inner.Push)
+func (f *Faulty) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	return f.transfer("push", dst, src, x, f.inner.Push)
+}
+
+// RemoteAddr implements Remote by forwarding (empty for in-process bases).
+func (f *Faulty) RemoteAddr() string {
+	if r, ok := f.inner.(Remote); ok {
+		return r.RemoteAddr()
+	}
+	return ""
+}
+
+// SyncShard implements Remote: sync uploads traverse the same lossy link
+// as pulls and pushes, so they draw from the same fault schedule.
+func (f *Faulty) SyncShard(src []float32, x Xfer) (TransferStats, error) {
+	r, ok := f.inner.(Remote)
+	if !ok {
+		return TransferStats{}, fmt.Errorf("comm: %s is not a remote transport", f.inner.Name())
+	}
+	return f.transfer("sync", nil, src, x, func(_, src []float32, x Xfer) (TransferStats, error) {
+		return r.SyncShard(src, x)
+	})
 }
 
 // Counts reports the faults injected so far.
@@ -111,9 +147,9 @@ func (f *Faulty) Counts() FaultCounts {
 	return f.counts
 }
 
-func (f *Faulty) transfer(dir string, dst, src []float32, enc Encoding,
-	op func(dst, src []float32, enc Encoding) (TransferStats, error)) (TransferStats, error) {
-	delayed, transient, cut := f.decide(len(dst))
+func (f *Faulty) transfer(dir string, dst, src []float32, x Xfer,
+	op func(dst, src []float32, x Xfer) (TransferStats, error)) (TransferStats, error) {
+	delayed, transient, cut := f.decide(len(src))
 	if delayed {
 		f.spec.Sleep(f.spec.DelayFor)
 	}
@@ -122,13 +158,19 @@ func (f *Faulty) transfer(dir string, dst, src []float32, enc Encoding,
 	}
 	if cut >= 0 {
 		// The prefix crossed the bus before the cut; charge it honestly.
-		st, err := op(dst[:cut], src[:cut], enc)
+		// The shard operand shrinks with the payload so a wire transport
+		// still sees a self-consistent (shard, payload) pair.
+		cutDst := dst
+		if cutDst != nil {
+			cutDst = dst[:cut]
+		}
+		st, err := op(cutDst, src[:cut], x.truncated(cut))
 		if err != nil {
 			return st, err
 		}
-		return st, fmt.Errorf("comm: injected truncation: %s cut at %d/%d params", dir, cut, len(dst))
+		return st, fmt.Errorf("comm: injected truncation: %s cut at %d/%d params", dir, cut, len(src))
 	}
-	return op(dst, src, enc)
+	return op(dst, src, x)
 }
 
 // decide draws this transfer's fate. cut is -1 when the payload survives

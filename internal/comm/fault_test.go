@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -12,11 +13,11 @@ type downTransport struct{ calls int }
 
 func (d *downTransport) Name() string           { return "down" }
 func (d *downTransport) CopiesPerTransfer() int { return 1 }
-func (d *downTransport) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
+func (d *downTransport) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
 	d.calls++
 	return TransferStats{}, errors.New("link down")
 }
-func (d *downTransport) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
+func (d *downTransport) Push(dst, src []float32, x Xfer) (TransferStats, error) {
 	d.calls++
 	return TransferStats{}, errors.New("link down")
 }
@@ -30,14 +31,43 @@ func faultPayload(n int) ([]float32, []float32) {
 	return dst, src
 }
 
+func TestFaultSpecNormalized(t *testing.T) {
+	// The documented default: an active Delay with no duration means 1ms.
+	got := FaultSpec{Delay: 0.5}.Normalized()
+	if got.DelayFor != time.Millisecond {
+		t.Fatalf("DelayFor = %v, want the 1ms default", got.DelayFor)
+	}
+	// An explicit duration survives.
+	got = FaultSpec{Delay: 0.5, DelayFor: 7 * time.Millisecond}.Normalized()
+	if got.DelayFor != 7*time.Millisecond {
+		t.Fatalf("DelayFor = %v, want the explicit 7ms", got.DelayFor)
+	}
+	// No delay injection, no default: the spec stays zero so comparisons
+	// against the zero spec keep working.
+	got = FaultSpec{Transient: 0.1}.Normalized()
+	if got.DelayFor != 0 {
+		t.Fatalf("DelayFor = %v for Delay = 0, want 0", got.DelayFor)
+	}
+}
+
+func TestFaultSpecNormalizedMatchesConstruction(t *testing.T) {
+	// The schedule a decorated transport runs is the one the normalized
+	// spec describes: NewFaulty must not apply any further defaults.
+	spec := FaultSpec{Delay: 1, Seed: 5}
+	f := mustNewFaulty(t, shared(1), spec)
+	if f.spec.DelayFor != spec.Normalized().DelayFor {
+		t.Fatalf("constructed DelayFor %v != normalized %v", f.spec.DelayFor, spec.Normalized().DelayFor)
+	}
+}
+
 func TestFaultyPassthroughWhenInactive(t *testing.T) {
-	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Seed: 1})
+	f := mustNewFaulty(t, shared(1), FaultSpec{Seed: 1})
 	if (FaultSpec{}).Active() {
 		t.Fatal("zero spec reported active")
 	}
 	dst, src := faultPayload(64)
 	for i := 0; i < 50; i++ {
-		st, err := f.Pull(dst, src, FP32)
+		st, err := f.Pull(dst, src, Xfer{Enc: FP32})
 		if err != nil {
 			t.Fatalf("inactive faulty errored: %v", err)
 		}
@@ -59,11 +89,11 @@ func TestFaultyPassthroughWhenInactive(t *testing.T) {
 func TestFaultyDeterministicSchedule(t *testing.T) {
 	spec := FaultSpec{Transient: 0.3, Truncate: 0.2, Seed: 99}
 	sequence := func() []bool {
-		f := mustNewFaulty(t, NewSharedMem(1), spec)
+		f := mustNewFaulty(t, shared(1), spec)
 		dst, src := faultPayload(32)
 		var out []bool
 		for i := 0; i < 200; i++ {
-			_, err := f.Push(dst, src, FP32)
+			_, err := f.Push(dst, src, Xfer{Enc: FP32})
 			out = append(out, err != nil)
 		}
 		return out
@@ -85,9 +115,9 @@ func TestFaultyDeterministicSchedule(t *testing.T) {
 }
 
 func TestFaultyTruncationIsPartial(t *testing.T) {
-	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Truncate: 1, Seed: 7})
+	f := mustNewFaulty(t, shared(1), FaultSpec{Truncate: 1, Seed: 7})
 	dst, src := faultPayload(32)
-	st, err := f.Pull(dst, src, FP32)
+	st, err := f.Pull(dst, src, Xfer{Shard: GlobalShard(MatrixQ, 0, 32), Enc: FP32})
 	if err == nil || !strings.Contains(err.Error(), "truncation") {
 		t.Fatalf("want truncation error, got %v", err)
 	}
@@ -111,15 +141,55 @@ func TestFaultyTruncationIsPartial(t *testing.T) {
 	}
 }
 
+func TestFaultyTruncationShrinksShard(t *testing.T) {
+	// A truncated transfer must hand the inner transport a shard operand
+	// that matches the surviving prefix — a wire transport frames exactly
+	// what the shard names, so an unshrunk shard would lie to the remote
+	// store about which rows the payload covers.
+	var got []Shard
+	rec := recordingTransport{onXfer: func(x Xfer) { got = append(got, x.Shard) }}
+	f := mustNewFaulty(t, &rec, FaultSpec{Truncate: 1, Seed: 7})
+	dst, src := faultPayload(32)
+	full := GlobalShard(MatrixQ, 100, 132)
+	_, err := f.Pull(dst, src, Xfer{Shard: full, Enc: FP32})
+	if err == nil {
+		t.Fatal("truncation not injected")
+	}
+	if len(got) != 1 {
+		t.Fatalf("inner saw %d transfers, want 1", len(got))
+	}
+	if got[0].Lo != full.Lo || got[0].Hi >= full.Hi || got[0].Params() <= 0 {
+		t.Fatalf("inner shard = %v, want a proper prefix of %v", got[0], full)
+	}
+}
+
+// recordingTransport captures the Xfer of every transfer and succeeds.
+type recordingTransport struct {
+	onXfer func(Xfer)
+}
+
+func (r *recordingTransport) Name() string           { return "recording" }
+func (r *recordingTransport) CopiesPerTransfer() int { return 1 }
+func (r *recordingTransport) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	r.onXfer(x)
+	return TransferStats{BusBytes: int64(4 * len(src)), Copies: 1}, nil
+}
+func (r *recordingTransport) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	r.onXfer(x)
+	return TransferStats{BusBytes: int64(4 * len(src)), Copies: 1}, nil
+}
+
 func TestFaultyDelaySpikes(t *testing.T) {
-	f := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Delay: 1, DelayFor: time.Millisecond, Seed: 3})
+	var slept time.Duration
+	spec := FaultSpec{Delay: 1, DelayFor: time.Millisecond, Seed: 3,
+		Sleep: func(d time.Duration) { slept += d }}
+	f := mustNewFaulty(t, shared(1), spec)
 	dst, src := faultPayload(8)
-	start := time.Now()
-	if _, err := f.Pull(dst, src, FP32); err != nil {
+	if _, err := f.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
 		t.Fatal(err)
 	}
-	if time.Since(start) < time.Millisecond {
-		t.Fatal("delay spike not applied")
+	if slept != time.Millisecond {
+		t.Fatalf("slept %v, want the 1ms spike", slept)
 	}
 	if c := f.Counts(); c.Delayed != 1 {
 		t.Fatalf("counts = %+v", c)
@@ -127,7 +197,7 @@ func TestFaultyDelaySpikes(t *testing.T) {
 }
 
 func TestRetryingRecoversFromTransients(t *testing.T) {
-	inner := mustNewFaulty(t, NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 11})
+	inner := mustNewFaulty(t, shared(1), FaultSpec{Transient: 0.5, Seed: 11})
 	tr := NewRetrying(inner, RetryPolicy{Attempts: 20})
 	dst, src := faultPayload(16)
 	var total TransferStats
@@ -135,7 +205,7 @@ func TestRetryingRecoversFromTransients(t *testing.T) {
 		for j := range dst {
 			dst[j] = 0
 		}
-		st, err := tr.Pull(dst, src, FP32)
+		st, err := tr.Pull(dst, src, Xfer{Enc: FP32})
 		if err != nil {
 			t.Fatalf("transfer %d not recovered: %v", i, err)
 		}
@@ -155,7 +225,7 @@ func TestRetryingExhaustsBudget(t *testing.T) {
 	down := &downTransport{}
 	tr := NewRetrying(down, RetryPolicy{Attempts: 4})
 	dst, src := faultPayload(8)
-	st, err := tr.Push(dst, src, FP32)
+	st, err := tr.Push(dst, src, Xfer{Enc: FP32})
 	if err == nil || !strings.Contains(err.Error(), "4 attempts") {
 		t.Fatalf("want exhaustion error, got %v", err)
 	}
@@ -164,6 +234,22 @@ func TestRetryingExhaustsBudget(t *testing.T) {
 	}
 	if st.Retries != 3 {
 		t.Fatalf("Retries = %d, want 3 (failed attempts)", st.Retries)
+	}
+}
+
+func TestRetryingStopsOnCancelledContext(t *testing.T) {
+	// Once the transfer's deadline owner has cancelled, further attempts
+	// can only fail the same way — the budget must not be burned.
+	down := &downTransport{}
+	tr := NewRetrying(down, RetryPolicy{Attempts: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst, src := faultPayload(8)
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32, Ctx: ctx}); err == nil {
+		t.Fatal("cancelled transfer succeeded")
+	}
+	if down.calls != 1 {
+		t.Fatalf("inner called %d times after cancellation, want 1", down.calls)
 	}
 }
 
@@ -176,7 +262,7 @@ func TestRetryingBackoffCapped(t *testing.T) {
 		Sleep:     func(d time.Duration) { sleeps = append(sleeps, d) },
 	})
 	dst, src := faultPayload(4)
-	if _, err := tr.Pull(dst, src, FP32); err == nil {
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err == nil {
 		t.Fatal("down transport succeeded")
 	}
 	want := []time.Duration{1, 2, 4, 4, 4}
@@ -212,7 +298,7 @@ func TestNewFaultyRejectsBadSpec(t *testing.T) {
 	if _, err := NewFaulty(nil, FaultSpec{}); err == nil {
 		t.Fatal("nil inner transport accepted")
 	}
-	if _, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 1.5}); err == nil {
+	if _, err := NewFaulty(shared(1), FaultSpec{Transient: 1.5}); err == nil {
 		t.Fatal("out-of-range Transient rate accepted")
 	}
 }

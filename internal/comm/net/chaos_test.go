@@ -1,0 +1,202 @@
+package commnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hccmf/internal/comm"
+)
+
+// flakyProxy sits between a Dialer and a Server, forwarding bytes but
+// cutting the server→client direction once a connection's byte budget runs
+// out — with SO_LINGER 0, so the client sees a hard TCP reset mid-frame,
+// exactly what a killed hccmf-ps process produces.
+type flakyProxy struct {
+	ln      net.Listener
+	backend string
+	// budget returns the server→client byte allowance for the i-th
+	// connection (0-based); negative means unlimited.
+	budget func(i int) int
+
+	mu    sync.Mutex
+	conns int
+	wg    sync.WaitGroup
+}
+
+func startProxy(t *testing.T, backend string, budget func(i int) int) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, backend: backend, budget: budget}
+	p.wg.Add(1)
+	go p.serve()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		p.wg.Wait()
+	})
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) serve() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		i := p.conns
+		p.conns++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.pipe(client, p.budget(i))
+	}
+}
+
+func (p *flakyProxy) pipe(client net.Conn, budget int) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	abort := func() {
+		// RST instead of FIN: a crashed peer does not say goodbye.
+		if tc, ok := client.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		_ = client.Close()
+		_ = server.Close()
+	}
+	done := make(chan struct{}, 2)
+	go func() { _, _ = io.Copy(server, client); done <- struct{}{} }()
+	go func() {
+		if budget < 0 {
+			_, _ = io.Copy(client, server)
+		} else {
+			_, _ = io.CopyN(client, server, int64(budget))
+			abort()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	_ = client.Close()
+	_ = server.Close()
+	<-done
+}
+
+// handshakeRespBytes is the server→client cost of a handshake: one
+// hello-ok frame (header + capability byte).
+const handshakeRespBytes = headerSize + 1
+
+// Resets and truncated frames on the wire must surface as transfer errors
+// that comm.Retrying absorbs: the retried operation lands idempotently and
+// the recovered state is bit-identical to a clean exchange.
+func TestRetryingRecoversFromResetsAndTruncation(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	// Connection 0 dies right after the handshake (reset before the ack),
+	// connection 1 dies 5 bytes into the ack frame (truncation), and
+	// connection 2 behaves.
+	budgets := []int{handshakeRespBytes, handshakeRespBytes + 5, -1}
+	p := startProxy(t, s.Addr(), func(i int) int {
+		if i < len(budgets) {
+			return budgets[i]
+		}
+		return -1
+	})
+
+	d := &Dialer{Addr: p.addr(), M: 6, N: 4, K: 2, OpTimeout: 5 * time.Second}
+	t.Cleanup(func() { _ = d.Close() })
+	tr := comm.NewRetrying(d, comm.RetryPolicy{Attempts: 4})
+	rem, ok := comm.AsRemote(tr)
+	if !ok {
+		t.Fatal("retrying lost the Remote capability")
+	}
+
+	global := seq(8, 0.09)
+	st, err := rem.SyncShard(global, comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32})
+	if err != nil {
+		t.Fatalf("retrying did not absorb the faults: %v", err)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2 (reset + truncation)", st.Retries)
+	}
+	if st.Handshakes != 3 {
+		t.Fatalf("Handshakes = %d, want 3 (each attempt redialled)", st.Handshakes)
+	}
+
+	// The store took the publish exactly once-effectively: pulling it back
+	// returns the published bits.
+	dst := make([]float32, 8)
+	if _, err := tr.Pull(dst, nil, comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32}); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, "post-chaos pull", dst, global)
+}
+
+// A reset mid-payload of a pull response must never leak a half-filled
+// destination: dst is written only after the complete frame validated.
+func TestTruncatedPullLeavesDstUntouched(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	seed := &Dialer{Addr: s.Addr(), M: 6, N: 4, K: 2, OpTimeout: 5 * time.Second}
+	if _, err := seed.SyncShard(seq(8, 0.5), comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32}); err != nil {
+		t.Fatal(err)
+	}
+	_ = seed.Close()
+
+	// Allow the handshake plus half the data frame, then cut.
+	p := startProxy(t, s.Addr(), func(i int) int { return handshakeRespBytes + headerSize + 16 })
+	d := &Dialer{Addr: p.addr(), M: 6, N: 4, K: 2, OpTimeout: 5 * time.Second}
+	t.Cleanup(func() { _ = d.Close() })
+
+	dst := make([]float32, 8)
+	for i := range dst {
+		dst[i] = -99
+	}
+	if _, err := d.Pull(dst, nil, comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32}); err == nil {
+		t.Fatal("truncated pull reported success")
+	}
+	for i, v := range dst {
+		if v != -99 {
+			t.Fatalf("dst[%d] = %v: truncated pull partially wrote the destination", i, v)
+		}
+	}
+}
+
+// Killing the server mid-run turns into a prompt, clean transfer error —
+// never a hang — and the pooled connection is not reused afterwards.
+func TestServerKilledMidRunFailsCleanly(t *testing.T) {
+	s, d := newPair(t, ServerConfig{})
+	d.OpTimeout = 2 * time.Second
+	if _, err := d.SyncShard(seq(8, 1), comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := d.Pull(make([]float32, 8), nil, comm.Xfer{Shard: comm.GlobalShard(comm.MatrixQ, 0, 8), Enc: comm.FP32})
+	if err == nil {
+		t.Fatal("pull against a killed server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dead server took %v to surface", elapsed)
+	}
+}

@@ -1,0 +1,62 @@
+package commnet
+
+import (
+	"bytes"
+	"testing"
+
+	"hccmf/internal/comm"
+)
+
+// FuzzDecodeFrame drives the frame parser with arbitrary bytes. Malformed
+// input must come back as an error — never a panic, and never an
+// allocation beyond the declared payload limit.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(appendFrame(nil, &Frame{Op: OpHello, Payload: helloPayload(120, 80, 8, true)}))
+	f.Add(appendFrame(nil, &Frame{
+		Op:      OpPush,
+		Shard:   comm.WorkerShard(comm.MatrixP, 2, 4, 8),
+		Enc:     comm.FP16,
+		Payload: encodePayload(nil, []float32{1, 2, 3, 4}, comm.FP16),
+	}))
+	f.Add(appendFrame(nil, &Frame{Op: OpPull, Shard: comm.GlobalShard(comm.MatrixQ, 0, 64), Enc: comm.FP32}))
+	f.Add(appendFrame(nil, &Frame{Op: OpAck}))
+	f.Add([]byte("HCWF"))
+	corrupt := appendFrame(nil, &Frame{Op: OpData, Shard: comm.GlobalShard(comm.MatrixQ, 0, 2), Enc: comm.FP32, Payload: make([]byte, 8)})
+	corrupt[20] = 0xee // hostile payload length
+	f.Add(corrupt)
+
+	const maxPayload = 1 << 12
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, maxPayload)
+		if err != nil {
+			return
+		}
+		if n < headerSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(fr.Payload) > maxPayload {
+			t.Fatalf("payload %d bytes exceeds the declared limit %d", len(fr.Payload), maxPayload)
+		}
+		if !validOp(fr.Op) || fr.Shard.Lo > fr.Shard.Hi || fr.Shard.Owner < comm.GlobalOwner {
+			t.Fatalf("invalid frame accepted: %+v", fr)
+		}
+		// An accepted frame must survive a re-encode/re-decode round trip.
+		again, m, err := DecodeFrame(appendFrame(nil, &fr), maxPayload)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame: %v", err)
+		}
+		if m != n || again.Op != fr.Op || again.Shard != fr.Shard || again.Enc != fr.Enc ||
+			!bytes.Equal(again.Payload, fr.Payload) {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", again, fr)
+		}
+
+		// The stream reader shares the validation path and must agree.
+		sf, sn, serr := readFrame(bytes.NewReader(data), maxPayload)
+		if serr != nil {
+			t.Fatalf("readFrame rejected what DecodeFrame accepted: %v", serr)
+		}
+		if sn != n || sf.Op != fr.Op || sf.Shard != fr.Shard {
+			t.Fatalf("stream decode disagrees: %+v vs %+v", sf, fr)
+		}
+	})
+}

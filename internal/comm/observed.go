@@ -1,25 +1,36 @@
 package comm
 
+import (
+	"fmt"
+	"time"
+)
+
 // TransferObserverFunc receives one completed (or finally failed) transfer:
-// the operation ("pull" or "push"), the accumulated stats, and whether it
-// failed. Implementations must be safe for concurrent use by distinct
-// workers and should not block — they run on the transfer path.
-type TransferObserverFunc func(op string, stats TransferStats, failed bool)
+// the operation ("pull", "push", or "sync"), the accumulated stats, the
+// wall-clock seconds the operation took (0 when the decorator has no
+// clock), and whether it failed. Implementations must be safe for
+// concurrent use by distinct workers and should not block — they run on
+// the transfer path.
+type TransferObserverFunc func(op string, stats TransferStats, seconds float64, failed bool)
 
 // Observed decorates a Transport, reporting every Pull/Push outcome to a
-// callback. The decorator itself holds no clock and allocates nothing per
-// transfer, so it is legal inside the simulated-time packages; whatever
-// timing the callback's owner wants comes from the clock it closed over
-// (see internal/obs). Wrap Observed OUTSIDE Retrying so one observation is
-// one logical operation with its retries already folded into the stats.
+// callback. The decorator itself mints no clock and allocates nothing per
+// transfer, so it is legal inside the simulated-time packages: timing
+// comes from the injected now function — nil for untimed in-process
+// stacks, the observer's clock (see internal/obs) for wire stacks whose
+// latency is worth a histogram. Wrap Observed OUTSIDE Retrying so one
+// observation is one logical operation with its retries already folded
+// into the stats.
 type Observed struct {
 	inner Transport
+	now   func() time.Time
 	fn    TransferObserverFunc
 }
 
-// NewObserved wraps inner so fn sees every transfer. A nil fn returns
-// inner unchanged — uninstrumented stacks pay nothing.
-func NewObserved(inner Transport, fn TransferObserverFunc) Transport {
+// NewObserved wraps inner so fn sees every transfer, timed by now (nil for
+// untimed observation). A nil fn returns inner unchanged — uninstrumented
+// stacks pay nothing.
+func NewObserved(inner Transport, now func() time.Time, fn TransferObserverFunc) Transport {
 	if inner == nil {
 		// lint:invariant a nil inner transport is a wiring bug in the decorator stack, never user input; every config path constructs the transport first.
 		panic("comm: NewObserved needs a transport")
@@ -27,7 +38,7 @@ func NewObserved(inner Transport, fn TransferObserverFunc) Transport {
 	if fn == nil {
 		return inner
 	}
-	return &Observed{inner: inner, fn: fn}
+	return &Observed{inner: inner, now: now, fn: fn}
 }
 
 // Name implements Transport. Observation is transparent: the stack keeps
@@ -37,16 +48,46 @@ func (o *Observed) Name() string { return o.inner.Name() }
 // CopiesPerTransfer implements Transport.
 func (o *Observed) CopiesPerTransfer() int { return o.inner.CopiesPerTransfer() }
 
+// Unwrap implements Unwrapper.
+func (o *Observed) Unwrap() Transport { return o.inner }
+
 // Pull implements Transport.
-func (o *Observed) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
-	st, err := o.inner.Pull(dst, src, enc)
-	o.fn("pull", st, err != nil)
-	return st, err
+func (o *Observed) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	return o.observe("pull", func() (TransferStats, error) { return o.inner.Pull(dst, src, x) })
 }
 
 // Push implements Transport.
-func (o *Observed) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
-	st, err := o.inner.Push(dst, src, enc)
-	o.fn("push", st, err != nil)
+func (o *Observed) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	return o.observe("push", func() (TransferStats, error) { return o.inner.Push(dst, src, x) })
+}
+
+// RemoteAddr implements Remote by forwarding (empty for in-process bases).
+func (o *Observed) RemoteAddr() string {
+	if r, ok := o.inner.(Remote); ok {
+		return r.RemoteAddr()
+	}
+	return ""
+}
+
+// SyncShard implements Remote; sync uploads are observed as op "sync".
+func (o *Observed) SyncShard(src []float32, x Xfer) (TransferStats, error) {
+	r, ok := o.inner.(Remote)
+	if !ok {
+		return TransferStats{}, fmt.Errorf("comm: %s is not a remote transport", o.inner.Name())
+	}
+	return o.observe("sync", func() (TransferStats, error) { return r.SyncShard(src, x) })
+}
+
+func (o *Observed) observe(op string, run func() (TransferStats, error)) (TransferStats, error) {
+	var start time.Time
+	if o.now != nil {
+		start = o.now()
+	}
+	st, err := run()
+	var seconds float64
+	if o.now != nil {
+		seconds = o.now().Sub(start).Seconds()
+	}
+	o.fn(op, st, seconds, err != nil)
 	return st, err
 }

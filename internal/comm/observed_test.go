@@ -3,6 +3,7 @@ package comm
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestObservedReportsEveryTransfer(t *testing.T) {
@@ -15,7 +16,7 @@ func TestObservedReportsEveryTransfer(t *testing.T) {
 		mu   sync.Mutex
 		seen []obs
 	)
-	tr := NewObserved(NewSharedMem(1), func(op string, st TransferStats, failed bool) {
+	tr := NewObserved(shared(1), nil, func(op string, st TransferStats, seconds float64, failed bool) {
 		mu.Lock()
 		seen = append(seen, obs{op, st, failed})
 		mu.Unlock()
@@ -24,10 +25,10 @@ func TestObservedReportsEveryTransfer(t *testing.T) {
 		t.Fatalf("observation must be transparent: name=%q copies=%d", tr.Name(), tr.CopiesPerTransfer())
 	}
 	dst, src := make([]float32, 8), make([]float32, 8)
-	if _, err := tr.Pull(dst, src, FP32); err != nil {
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Push(dst, src, FP32); err != nil {
+	if _, err := tr.Push(dst, src, Xfer{Enc: FP32}); err != nil {
 		t.Fatal(err)
 	}
 	if len(seen) != 2 {
@@ -43,20 +44,52 @@ func TestObservedReportsEveryTransfer(t *testing.T) {
 	}
 }
 
+func TestObservedTimesWithInjectedClock(t *testing.T) {
+	// The decorator mints no clock of its own: a nil now reports 0s, an
+	// injected one times each transfer with two samples.
+	var untimed float64 = -1
+	tr := NewObserved(shared(1), nil, func(_ string, _ TransferStats, seconds float64, _ bool) {
+		untimed = seconds
+	})
+	dst, src := make([]float32, 4), make([]float32, 4)
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
+		t.Fatal(err)
+	}
+	if untimed != 0 {
+		t.Fatalf("untimed observation reported %vs, want 0", untimed)
+	}
+
+	fake := time.Unix(0, 0)
+	clock := func() time.Time {
+		fake = fake.Add(250 * time.Millisecond)
+		return fake
+	}
+	var timed float64
+	tr = NewObserved(shared(1), clock, func(_ string, _ TransferStats, seconds float64, _ bool) {
+		timed = seconds
+	})
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
+		t.Fatal(err)
+	}
+	if timed != 0.25 {
+		t.Fatalf("timed observation = %vs, want 0.25 (one clock step)", timed)
+	}
+}
+
 func TestObservedReportsFailures(t *testing.T) {
-	faulty, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 1, Seed: 1})
+	faulty, err := NewFaulty(shared(1), FaultSpec{Transient: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var failures, total int
-	tr := NewObserved(faulty, func(op string, st TransferStats, failed bool) {
+	tr := NewObserved(faulty, nil, func(op string, st TransferStats, seconds float64, failed bool) {
 		total++
 		if failed {
 			failures++
 		}
 	})
 	dst, src := make([]float32, 4), make([]float32, 4)
-	if _, err := tr.Pull(dst, src, FP32); err == nil {
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err == nil {
 		t.Fatal("expected injected failure")
 	}
 	if total != 1 || failures != 1 {
@@ -67,22 +100,23 @@ func TestObservedReportsFailures(t *testing.T) {
 func TestObservedRetryFolding(t *testing.T) {
 	// Observed outside Retrying: one observation per logical operation,
 	// retries folded into the stats.
-	faulty, err := NewFaulty(NewSharedMem(1), FaultSpec{Transient: 0.5, Seed: 42})
+	faulty, err := NewFaulty(shared(1), FaultSpec{Transient: 0.5, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var observations int
 	var retries int
-	tr := NewObserved(NewRetrying(faulty, RetryPolicy{Attempts: 8}), func(op string, st TransferStats, failed bool) {
-		observations++
-		retries += st.Retries
-		if failed {
-			t.Fatalf("op %s failed despite 8 attempts", op)
-		}
-	})
+	tr := NewObserved(NewRetrying(faulty, RetryPolicy{Attempts: 8}), nil,
+		func(op string, st TransferStats, seconds float64, failed bool) {
+			observations++
+			retries += st.Retries
+			if failed {
+				t.Fatalf("op %s failed despite 8 attempts", op)
+			}
+		})
 	dst, src := make([]float32, 4), make([]float32, 4)
 	for i := 0; i < 20; i++ {
-		if _, err := tr.Pull(dst, src, FP32); err != nil {
+		if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -95,8 +129,26 @@ func TestObservedRetryFolding(t *testing.T) {
 }
 
 func TestObservedNilCallbackPassthrough(t *testing.T) {
-	inner := NewSharedMem(1)
-	if got := NewObserved(inner, nil); got != Transport(inner) {
+	inner := shared(1)
+	if got := NewObserved(inner, nil, nil); got != inner {
 		t.Fatal("nil callback must return the inner transport unchanged")
+	}
+}
+
+func TestObservedSyncOp(t *testing.T) {
+	base := &fakeRemote{addr: "127.0.0.1:1"}
+	var ops []string
+	tr := NewObserved(base, nil, func(op string, _ TransferStats, _ float64, _ bool) {
+		ops = append(ops, op)
+	})
+	rem, ok := AsRemote(tr)
+	if !ok {
+		t.Fatal("observed remote lost the capability")
+	}
+	if _, err := rem.SyncShard(make([]float32, 4), Xfer{Shard: GlobalShard(MatrixQ, 0, 4), Enc: FP32}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0] != "sync" {
+		t.Fatalf("ops = %v, want [sync]", ops)
 	}
 }

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry kind names for the built-in in-process transports. Wire
+// transports register their own kinds (internal/comm/net registers "tcp")
+// so this package never imports its implementations.
+const (
+	// KindShared names the paper's COMM shared-memory transport.
+	KindShared = "comm"
+	// KindMessage names the ps-lite-style COMM-P message transport.
+	KindMessage = "comm-p"
+)
+
+// Spec is the transport-neutral construction request the registry resolves
+// into a Transport. Fields irrelevant to a kind are ignored by its
+// constructor; fields it requires are validated there.
+type Spec struct {
+	// Kind selects the registered constructor ("comm", "comm-p", "tcp");
+	// empty means KindShared.
+	Kind string
+	// Workers sizes in-process transports (clamped to ≥1).
+	Workers int
+	// Addr is the server endpoint a wire transport connects to.
+	Addr string
+	// M, N, K are the factor-matrix dimensions a wire transport declares
+	// at handshake so the remote store can size its shards.
+	M, N, K int
+	// OpTimeout bounds each wire operation (dial, pull, push); zero lets
+	// the transport pick its default.
+	OpTimeout time.Duration
+}
+
+// Constructor builds a transport from a spec.
+type Constructor func(Spec) (Transport, error)
+
+var registryMu sync.RWMutex
+var registry = map[string]Constructor{
+	KindShared: func(spec Spec) (Transport, error) {
+		return newSharedMem(spec.Workers), nil
+	},
+	KindMessage: func(Spec) (Transport, error) {
+		return newMessage(), nil
+	},
+}
+
+// Register installs a constructor for kind, replacing any previous one.
+// Wire transport packages call this from init so importing them for effect
+// is enough to make their kind selectable by name.
+func Register(kind string, ctor Constructor) {
+	if kind == "" || ctor == nil {
+		// lint:invariant registration happens from package init with literal arguments; an empty kind or nil constructor is a programming error, never input.
+		panic("comm: Register needs a kind and a constructor")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[kind] = ctor
+}
+
+// Kinds reports the registered kind names, sorted.
+func Kinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	kinds := make([]string, 0, len(registry))
+	for k := range registry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// New resolves spec through the registry. An empty Kind selects KindShared,
+// the framework's default data path.
+func New(spec Spec) (Transport, error) {
+	kind := spec.Kind
+	if kind == "" {
+		kind = KindShared
+	}
+	registryMu.RLock()
+	ctor, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("comm: unknown transport kind %q (registered: %v)", kind, Kinds())
+	}
+	return ctor(spec)
+}
+
+// MustNew is New for callers with static specs (tests, examples).
+func MustNew(spec Spec) Transport {
+	t, err := New(spec)
+	if err != nil {
+		// lint:invariant MustNew is reserved for static specs whose kinds are compiled in; a resolution failure is a programming error.
+		panic(err)
+	}
+	return t
+}

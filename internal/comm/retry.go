@@ -28,7 +28,9 @@ func (p RetryPolicy) Enabled() bool { return p.Attempts > 1 }
 // bus traffic in BusBytes), so the cost model can charge what a lossy link
 // really costs. When the budget is exhausted the last error is returned
 // wrapped, together with the accumulated stats — the parameter server
-// accounts those even on failure.
+// accounts those even on failure. A transfer whose context is already
+// cancelled is not retried: the deadline owner has given up, and every
+// further attempt would fail the same way.
 type Retrying struct {
 	inner Transport
 	pol   RetryPolicy
@@ -56,17 +58,38 @@ func (r *Retrying) Name() string { return r.inner.Name() + "+retry" }
 // CopiesPerTransfer implements Transport.
 func (r *Retrying) CopiesPerTransfer() int { return r.inner.CopiesPerTransfer() }
 
+// Unwrap implements Unwrapper.
+func (r *Retrying) Unwrap() Transport { return r.inner }
+
 // Pull implements Transport.
-func (r *Retrying) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return r.do(func() (TransferStats, error) { return r.inner.Pull(dst, src, enc) })
+func (r *Retrying) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	return r.do(x, func() (TransferStats, error) { return r.inner.Pull(dst, src, x) })
 }
 
 // Push implements Transport.
-func (r *Retrying) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return r.do(func() (TransferStats, error) { return r.inner.Push(dst, src, enc) })
+func (r *Retrying) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	return r.do(x, func() (TransferStats, error) { return r.inner.Push(dst, src, x) })
 }
 
-func (r *Retrying) do(op func() (TransferStats, error)) (TransferStats, error) {
+// RemoteAddr implements Remote by forwarding (empty for in-process bases).
+func (r *Retrying) RemoteAddr() string {
+	if rem, ok := r.inner.(Remote); ok {
+		return rem.RemoteAddr()
+	}
+	return ""
+}
+
+// SyncShard implements Remote: the authoritative upload after a sync
+// barrier deserves the same persistence as the transfers it feeds.
+func (r *Retrying) SyncShard(src []float32, x Xfer) (TransferStats, error) {
+	rem, ok := r.inner.(Remote)
+	if !ok {
+		return TransferStats{}, fmt.Errorf("comm: %s is not a remote transport", r.inner.Name())
+	}
+	return r.do(x, func() (TransferStats, error) { return rem.SyncShard(src, x) })
+}
+
+func (r *Retrying) do(x Xfer, op func() (TransferStats, error)) (TransferStats, error) {
 	var total TransferStats
 	delay := r.pol.BaseDelay
 	var lastErr error
@@ -78,6 +101,12 @@ func (r *Retrying) do(op func() (TransferStats, error)) (TransferStats, error) {
 			return total, nil
 		}
 		lastErr = err
+		if x.Err() != nil {
+			// Cancelled transfers fail deterministically; stop burning
+			// the budget. The attempts so far still count as retries.
+			total.Retries += attempt - 1
+			return total, fmt.Errorf("comm: %s: giving up after %d attempts: %w", r.inner.Name(), attempt, lastErr)
+		}
 		if attempt < r.pol.Attempts && delay > 0 {
 			r.pol.Sleep(delay)
 			delay *= 2

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,10 +16,28 @@ import (
 // failed attempts a Retrying decorator repeated; their bus traffic (e.g. a
 // truncated payload's prefix) stays in BusBytes, so the cost model can
 // charge the waste of a lossy link.
+//
+// The wire-level fields (Frames, Handshakes, WireBytes) are populated only
+// by transports that put real octets on a real link (internal/comm/net);
+// in-process transports leave them zero. BusBytes remains the *logical*
+// payload volume — k·rows·BytesPerParam — on every transport, so the cost
+// model's bus charge is transport-independent and framing overhead is
+// never double-counted into simulated bus time.
 type TransferStats struct {
 	BusBytes int64
 	Copies   int
 	Retries  int
+	// Frames counts protocol frames exchanged (requests, responses,
+	// handshake frames) on a wire transport.
+	Frames int
+	// Handshakes counts connection establishments (dial + hello exchange)
+	// this transfer triggered; steady-state transfers reuse pooled
+	// connections and report zero.
+	Handshakes int
+	// WireBytes counts the octets that actually crossed the socket —
+	// frame headers, handshake payloads, and the (possibly fp16-
+	// compressed) payload bytes.
+	WireBytes int64
 }
 
 // Add accumulates other into s.
@@ -26,20 +45,187 @@ func (s *TransferStats) Add(other TransferStats) {
 	s.BusBytes += other.BusBytes
 	s.Copies += other.Copies
 	s.Retries += other.Retries
+	s.Frames += other.Frames
+	s.Handshakes += other.Handshakes
+	s.WireBytes += other.WireBytes
+}
+
+// Matrix identifies which factor matrix a Shard addresses.
+type Matrix uint8
+
+const (
+	// MatrixQ is the item-feature matrix (n×k), the payload that travels
+	// every epoch.
+	MatrixQ Matrix = iota
+	// MatrixP is the user-feature matrix (m×k).
+	MatrixP
+)
+
+// String implements fmt.Stringer.
+func (m Matrix) String() string {
+	switch m {
+	case MatrixQ:
+		return "Q"
+	case MatrixP:
+		return "P"
+	default:
+		return fmt.Sprintf("Matrix(%d)", uint8(m))
+	}
+}
+
+// GlobalOwner is the Shard.Owner value naming the server's global copy of
+// a matrix, as opposed to a worker's push buffer.
+const GlobalOwner = -1
+
+// Shard names the parameter block one transfer moves: which matrix, whose
+// buffer (a worker's push shard or the global copy), and the flat float32
+// element range [Lo, Hi) within that matrix. In-process transports, where
+// caller-supplied dst/src slices already address the right memory, treat
+// the shard as documentation; a wire transport uses it to tell the remote
+// store which rows the payload is.
+type Shard struct {
+	Matrix Matrix
+	// Owner is the worker index owning a push buffer, or GlobalOwner for
+	// the server's global copy.
+	Owner int
+	// Lo, Hi delimit the flat element range [Lo, Hi) in the matrix's
+	// row-major float32 array (row r of a k-wide matrix spans
+	// [r·k, (r+1)·k)).
+	Lo, Hi int
+}
+
+// Params reports the number of float32 parameters the shard spans.
+func (sh Shard) Params() int { return sh.Hi - sh.Lo }
+
+// String implements fmt.Stringer.
+func (sh Shard) String() string {
+	if sh.Owner == GlobalOwner {
+		return fmt.Sprintf("%v/global[%d:%d]", sh.Matrix, sh.Lo, sh.Hi)
+	}
+	return fmt.Sprintf("%v/worker%d[%d:%d]", sh.Matrix, sh.Owner, sh.Lo, sh.Hi)
+}
+
+// GlobalShard names the global copy of matrix m over elements [lo, hi).
+func GlobalShard(m Matrix, lo, hi int) Shard {
+	return Shard{Matrix: m, Owner: GlobalOwner, Lo: lo, Hi: hi}
+}
+
+// WorkerShard names worker owner's push buffer of matrix m over [lo, hi).
+func WorkerShard(m Matrix, owner, lo, hi int) Shard {
+	return Shard{Matrix: m, Owner: owner, Lo: lo, Hi: hi}
+}
+
+// Xfer describes one transfer: the shard operand naming which rows move,
+// the wire encoding, and an optional context carrying a deadline or
+// cancellation. The zero value (unspecified shard, FP32, no deadline) is
+// valid for in-process transports, which address memory through the
+// caller's dst/src slices alone.
+type Xfer struct {
+	Shard Shard
+	Enc   Encoding
+	// Ctx, when non-nil, bounds the transfer: wire transports apply its
+	// deadline to the socket and all transports fail fast when it is
+	// already cancelled. A nil Ctx means no deadline.
+	Ctx context.Context
+}
+
+// Err reports the context's cancellation state (nil for a nil Ctx).
+func (x Xfer) Err() error {
+	if x.Ctx == nil {
+		return nil
+	}
+	return x.Ctx.Err()
+}
+
+// truncated returns the Xfer describing the leading cut params of x's
+// transfer: the shard range shrinks with the payload, so a wire transport
+// still sees a self-consistent (shard, payload) pair for the prefix that
+// crossed before an injected cut.
+func (x Xfer) truncated(cut int) Xfer {
+	if x.Shard.Hi > x.Shard.Lo+cut {
+		x.Shard.Hi = x.Shard.Lo + cut
+	}
+	return x
 }
 
 // Transport moves float32 feature vectors between a worker and the server.
 // Implementations must be safe for concurrent use by distinct workers.
+//
+// Optional capabilities live on side interfaces rather than here: a
+// transport that owns OS resources implements io.Closer (release it with
+// CloseTransport, which sees through decorators), and one whose
+// server-side buffers live in another process implements Remote.
 type Transport interface {
-	// Name identifies the transport ("COMM", "COMM-P").
+	// Name identifies the transport ("COMM", "COMM-P", "TCP").
 	Name() string
-	// Pull copies src (server-side global data) into dst (worker-local).
-	Pull(dst, src []float32, enc Encoding) (TransferStats, error)
-	// Push copies src (worker-local data) into dst (server-side buffer).
-	Push(dst, src []float32, enc Encoding) (TransferStats, error)
+	// Pull copies the shard named by x (server-side global data) into dst
+	// (worker-local). In-process transports read the caller-shared src;
+	// remote transports serve the shard from the remote store and ignore
+	// src (which may be nil).
+	Pull(dst, src []float32, x Xfer) (TransferStats, error)
+	// Push copies src (worker-local data) into the shard named by x and
+	// into dst (the server-side buffer the caller folds from). dst always
+	// receives the encode/decode round trip of src under x.Enc, exactly
+	// what came out of the wire.
+	Push(dst, src []float32, x Xfer) (TransferStats, error)
 	// CopiesPerTransfer reports the end-to-end memory copy count of the
 	// transport's data path, the quantity the paper minimises.
 	CopiesPerTransfer() int
+}
+
+// Remote is the optional capability of transports whose server-side
+// buffers live in another OS process. The parameter-server cluster uses it
+// to publish the authoritative global shards after each sync, so the next
+// epoch's Pulls are served from the remote store; in-process transports
+// share the caller's address space and never need it. Resolve the
+// capability with AsRemote — decorators forward these methods, so a
+// decorated remote stack retries/faults/observes SyncShard like any other
+// transfer.
+type Remote interface {
+	// RemoteAddr reports the server endpoint the transport is bound to.
+	RemoteAddr() string
+	// SyncShard uploads src as the authoritative bytes of the shard named
+	// by x, overwriting the remote store.
+	SyncShard(src []float32, x Xfer) (TransferStats, error)
+}
+
+// Unwrapper is implemented by decorators; capability helpers use it to
+// reach the base transport.
+type Unwrapper interface {
+	Unwrap() Transport
+}
+
+// Base unwraps decorators down to the innermost transport.
+func Base(t Transport) Transport {
+	for {
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return t
+		}
+		t = u.Unwrap()
+	}
+}
+
+// AsRemote resolves the Remote capability of a (possibly decorated)
+// transport stack. The check is against the base transport — decorators
+// implement Remote unconditionally to forward it, so asserting on the
+// outermost layer alone would claim every decorated stack is remote.
+func AsRemote(t Transport) (Remote, bool) {
+	if _, ok := Base(t).(Remote); !ok {
+		return nil, false
+	}
+	r, ok := t.(Remote)
+	return r, ok
+}
+
+// CloseTransport releases the base transport's OS resources (network
+// connections), seeing through decorators, which own none of their own.
+// In-process transports are resource-free; closing them is a no-op.
+func CloseTransport(t Transport) error {
+	if c, ok := Base(t).(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // SharedMem is the paper's COMM module: a pull buffer on the server mapped
@@ -47,17 +233,18 @@ type Transport interface {
 // into the server's. Because both sides address the same physical pages,
 // a transfer is a single memcpy (plus an in-register FP16 stage when
 // Strategy 2 is active) and point-to-point transfers bypass the kernel.
+// Construct it through the registry (New with KindShared).
 type SharedMem struct {
 	// workers records the sizing hint; FP16 staging buffers come from a
 	// shared pool (stagePool) so steady-state transfers allocate nothing.
 	workers int
 }
 
-// NewSharedMem creates the COMM transport for the given worker count.
-func NewSharedMem(workers int) *SharedMem {
+// newSharedMem creates the COMM transport for the given worker count
+// (clamped to ≥1).
+func newSharedMem(workers int) *SharedMem {
 	if workers < 1 {
-		// lint:invariant worker counts derive from the platform topology validated by core before transports are built; zero workers is a wiring bug.
-		panic("comm: SharedMem needs ≥1 worker")
+		workers = 1
 	}
 	return &SharedMem{workers: workers}
 }
@@ -70,13 +257,13 @@ func (s *SharedMem) Name() string { return "COMM" }
 func (s *SharedMem) CopiesPerTransfer() int { return 1 }
 
 // Pull implements Transport.
-func (s *SharedMem) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return sharedCopy(dst, src, enc)
+func (s *SharedMem) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	return sharedCopy(dst, src, x)
 }
 
 // Push implements Transport.
-func (s *SharedMem) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return sharedCopy(dst, src, enc)
+func (s *SharedMem) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	return sharedCopy(dst, src, x)
 }
 
 // stagePool recycles FP16 staging buffers: transfers run every epoch on
@@ -95,11 +282,14 @@ func stageBuffer(n int) *[]fp16.Bits16 {
 	return buf
 }
 
-func sharedCopy(dst, src []float32, enc Encoding) (TransferStats, error) {
+func sharedCopy(dst, src []float32, x Xfer) (TransferStats, error) {
+	if err := x.Err(); err != nil {
+		return TransferStats{}, fmt.Errorf("comm: transfer cancelled: %w", err)
+	}
 	if len(dst) != len(src) {
 		return TransferStats{}, fmt.Errorf("comm: length mismatch dst=%d src=%d", len(dst), len(src))
 	}
-	switch enc {
+	switch x.Enc {
 	case FP32:
 		copy(dst, src)
 	case FP16:
@@ -111,10 +301,10 @@ func sharedCopy(dst, src []float32, enc Encoding) (TransferStats, error) {
 		fp16.DecodeSlice(dst, *staged)
 		stagePool.Put(staged)
 	default:
-		return TransferStats{}, fmt.Errorf("comm: unknown encoding %v", enc)
+		return TransferStats{}, fmt.Errorf("comm: unknown encoding %v", x.Enc)
 	}
 	return TransferStats{
-		BusBytes: int64(len(src)) * int64(enc.BytesPerParam()),
+		BusBytes: int64(len(src)) * int64(x.Enc.BytesPerParam()),
 		Copies:   1,
 	}, nil
 }
@@ -123,15 +313,16 @@ func sharedCopy(dst, src []float32, enc Encoding) (TransferStats, error) {
 // marshals the payload into a fresh message buffer, hands it through a
 // channel (the kernel/IPC crossing), and unmarshals on the far side —
 // three passes over the data with a temporary allocation per message,
-// exactly the overheads Table 5 measures against COMM.
+// exactly the overheads Table 5 measures against COMM. Construct it
+// through the registry (New with KindMessage).
 type Message struct {
 	// mailbox carries marshalled payloads; its buffering models the
 	// store-and-forward queue of the message layer.
 	mailbox chan []byte
 }
 
-// NewMessage creates the COMM-P transport.
-func NewMessage() *Message {
+// newMessage creates the COMM-P transport.
+func newMessage() *Message {
 	return &Message{mailbox: make(chan []byte, 1)}
 }
 
@@ -143,21 +334,24 @@ func (m *Message) Name() string { return "COMM-P" }
 func (m *Message) CopiesPerTransfer() int { return 3 }
 
 // Pull implements Transport.
-func (m *Message) Pull(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return m.send(dst, src, enc)
+func (m *Message) Pull(dst, src []float32, x Xfer) (TransferStats, error) {
+	return m.send(dst, src, x)
 }
 
 // Push implements Transport.
-func (m *Message) Push(dst, src []float32, enc Encoding) (TransferStats, error) {
-	return m.send(dst, src, enc)
+func (m *Message) Push(dst, src []float32, x Xfer) (TransferStats, error) {
+	return m.send(dst, src, x)
 }
 
-func (m *Message) send(dst, src []float32, enc Encoding) (TransferStats, error) {
+func (m *Message) send(dst, src []float32, x Xfer) (TransferStats, error) {
+	if err := x.Err(); err != nil {
+		return TransferStats{}, fmt.Errorf("comm: transfer cancelled: %w", err)
+	}
 	if len(dst) != len(src) {
 		return TransferStats{}, fmt.Errorf("comm: length mismatch dst=%d src=%d", len(dst), len(src))
 	}
 	// Marshal: copy 1 (fresh temporary per message — ps-lite allocates).
-	wire, err := marshal(src, enc)
+	wire, err := marshal(src, x.Enc)
 	if err != nil {
 		return TransferStats{}, err
 	}
@@ -169,7 +363,7 @@ func (m *Message) send(dst, src []float32, enc Encoding) (TransferStats, error) 
 	m.mailbox <- crossed
 	received := <-m.mailbox
 	// Unmarshal: copy 3.
-	if err := unmarshal(dst, received, enc); err != nil {
+	if err := unmarshal(dst, received, x.Enc); err != nil {
 		return TransferStats{}, err
 	}
 	return TransferStats{

@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"context"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -14,12 +16,22 @@ func payload(n int) []float32 {
 	return src
 }
 
+// shared builds the COMM transport through the registry, the only
+// remaining construction path.
+func shared(workers int) Transport {
+	return MustNew(Spec{Kind: KindShared, Workers: workers})
+}
+
+func message() Transport {
+	return MustNew(Spec{Kind: KindMessage})
+}
+
 func testTransportRoundTrip(t *testing.T, tr Transport) {
 	t.Helper()
 	src := payload(1000)
 	dst := make([]float32, len(src))
 
-	stats, err := tr.Pull(dst, src, FP32)
+	stats, err := tr.Pull(dst, src, Xfer{Shard: GlobalShard(MatrixQ, 0, len(src)), Enc: FP32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +48,7 @@ func testTransportRoundTrip(t *testing.T, tr Transport) {
 	}
 
 	dst16 := make([]float32, len(src))
-	stats16, err := tr.Push(dst16, src, FP16)
+	stats16, err := tr.Push(dst16, src, Xfer{Shard: WorkerShard(MatrixQ, 0, 0, len(src)), Enc: FP16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,46 +63,181 @@ func testTransportRoundTrip(t *testing.T, tr Transport) {
 	}
 }
 
-func TestSharedMemRoundTrip(t *testing.T) { testTransportRoundTrip(t, NewSharedMem(2)) }
-func TestMessageRoundTrip(t *testing.T)   { testTransportRoundTrip(t, NewMessage()) }
+func TestSharedMemRoundTrip(t *testing.T) { testTransportRoundTrip(t, shared(2)) }
+func TestMessageRoundTrip(t *testing.T)   { testTransportRoundTrip(t, message()) }
 
 func TestSharedMemLengthMismatch(t *testing.T) {
-	tr := NewSharedMem(1)
-	if _, err := tr.Pull(make([]float32, 2), make([]float32, 3), FP32); err == nil {
+	tr := shared(1)
+	if _, err := tr.Pull(make([]float32, 2), make([]float32, 3), Xfer{Enc: FP32}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }
 
 func TestMessageLengthMismatch(t *testing.T) {
-	tr := NewMessage()
-	if _, err := tr.Push(make([]float32, 2), make([]float32, 3), FP32); err == nil {
+	tr := message()
+	if _, err := tr.Push(make([]float32, 2), make([]float32, 3), Xfer{Enc: FP32}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }
 
-func TestSharedMemNeedsWorkers(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewSharedMem(0) did not panic")
-		}
-	}()
-	NewSharedMem(0)
+func TestSharedMemClampsWorkers(t *testing.T) {
+	// The registry clamps a zero worker count instead of panicking: specs
+	// arrive from CLI flags, and a sizing hint is not worth crashing over.
+	tr := shared(0)
+	dst, src := make([]float32, 4), payload(4)
+	if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
+		t.Fatalf("clamped transport unusable: %v", err)
+	}
 }
 
 func TestCopyCounts(t *testing.T) {
-	if NewSharedMem(1).CopiesPerTransfer() != 1 {
+	if shared(1).CopiesPerTransfer() != 1 {
 		t.Fatal("COMM must be single-copy")
 	}
-	if NewMessage().CopiesPerTransfer() != 3 {
+	if message().CopiesPerTransfer() != 3 {
 		t.Fatal("COMM-P must be triple-copy")
 	}
 }
 
 func TestTransferStatsAdd(t *testing.T) {
-	a := TransferStats{BusBytes: 10, Copies: 1}
-	a.Add(TransferStats{BusBytes: 5, Copies: 3})
+	a := TransferStats{BusBytes: 10, Copies: 1, Frames: 2, Handshakes: 1, WireBytes: 100}
+	a.Add(TransferStats{BusBytes: 5, Copies: 3, Frames: 3, Handshakes: 1, WireBytes: 50})
 	if a.BusBytes != 15 || a.Copies != 4 {
 		t.Fatalf("Add = %+v", a)
+	}
+	if a.Frames != 5 || a.Handshakes != 2 || a.WireBytes != 150 {
+		t.Fatalf("wire fields not accumulated: %+v", a)
+	}
+}
+
+func TestRegistryResolvesKinds(t *testing.T) {
+	kinds := Kinds()
+	for _, want := range []string{KindShared, KindMessage} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Kinds() = %v, missing %q", kinds, want)
+		}
+	}
+	if tr := MustNew(Spec{}); tr.Name() != "COMM" {
+		t.Fatalf("empty kind resolved to %q, want the COMM default", tr.Name())
+	}
+	if _, err := New(Spec{Kind: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRegistryRegisterValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with nil constructor did not panic")
+		}
+	}()
+	Register("bogus", nil)
+}
+
+func TestShardNaming(t *testing.T) {
+	g := GlobalShard(MatrixQ, 8, 40)
+	if g.Owner != GlobalOwner || g.Params() != 32 {
+		t.Fatalf("GlobalShard = %+v", g)
+	}
+	if got := g.String(); got != "Q/global[8:40]" {
+		t.Fatalf("String = %q", got)
+	}
+	w := WorkerShard(MatrixP, 3, 0, 16)
+	if got := w.String(); got != "P/worker3[0:16]" {
+		t.Fatalf("String = %q", got)
+	}
+	if MatrixP.String() != "P" || MatrixQ.String() != "Q" {
+		t.Fatal("Matrix stringer broken")
+	}
+}
+
+func TestXferCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst, src := make([]float32, 4), make([]float32, 4)
+	for _, tr := range []Transport{shared(1), message()} {
+		if _, err := tr.Pull(dst, src, Xfer{Enc: FP32, Ctx: ctx}); err == nil {
+			t.Fatalf("%s accepted a cancelled transfer", tr.Name())
+		} else if !strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("%s error = %v", tr.Name(), err)
+		}
+	}
+	if (Xfer{}).Err() != nil {
+		t.Fatal("nil-context Xfer reported an error")
+	}
+}
+
+// fakeRemote is an in-memory stand-in for a wire transport: it implements
+// the Remote and Close capabilities so the helpers are testable without a
+// socket.
+type fakeRemote struct {
+	SharedMem
+	addr   string
+	synced []Shard
+	closed bool
+}
+
+func (f *fakeRemote) Name() string       { return "fake-remote" }
+func (f *fakeRemote) RemoteAddr() string { return f.addr }
+func (f *fakeRemote) Close() error       { f.closed = true; return nil }
+func (f *fakeRemote) SyncShard(src []float32, x Xfer) (TransferStats, error) {
+	if err := x.Err(); err != nil {
+		return TransferStats{}, err
+	}
+	f.synced = append(f.synced, x.Shard)
+	return TransferStats{BusBytes: int64(len(src)) * int64(x.Enc.BytesPerParam())}, nil
+}
+
+func TestCapabilityHelpersSeeThroughDecorators(t *testing.T) {
+	base := &fakeRemote{addr: "127.0.0.1:9"}
+	f, err := NewFaulty(base, FaultSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := NewObserved(NewRetrying(f, RetryPolicy{Attempts: 2}),
+		nil, func(string, TransferStats, float64, bool) {})
+
+	if Base(stack) != Transport(base) {
+		t.Fatal("Base did not unwrap to the innermost transport")
+	}
+	rem, ok := AsRemote(stack)
+	if !ok {
+		t.Fatal("AsRemote missed a remote base under decorators")
+	}
+	if rem.RemoteAddr() != "127.0.0.1:9" {
+		t.Fatalf("RemoteAddr = %q", rem.RemoteAddr())
+	}
+	src := payload(16)
+	if _, err := rem.SyncShard(src, Xfer{Shard: GlobalShard(MatrixQ, 0, 16), Enc: FP32}); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.synced) != 1 || base.synced[0] != GlobalShard(MatrixQ, 0, 16) {
+		t.Fatalf("SyncShard not forwarded: %+v", base.synced)
+	}
+	if err := CloseTransport(stack); err != nil {
+		t.Fatal(err)
+	}
+	if !base.closed {
+		t.Fatal("CloseTransport did not reach the base")
+	}
+}
+
+func TestInProcessTransportsAreNotRemote(t *testing.T) {
+	stack := NewRetrying(shared(1), RetryPolicy{Attempts: 2})
+	if _, ok := AsRemote(stack); ok {
+		t.Fatal("COMM stack claimed the Remote capability")
+	}
+	if _, err := stack.SyncShard(nil, Xfer{}); err == nil {
+		t.Fatal("SyncShard on a non-remote base must error")
+	}
+	if err := CloseTransport(stack); err != nil {
+		t.Fatal("closing a resource-free transport must be a no-op")
 	}
 }
 
@@ -98,7 +245,7 @@ func TestSharedMemConcurrentWorkers(t *testing.T) {
 	// Distinct workers pulling concurrently from the same source must each
 	// get intact data (COMM's buffers are per-worker; the shared source is
 	// read-only during pulls).
-	tr := NewSharedMem(8)
+	tr := shared(8)
 	src := payload(4096)
 	var wg sync.WaitGroup
 	errs := make(chan error, 8)
@@ -107,7 +254,7 @@ func TestSharedMemConcurrentWorkers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			dst := make([]float32, len(src))
-			if _, err := tr.Pull(dst, src, FP32); err != nil {
+			if _, err := tr.Pull(dst, src, Xfer{Enc: FP32}); err != nil {
 				errs <- err
 				return
 			}
@@ -143,22 +290,23 @@ func TestMarshalUnmarshalErrors(t *testing.T) {
 	if err := unmarshal(nil, nil, Encoding(9)); err == nil {
 		t.Fatal("unknown encoding accepted by unmarshal")
 	}
-	if _, err := sharedCopy(make([]float32, 1), make([]float32, 1), Encoding(9)); err == nil {
+	if _, err := sharedCopy(make([]float32, 1), make([]float32, 1), Xfer{Enc: Encoding(9)}); err == nil {
 		t.Fatal("unknown encoding accepted by sharedCopy")
 	}
 }
 
-func BenchmarkSharedMemPullFP32(b *testing.B) { benchTransport(b, NewSharedMem(1), FP32) }
-func BenchmarkSharedMemPullFP16(b *testing.B) { benchTransport(b, NewSharedMem(1), FP16) }
-func BenchmarkMessagePullFP32(b *testing.B)   { benchTransport(b, NewMessage(), FP32) }
+func BenchmarkSharedMemPullFP32(b *testing.B) { benchTransport(b, shared(1), FP32) }
+func BenchmarkSharedMemPullFP16(b *testing.B) { benchTransport(b, shared(1), FP16) }
+func BenchmarkMessagePullFP32(b *testing.B)   { benchTransport(b, message(), FP32) }
 
 func benchTransport(b *testing.B, tr Transport, enc Encoding) {
 	src := payload(1 << 16)
 	dst := make([]float32, len(src))
+	x := Xfer{Shard: GlobalShard(MatrixQ, 0, len(src)), Enc: enc}
 	b.SetBytes(int64(4 * len(src)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tr.Pull(dst, src, enc); err != nil {
+		if _, err := tr.Pull(dst, src, x); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"hccmf/internal/comm"
 	"hccmf/internal/dataset"
@@ -40,9 +41,17 @@ type RunConfig struct {
 	// RealK overrides the latent dimension of the real training run
 	// (default: Plan.K, which can be slow on laptop-scale tests).
 	RealK int
-	// Transport is the communication implementation for real execution
-	// (default COMM shared memory).
+	// Transport is the communication implementation for real execution.
+	// When nil, one is built from TransportSpec through the comm registry
+	// and closed when the run finishes.
 	Transport comm.Transport
+	// TransportSpec selects the transport by registry kind when Transport
+	// is nil: Kind "" or comm.KindShared is shared memory, comm.KindMessage
+	// the ps-lite message path, and any registered wire transport (e.g.
+	// "tcp" with Addr set) trains against a remote parameter server. The
+	// run fills Workers and the factor dims; everything else (Addr,
+	// OpTimeout) is the caller's.
+	TransportSpec comm.Spec
 	// Schedule, when non-nil, applies a per-epoch learning-rate schedule
 	// to the real training run (e.g. mf.InverseDecay).
 	Schedule mf.Schedule
@@ -214,7 +223,17 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	}
 	transport := cfg.Transport
 	if transport == nil {
-		transport = comm.NewSharedMem(len(cfg.Platform.Workers))
+		spec := cfg.TransportSpec
+		spec.Workers = len(cfg.Platform.Workers)
+		spec.M, spec.N, spec.K = train.Rows, train.Cols, k
+		built, err := comm.New(spec)
+		if err != nil {
+			return err
+		}
+		transport = built
+		// The run owns what it built; a wire transport drops its pooled
+		// connections here. In-process transports make this a no-op.
+		defer func() { _ = comm.CloseTransport(built) }()
 	}
 	// The fault-tolerance stack wraps outside-in: faults are injected on
 	// the raw link, retries absorb them above, eviction (in ps) catches
@@ -233,8 +252,21 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	// logical transfer, retries already folded into its stats. Counters live
 	// here only — ps.account keeps feeding CommStats independently.
 	if run := cfg.Obs.RunMetrics(); run != nil {
-		transport = comm.NewObserved(transport, func(op string, st comm.TransferStats, failed bool) {
-			run.CountTransfer(st.BusBytes, st.Copies, st.Retries, failed)
+		var now func() time.Time
+		if clock := run.Clock(); clock != nil {
+			now = func() time.Time { return time.Unix(0, int64(clock()*1e9)) }
+		}
+		transport = comm.NewObserved(transport, now, func(op string, st comm.TransferStats, seconds float64, failed bool) {
+			run.CountTransfer(obs.TransferSample{
+				BusBytes:   st.BusBytes,
+				WireBytes:  st.WireBytes,
+				Copies:     st.Copies,
+				Retries:    st.Retries,
+				Frames:     st.Frames,
+				Handshakes: st.Handshakes,
+				Seconds:    seconds,
+				Failed:     failed,
+			})
 		})
 	}
 

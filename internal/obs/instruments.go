@@ -71,12 +71,21 @@ type RunMetrics struct {
 	// (pull, compute, push, sync).
 	Phase [4]*Histogram
 	// Transfer accounting (mirrors comm.TransferStats, plus attempt and
-	// failure counts the stats struct does not carry).
+	// failure counts the stats struct does not carry). BusBytes stays the
+	// logical payload volume on every transport; the wire-level counters
+	// (frames, handshakes, octets) move only when a transfer actually
+	// crossed a socket.
 	BusBytes       *Counter
 	Copies         *Counter
 	Retries        *Counter
 	Transfers      *Counter
 	TransferErrors *Counter
+	WireBytes      *Counter
+	Frames         *Counter
+	Handshakes     *Counter
+	// NetSeconds distributes wire operation latency; it is fed only for
+	// transfers that produced frames, so in-process runs leave it empty.
+	NetSeconds *Histogram
 	// Evictions counts workers removed by fault tolerance.
 	Evictions *Counter
 
@@ -97,6 +106,10 @@ func NewRunMetrics(r *Registry) *RunMetrics {
 		Retries:            r.Counter("comm/retries_total", "failed transfer attempts absorbed by retry"),
 		Transfers:          r.Counter("comm/transfers_total", "pull/push operations completed"),
 		TransferErrors:     r.Counter("comm/transfer_errors_total", "pull/push operations that failed after retries"),
+		WireBytes:          r.Counter("comm/wire_bytes_total", "octets actually crossing the network, headers included"),
+		Frames:             r.Counter("comm/frames_total", "hccmf-wire frames sent and received"),
+		Handshakes:         r.Counter("comm/handshakes_total", "connections dialled and handshaken"),
+		NetSeconds:         MustHistogram(r, "comm/net_seconds", "wire operation latency", DurationBuckets),
 		Evictions:          r.Counter("ps/evictions_total", "workers evicted by fault tolerance"),
 	}
 	for p := trace.Pull; p <= trace.Sync; p++ {
@@ -147,19 +160,54 @@ func (m *RunMetrics) ObservePhase(p trace.Phase, seconds float64) {
 	m.Phase[p].Observe(seconds)
 }
 
-// CountTransfer accounts one completed pull/push: its stats plus whether
-// it ultimately failed. No-op on nil.
-func (m *RunMetrics) CountTransfer(busBytes int64, copies, retries int, failed bool) {
+// TransferSample is one observed logical transfer, retries already folded
+// in by the observation point (outside comm.Retrying) so nothing is
+// double-counted. It mirrors comm.TransferStats field by field without
+// importing it — obs stays dependency-free below trace.
+type TransferSample struct {
+	// BusBytes is the logical payload volume (params × encoding width).
+	BusBytes int64
+	// WireBytes is the octets that actually crossed a socket (0 in-process).
+	WireBytes  int64
+	Copies     int
+	Retries    int
+	Frames     int
+	Handshakes int
+	// Seconds is the observed operation latency (0 when the observer has no
+	// clock).
+	Seconds float64
+	// Failed marks a transfer that erred even after retries.
+	Failed bool
+}
+
+// CountTransfer accounts one completed pull/push/sync. The wire histogram
+// moves only when the transfer produced frames, so shared-memory runs keep
+// comm/net_seconds empty. No-op on nil.
+func (m *RunMetrics) CountTransfer(s TransferSample) {
 	if m == nil {
 		return
 	}
-	m.BusBytes.Add(busBytes)
-	m.Copies.Add(int64(copies))
-	m.Retries.Add(int64(retries))
+	m.BusBytes.Add(s.BusBytes)
+	m.Copies.Add(int64(s.Copies))
+	m.Retries.Add(int64(s.Retries))
 	m.Transfers.Inc()
-	if failed {
+	if s.Failed {
 		m.TransferErrors.Inc()
 	}
+	if s.Frames > 0 {
+		m.WireBytes.Add(s.WireBytes)
+		m.Frames.Add(int64(s.Frames))
+		m.Handshakes.Add(int64(s.Handshakes))
+		m.NetSeconds.Observe(s.Seconds)
+	}
+}
+
+// Clock exposes the observer clock (seconds); nil when timing is disabled.
+func (m *RunMetrics) Clock() func() float64 {
+	if m == nil {
+		return nil
+	}
+	return m.clock
 }
 
 // EngineMetrics is the slice of RunMetrics the mf engines see: update and

@@ -48,8 +48,11 @@ func TestNilInstrumentsAreSafe(t *testing.T) {
 		t.Fatal("nil instruments must read as zero")
 	}
 	var m *RunMetrics
-	m.CountTransfer(10, 1, 1, true)
+	m.CountTransfer(TransferSample{BusBytes: 10, Copies: 1, Retries: 1, Frames: 2, Failed: true})
 	m.ObservePhase(0, 1)
+	if m.Clock() != nil {
+		t.Fatal("nil metrics must yield a nil clock")
+	}
 	var em *EngineMetrics
 	em.EpochDone(em.EpochStart(), 10)
 	var o *Observer

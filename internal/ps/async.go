@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hccmf/internal/comm"
 	"hccmf/internal/mf"
 	"hccmf/internal/obs"
 	"hccmf/internal/sparse"
@@ -54,7 +55,10 @@ func (c *Cluster) runEpochAsync(epoch, total int) error {
 	for _, ws := range evicted {
 		coord.drop(ws)
 	}
-	return nil
+	// Publish once the epoch's folds have all landed. Mid-epoch folds need
+	// no earlier publish: within an epoch every pull of a slice precedes
+	// its fold, so remote pulls correctly see the epoch-start model.
+	return c.publishGlobal(!c.cfg.Strategy.QOnly || epoch == total-1)
 }
 
 // workerEpochAsync runs one worker's stream pipelines for one epoch.
@@ -99,7 +103,10 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 	// every push follows the pull, so no fold can precede any pull of the
 	// same slice.
 	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "pull")
-	st, err := tr.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], enc)
+	st, err := tr.Pull(ws.local.Q[lo:hi], c.global.Q[lo:hi], comm.Xfer{
+		Shard: comm.GlobalShard(comm.MatrixQ, lo, hi),
+		Enc:   enc,
+	})
 	c.account(st)
 	c.metrics.ObservePhase(trace.Pull, span.EndArg("slice", float64(sj)))
 	if err != nil {
@@ -116,7 +123,10 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 
 	// Push the slice into the worker's push buffer.
 	span = c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "push")
-	st, err = tr.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], enc)
+	st, err = tr.Push(ws.pushQ[lo:hi], ws.local.Q[lo:hi], comm.Xfer{
+		Shard: comm.WorkerShard(comm.MatrixQ, ws.id, lo, hi),
+		Enc:   enc,
+	})
 	c.account(st)
 	c.metrics.ObservePhase(trace.Push, span.EndArg("slice", float64(sj)))
 	if err != nil {
@@ -133,13 +143,16 @@ func (c *Cluster) streamRun(ws *workerState, coord *sliceCoordinator, sl itemSli
 func (c *Cluster) pushP(ws *workerState, epoch, total int) error {
 	enc := c.cfg.Strategy.Encoding
 	var src []float32
+	var shard comm.Shard
 	if c.cfg.Strategy.QOnly {
 		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
 		src = ws.local.P[lo:hi]
+		shard = comm.WorkerShard(comm.MatrixP, ws.id, lo, hi)
 	} else {
 		src = ws.local.P
+		shard = comm.WorkerShard(comm.MatrixP, ws.id, 0, len(ws.local.P))
 	}
-	st, err := c.transportFor(ws).Push(ws.pushP, src, enc)
+	st, err := c.transportFor(ws).Push(ws.pushP, src, comm.Xfer{Shard: shard, Enc: enc})
 	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)

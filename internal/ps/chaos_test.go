@@ -21,7 +21,7 @@ func mustFaulty(inner comm.Transport, spec comm.FaultSpec) comm.Transport {
 // chaosTransport is the canonical fault-tolerant stack: shared memory with
 // seeded fault injection, wrapped in bounded retries (no real sleeping).
 func chaosTransport(rate float64, seed uint64, attempts int) comm.Transport {
-	faulty := mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{
+	faulty := mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{
 		Transient: rate * 0.8,
 		Truncate:  rate * 0.2,
 		Seed:      seed,
@@ -86,7 +86,7 @@ func TestEvictionReassignsRowsSync(t *testing.T) {
 		t.Run(mode.name, func(t *testing.T) {
 			full, confs := buildProblem(t, 120, 80, 6000, []float64{0.3, 0.3, 0.4}, 42)
 			confs[1].Transport = comm.NewRetrying(
-				mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 5}),
+				mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{Transient: 1, Seed: 5}),
 				comm.RetryPolicy{Attempts: 3})
 			cfg := defaultConfig(120, 80)
 			cfg.Strategy = mode.strat
@@ -139,7 +139,7 @@ func TestEvictionReassignsRowsAsync(t *testing.T) {
 	skipAsyncUnderRace(t)
 	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.5, 0.5}, 43)
 	confs[1].Transport = comm.NewRetrying(
-		mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 6}),
+		mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{Transient: 1, Seed: 6}),
 		comm.RetryPolicy{Attempts: 2})
 	cfg := defaultConfig(120, 80)
 	cfg.Strategy = comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 4}
@@ -169,7 +169,7 @@ func TestEvictionReassignsRowsAsync(t *testing.T) {
 func TestDeadWorkerAbortsWithoutOptIn(t *testing.T) {
 	full, confs := buildProblem(t, 60, 40, 1000, []float64{0.5, 0.5}, 44)
 	confs[1].Transport = comm.NewRetrying(
-		mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 7}),
+		mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{Transient: 1, Seed: 7}),
 		comm.RetryPolicy{Attempts: 2})
 	cfg := defaultConfig(60, 40)
 	cfg.MeanRating = full.MeanRating()
@@ -190,7 +190,7 @@ func TestDeadWorkerAbortsWithoutOptIn(t *testing.T) {
 func TestAllWorkersDeadFails(t *testing.T) {
 	full, confs := buildProblem(t, 60, 40, 1000, []float64{1}, 45)
 	confs[0].Transport = comm.NewRetrying(
-		mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 8}),
+		mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{Transient: 1, Seed: 8}),
 		comm.RetryPolicy{Attempts: 2})
 	cfg := defaultConfig(60, 40)
 	cfg.MeanRating = full.MeanRating()
@@ -209,7 +209,7 @@ func TestAllWorkersDeadFails(t *testing.T) {
 func TestEvictionAccountsFailedRetries(t *testing.T) {
 	full, confs := buildProblem(t, 60, 40, 1000, []float64{0.5, 0.5}, 46)
 	confs[1].Transport = comm.NewRetrying(
-		mustFaulty(comm.NewSharedMem(4), comm.FaultSpec{Transient: 1, Seed: 9}),
+		mustFaulty(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}), comm.FaultSpec{Transient: 1, Seed: 9}),
 		comm.RetryPolicy{Attempts: 4})
 	cfg := defaultConfig(60, 40)
 	cfg.MeanRating = full.MeanRating()

@@ -1,0 +1,193 @@
+package ps
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"hccmf/internal/comm"
+	commnet "hccmf/internal/comm/net"
+	"hccmf/internal/mf"
+)
+
+// newNetServer starts a loopback parameter server sized for the test
+// problem and a dialer bound to it, both torn down with the test.
+func newNetServer(t *testing.T, m, n, k int, scfg commnet.ServerConfig) (*commnet.Server, *commnet.Dialer) {
+	t.Helper()
+	s, err := commnet.Listen("127.0.0.1:0", scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	d := &commnet.Dialer{Addr: s.Addr(), M: m, N: n, K: k, OpTimeout: 10 * time.Second}
+	t.Cleanup(func() { _ = d.Close() })
+	return s, d
+}
+
+// trainedCluster runs one full training pass over the canonical small
+// problem on the given transport and returns the cluster. The problem is
+// rebuilt from its seed each call so runs cannot share state.
+func trainedCluster(t *testing.T, tr comm.Transport, strat comm.Strategy, epochs int) *Cluster {
+	t.Helper()
+	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.3, 0.3, 0.4}, 51)
+	cfg := defaultConfig(120, 80)
+	cfg.Strategy = strat
+	cfg.MeanRating = full.MeanRating()
+	cfg.Transport = tr
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(epochs, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func factorsBitEqual(t *testing.T, what string, got, want *mf.Factors) {
+	t.Helper()
+	for name, pair := range map[string][2][]float32{
+		"P": {got.P, want.P},
+		"Q": {got.Q, want.Q},
+	} {
+		g, w := pair[0], pair[1]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %s length %d vs %d", what, name, len(g), len(w))
+		}
+		for i := range g {
+			if math.Float32bits(g[i]) != math.Float32bits(w[i]) {
+				t.Fatalf("%s: %s[%d] = %v, want %v (bit-exact)", what, name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// The tentpole's acceptance bar: a cluster training against a TCP
+// parameter server must produce the very same bits as the in-process
+// COMM-P baseline under the same seed — for every synchronous strategy,
+// with and without fp16 on the wire. (Asynchronous streams are excluded:
+// their Hogwild folds are non-deterministic by design.)
+func TestTCPClusterBitIdenticalToInProcess(t *testing.T) {
+	const epochs = 6
+	for _, mode := range []struct {
+		name   string
+		strat  comm.Strategy
+		noFP16 bool
+	}{
+		{name: "naive-fp32", strat: comm.Strategy{Encoding: comm.FP32, Streams: 1}},
+		{name: "q-only-fp32", strat: comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 1}},
+		{name: "q-only-fp16", strat: comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 1}},
+		// fp16 requested but declined at handshake: the round trip moves to
+		// the endpoints and the bits must not care.
+		{name: "q-only-fp16-declined", strat: comm.Strategy{QOnly: true, Encoding: comm.FP16, Streams: 1}, noFP16: true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			base := trainedCluster(t,
+				comm.MustNew(comm.Spec{Kind: comm.KindMessage}), mode.strat, epochs)
+			_, d := newNetServer(t, 120, 80, 8, commnet.ServerConfig{NoFP16: mode.noFP16})
+			got := trainedCluster(t, d, mode.strat, epochs)
+			factorsBitEqual(t, "tcp vs comm-p", got.Snapshot(), base.Snapshot())
+			// The wire run accounts the same logical traffic but real frames.
+			ws, bs := got.CommStats(), base.CommStats()
+			if ws.BusBytes < bs.BusBytes {
+				t.Fatalf("logical BusBytes shrank on the wire: tcp %d vs comm-p %d", ws.BusBytes, bs.BusBytes)
+			}
+			if ws.Frames == 0 || ws.WireBytes == 0 || ws.Handshakes == 0 {
+				t.Fatalf("wire accounting missing: %+v", ws)
+			}
+		})
+	}
+}
+
+// Chaos over real TCP: seeded transient faults and truncations injected
+// around the dialer are absorbed by the retry decorator, and because a
+// retried wire push is idempotent the run stays bit-identical to the
+// fault-free TCP run.
+func TestTCPClusterChaosBitIdentical(t *testing.T) {
+	strat := comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 1}
+	const epochs = 6
+
+	_, clean := newNetServer(t, 120, 80, 8, commnet.ServerConfig{})
+	base := trainedCluster(t, clean, strat, epochs)
+
+	_, d := newNetServer(t, 120, 80, 8, commnet.ServerConfig{})
+	chaos := comm.NewRetrying(mustFaulty(d, comm.FaultSpec{
+		Transient: 0.08,
+		Truncate:  0.02,
+		Seed:      99,
+	}), comm.RetryPolicy{Attempts: 8})
+	got := trainedCluster(t, chaos, strat, epochs)
+	factorsBitEqual(t, "chaos tcp vs clean tcp", got.Snapshot(), base.Snapshot())
+	// The waste must be visible to the cost model.
+	if got.CommStats().Retries == 0 {
+		t.Fatal("chaos run accounted no retries")
+	}
+}
+
+// A worker whose TCP link points at a dead endpoint exhausts its retries
+// and is evicted; the survivors (on the live server) finish the run.
+func TestTCPDeadWorkerLinkEvicts(t *testing.T) {
+	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.3, 0.3, 0.4}, 52)
+	_, live := newNetServer(t, 120, 80, 8, commnet.ServerConfig{})
+
+	// A port that refuses connections: bind, record, release.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	_ = ln.Close()
+	dead := &commnet.Dialer{Addr: deadAddr, M: 120, N: 80, K: 8, OpTimeout: 500 * time.Millisecond}
+	t.Cleanup(func() { _ = dead.Close() })
+	confs[1].Transport = comm.NewRetrying(dead, comm.RetryPolicy{Attempts: 2})
+
+	cfg := defaultConfig(120, 80)
+	cfg.MeanRating = full.MeanRating()
+	cfg.Transport = live
+	cfg.EvictOnFailure = true
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(15, nil); err != nil {
+		t.Fatalf("run did not survive a dead TCP link: %v", err)
+	}
+	ev := c.Evictions()
+	if len(ev) != 1 || ev[0].Worker != confs[1].Name {
+		t.Fatalf("evictions = %+v", ev)
+	}
+	if got := c.CommStats().Retries; got == 0 {
+		t.Fatal("dead link consumed no accounted retries")
+	}
+	if rmse := mf.RMSE(c.Snapshot(), full.Entries); rmse > 0.5 {
+		t.Fatalf("model incomplete after TCP eviction: RMSE %v", rmse)
+	}
+}
+
+// Killing the server mid-training aborts the run with a transport error
+// (the seed behaviour for unrecovered failures) instead of hanging.
+func TestTCPServerKilledMidTrainingAborts(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 1000, []float64{0.5, 0.5}, 53)
+	s, d := newNetServer(t, 60, 40, 8, commnet.ServerConfig{})
+	d.OpTimeout = 2 * time.Second
+	cfg := defaultConfig(60, 40)
+	cfg.MeanRating = full.MeanRating()
+	cfg.Transport = d
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Train(10, func(epoch int, _ *mf.Factors) {
+		if epoch == 1 {
+			_ = s.Close()
+		}
+	})
+	if err == nil {
+		t.Fatal("training outlived its parameter server")
+	}
+	if !strings.Contains(err.Error(), "commnet") {
+		t.Fatalf("abort does not name the transport: %v", err)
+	}
+}

@@ -110,6 +110,11 @@ type Cluster struct {
 }
 
 type workerState struct {
+	// id is the worker's stable index in the original roster; it names the
+	// worker's push shards on the transport (comm.WorkerShard) and stays
+	// fixed across evictions so a remote store never sees two workers
+	// claim one buffer.
+	id    int
 	conf  WorkerConf
 	local *mf.Factors
 	// pushQ is the worker's push buffer for Q (and pushP for final P
@@ -178,6 +183,7 @@ func New(cfg Config, workers []WorkerConf) (*Cluster, error) {
 		w := workers[i]
 		w.Weight /= wsum
 		ws := &workerState{
+			id:    i,
 			conf:  w,
 			local: mf.NewFactors(cfg.M, cfg.N, cfg.K),
 			pushQ: make([]float32, cfg.N*cfg.K),
@@ -195,7 +201,48 @@ func New(cfg Config, workers []WorkerConf) (*Cluster, error) {
 		}
 		c.workers = append(c.workers, ws)
 	}
+	// A remote transport serves pulls from its own store, not this
+	// process's memory: seed it with the initial factors so epoch 0 pulls
+	// the same model an in-process run starts from.
+	if err := c.publishGlobal(true); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// publishGlobal uploads the authoritative global factors to the remote
+// store after they change (initialisation, every sync barrier), always in
+// FP32 — the store holds full precision and the strategy's encoding is
+// applied per-pull on the wire, so a remote pull delivers exactly
+// roundtrip(global), bit-identical to the in-process transports. On
+// in-process transports (no Remote capability) this is a no-op: the
+// cluster's memory IS the store. withP skips the user matrix on the
+// epochs it cannot have changed (Q-only middle epochs).
+func (c *Cluster) publishGlobal(withP bool) error {
+	rem, ok := comm.AsRemote(c.cfg.Transport)
+	if !ok {
+		return nil
+	}
+	st, err := rem.SyncShard(c.global.Q, comm.Xfer{
+		Shard: comm.GlobalShard(comm.MatrixQ, 0, len(c.global.Q)),
+		Enc:   comm.FP32,
+	})
+	c.account(st)
+	if err != nil {
+		return fmt.Errorf("ps: publish global Q: %v", err)
+	}
+	if !withP {
+		return nil
+	}
+	st, err = rem.SyncShard(c.global.P, comm.Xfer{
+		Shard: comm.GlobalShard(comm.MatrixP, 0, len(c.global.P)),
+		Enc:   comm.FP32,
+	})
+	c.account(st)
+	if err != nil {
+		return fmt.Errorf("ps: publish global P: %v", err)
+	}
+	return nil
 }
 
 // Global exposes the server's model (read-only by convention; call between
@@ -257,7 +304,8 @@ func (c *Cluster) runEpoch(epoch, total int) error {
 	span := c.observer.Span(obs.ProcReal, "server", "ps", "sync")
 	c.syncAll(epoch, total)
 	c.metrics.ObservePhase(trace.Sync, span.End())
-	return nil
+	// P changes at sync only when it was pushed this epoch.
+	return c.publishGlobal(!c.cfg.Strategy.QOnly || epoch == total-1)
 }
 
 // snapshotBaseQ records the Q this epoch's pulls are served from. Under
@@ -345,14 +393,20 @@ func (c *Cluster) pullData(ws *workerState, epoch int) error {
 	enc := c.cfg.Strategy.Encoding
 	tr := c.transportFor(ws)
 	// Q always travels.
-	st, err := tr.Pull(ws.local.Q, c.global.Q, enc)
+	st, err := tr.Pull(ws.local.Q, c.global.Q, comm.Xfer{
+		Shard: comm.GlobalShard(comm.MatrixQ, 0, len(c.global.Q)),
+		Enc:   enc,
+	})
 	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: pull Q for %q: %v", ws.conf.Name, err)
 	}
 	if !c.cfg.Strategy.QOnly {
 		// Naive baseline: the complete P every epoch.
-		st, err := tr.Pull(ws.local.P, c.global.P, enc)
+		st, err := tr.Pull(ws.local.P, c.global.P, comm.Xfer{
+			Shard: comm.GlobalShard(comm.MatrixP, 0, len(c.global.P)),
+			Enc:   enc,
+		})
 		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: pull P for %q: %v", ws.conf.Name, err)
@@ -372,7 +426,10 @@ func (c *Cluster) push(ws *workerState, epoch, total int) error {
 func (c *Cluster) pushData(ws *workerState, epoch, total int) error {
 	enc := c.cfg.Strategy.Encoding
 	tr := c.transportFor(ws)
-	st, err := tr.Push(ws.pushQ, ws.local.Q, enc)
+	st, err := tr.Push(ws.pushQ, ws.local.Q, comm.Xfer{
+		Shard: comm.WorkerShard(comm.MatrixQ, ws.id, 0, len(ws.pushQ)),
+		Enc:   enc,
+	})
 	c.account(st)
 	if err != nil {
 		return fmt.Errorf("ps: push Q for %q: %v", ws.conf.Name, err)
@@ -380,7 +437,10 @@ func (c *Cluster) pushData(ws *workerState, epoch, total int) error {
 	switch {
 	case !c.cfg.Strategy.QOnly:
 		// Naive baseline: full P every epoch.
-		st, err := tr.Push(ws.pushP, ws.local.P, enc)
+		st, err := tr.Push(ws.pushP, ws.local.P, comm.Xfer{
+			Shard: comm.WorkerShard(comm.MatrixP, ws.id, 0, len(ws.pushP)),
+			Enc:   enc,
+		})
 		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)
@@ -388,7 +448,10 @@ func (c *Cluster) pushData(ws *workerState, epoch, total int) error {
 	case epoch == total-1:
 		// Final Q-only push adds the worker's own P rows.
 		lo, hi := ws.conf.RowLo*c.cfg.K, ws.conf.RowHi*c.cfg.K
-		st, err := tr.Push(ws.pushP, ws.local.P[lo:hi], enc)
+		st, err := tr.Push(ws.pushP, ws.local.P[lo:hi], comm.Xfer{
+			Shard: comm.WorkerShard(comm.MatrixP, ws.id, lo, hi),
+			Enc:   enc,
+		})
 		c.account(st)
 		if err != nil {
 			return fmt.Errorf("ps: push P for %q: %v", ws.conf.Name, err)

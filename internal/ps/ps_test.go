@@ -64,7 +64,7 @@ func defaultConfig(m, n int) Config {
 	return Config{
 		M: m, N: n, K: 8,
 		Hyper:      mf.HyperParams{Gamma: 0.01, Lambda1: 0.005, Lambda2: 0.005},
-		Transport:  comm.NewSharedMem(4),
+		Transport:  comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 4}),
 		Strategy:   comm.Strategy{Encoding: comm.FP32, Streams: 1},
 		MeanRating: 4,
 		Seed:       7,
@@ -177,8 +177,8 @@ func TestMessageTransportEquivalentMath(t *testing.T) {
 		}
 		return mf.RMSE(c.Snapshot(), full.Entries)
 	}
-	a := runRMSE(comm.NewSharedMem(2))
-	b := runRMSE(comm.NewMessage())
+	a := runRMSE(comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 2}))
+	b := runRMSE(comm.MustNew(comm.Spec{Kind: comm.KindMessage}))
 	if a != b {
 		t.Fatalf("COMM (%v) and COMM-P (%v) must compute identical models", a, b)
 	}

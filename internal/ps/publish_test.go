@@ -1,0 +1,89 @@
+package ps
+
+import (
+	"testing"
+
+	"hccmf/internal/comm"
+)
+
+// recordingRemote wraps an in-process transport with the Remote capability,
+// recording every published shard — the cluster-side contract a real wire
+// transport (internal/comm/net) relies on to serve pulls.
+type recordingRemote struct {
+	comm.Transport
+	syncs []comm.Shard
+}
+
+func (r *recordingRemote) RemoteAddr() string { return "fake:0" }
+func (r *recordingRemote) SyncShard(src []float32, x comm.Xfer) (comm.TransferStats, error) {
+	r.syncs = append(r.syncs, x.Shard)
+	return comm.TransferStats{BusBytes: int64(len(src)) * int64(x.Enc.BytesPerParam())}, nil
+}
+
+func (r *recordingRemote) count(m comm.Matrix) int {
+	n := 0
+	for _, s := range r.syncs {
+		if s.Matrix == m && s.Owner == comm.GlobalOwner {
+			n++
+		}
+	}
+	return n
+}
+
+// The cluster must publish the authoritative global factors to a remote
+// transport: both matrices at construction, Q after every sync, and P only
+// on the epochs it changed — every Q-only middle epoch leaves P untouched.
+func TestClusterPublishesGlobalToRemote(t *testing.T) {
+	full, confs := buildProblem(t, 120, 80, 6000, []float64{0.5, 0.5}, 48)
+	rem := &recordingRemote{Transport: comm.MustNew(comm.Spec{Kind: comm.KindShared, Workers: 2})}
+	cfg := defaultConfig(120, 80)
+	cfg.Strategy = comm.Strategy{QOnly: true, Encoding: comm.FP32, Streams: 1}
+	cfg.MeanRating = full.MeanRating()
+	cfg.Transport = rem
+	c, err := New(cfg, confs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem.count(comm.MatrixQ) != 1 || rem.count(comm.MatrixP) != 1 {
+		t.Fatalf("construction published %+v, want one Q and one P shard", rem.syncs)
+	}
+	const epochs = 5
+	if err := c.Train(epochs, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One publish at New plus one per epoch; P travels at New and on the
+	// final epoch only.
+	if got := rem.count(comm.MatrixQ); got != 1+epochs {
+		t.Fatalf("Q published %d times, want %d", got, 1+epochs)
+	}
+	if got := rem.count(comm.MatrixP); got != 2 {
+		t.Fatalf("P published %d times under Q-only, want 2 (init + final)", got)
+	}
+	for _, s := range rem.syncs {
+		want := len(c.global.Q)
+		if s.Matrix == comm.MatrixP {
+			want = len(c.global.P)
+		}
+		if s.Lo != 0 || s.Hi != want {
+			t.Fatalf("published partial shard %v", s)
+		}
+	}
+	// Publishes are real traffic: the stats must account them.
+	if c.CommStats().BusBytes == 0 {
+		t.Fatal("published bytes not accounted")
+	}
+}
+
+// In-process transports have no remote store; nothing must be published.
+func TestNoPublishOnInProcessTransport(t *testing.T) {
+	full, confs := buildProblem(t, 60, 40, 1000, []float64{1}, 49)
+	cfg := defaultConfig(60, 40)
+	cfg.MeanRating = full.MeanRating()
+	c, err := New(cfg, confs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(2, nil); err != nil {
+		t.Fatal(err)
+	}
+}

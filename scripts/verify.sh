@@ -13,10 +13,10 @@
 #      hccmf-vet/v1 JSON document plus a per-analyzer count summary.
 #      simtime also polices obs.WallClock: sim packages may use an
 #      injected observer but never mint a real clock (DESIGN.md §11)
-#   5. go test -race over the concurrent packages — ps, comm, mf,
-#      simengine, obs, recommend, plus the parallel-ingestion packages
-#      dataset, sparse, parallel; the intentional Hogwild races stay off
-#      these runs via internal/raceflag
+#   5. go test -race over the concurrent packages — ps, comm, comm/net,
+#      mf, simengine, obs, recommend, plus the parallel-ingestion
+#      packages dataset, sparse, parallel; the intentional Hogwild races
+#      stay off these runs via internal/raceflag
 #   6. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
 #      once (including the ingest/v1 ingestion suite), so a PR cannot
 #      silently break the suites behind hccmf-bench -json and
@@ -31,6 +31,11 @@
 #      traffic, feed the resulting serve/v1 report through
 #      hccmf-benchdiff, and shut the daemon down with SIGTERM
 #      (see DESIGN.md §13)
+#  10. distributed smoke — start hccmf-ps on a random port, train the
+#      same seeded job once in-process (COMM-P) and once against the
+#      server over hccmf-wire/v1 TCP, and require the saved factor
+#      models to be byte-identical; SIGTERM drains the server
+#      (see DESIGN.md §15)
 #
 # Any failure aborts with a nonzero exit.
 set -euo pipefail
@@ -55,8 +60,8 @@ vet_json=$(mktemp -t hccmf-vet.XXXXXX.json)
 go run ./cmd/hccmf-vet -baseline lint.baseline -json -summary ./... > "$vet_json"
 echo "   (machine-readable findings: $vet_json)"
 
-echo "== go test -race (ps, comm, mf, simengine, obs, recommend, dataset, sparse, parallel)"
-go test -race ./internal/ps ./internal/comm ./internal/mf ./internal/simengine \
+echo "== go test -race (ps, comm, comm/net, mf, simengine, obs, recommend, dataset, sparse, parallel)"
+go test -race ./internal/ps ./internal/comm ./internal/comm/net ./internal/mf ./internal/simengine \
 	./internal/obs ./internal/recommend ./internal/dataset ./internal/sparse ./internal/parallel
 
 echo "== bench smoke (every benchmark once, kernel + ingest suites)"
@@ -103,5 +108,37 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "serve smoke: daemon exited non-zero:" >&2; cat "$smoke_dir/serve.log" >&2; exit 1; }
 [ -s "$smoke_dir/metrics.json" ] || { echo "serve smoke: no metrics document on shutdown" >&2; exit 1; }
 trap 'rm -rf "$smoke_dir"' EXIT
+
+echo "== distributed smoke (hccmf-ps + hccmf-train -connect, bit-identical factors)"
+ps_dir=$(mktemp -d -t hccmf-ps-smoke.XXXXXX)
+trap 'kill "$ps_pid" 2>/dev/null || true; rm -rf "$smoke_dir" "$ps_dir"' EXIT
+go build -o "$ps_dir/hccmf-ps" ./cmd/hccmf-ps
+go build -o "$ps_dir/hccmf-train" ./cmd/hccmf-train
+"$ps_dir/hccmf-ps" -listen 127.0.0.1:0 -ready-file "$ps_dir/addr" \
+	> "$ps_dir/ps.log" 2>&1 &
+ps_pid=$!
+for _ in $(seq 1 100); do
+	[ -s "$ps_dir/addr" ] && break
+	if ! kill -0 "$ps_pid" 2>/dev/null; then
+		echo "distributed smoke: hccmf-ps died during startup:" >&2
+		cat "$ps_dir/ps.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+[ -s "$ps_dir/addr" ] || { echo "distributed smoke: hccmf-ps never became ready" >&2; exit 1; }
+ps_addr=$(head -n1 "$ps_dir/addr")
+"$ps_dir/hccmf-train" -preset netflix -scale 0.002 -epochs 3 -k 8 -seed 1 \
+	-transport comm-p -save "$ps_dir/inproc.bin" > /dev/null
+"$ps_dir/hccmf-train" -preset netflix -scale 0.002 -epochs 3 -k 8 -seed 1 \
+	-connect "$ps_addr" -save "$ps_dir/tcp.bin" > /dev/null
+cmp "$ps_dir/inproc.bin" "$ps_dir/tcp.bin" || {
+	echo "distributed smoke: TCP-trained factors differ from in-process factors" >&2
+	exit 1
+}
+echo "   two-process run bit-identical to in-process COMM-P"
+kill -TERM "$ps_pid"
+wait "$ps_pid" || { echo "distributed smoke: hccmf-ps exited non-zero:" >&2; cat "$ps_dir/ps.log" >&2; exit 1; }
+trap 'rm -rf "$smoke_dir" "$ps_dir"' EXIT
 
 echo "verify: OK"
