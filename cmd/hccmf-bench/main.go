@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hccmf/internal/experiments"
@@ -33,12 +35,49 @@ func main() {
 	report := flag.String("report", "", "also write the output to this file")
 	jsonOut := flag.String("json", "", "run the kernel micro-benchmark suite and write its JSON report to this file ('-' for stdout); tables/figures are skipped unless -only selects them")
 	jsonCount := flag.Int("json-count", 3, "benchmark runs averaged per kernel in -json mode")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation heap profile at exit to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("hccmf-bench", version.String())
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hccmf-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hccmf-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		// The error paths below exit through os.Exit and drop the partial
+		// profile — acceptable for a diagnostics flag on a failed run.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hccmf-bench: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hccmf-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hccmf-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *jsonOut != "" {

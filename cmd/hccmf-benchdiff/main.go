@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hccmf/internal/kernelbench"
 	"hccmf/internal/version"
@@ -26,6 +27,8 @@ func main() {
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when -baseline is unset")
 	count := flag.Int("count", 3, "benchmark runs averaged per kernel when measuring fresh")
 	threshold := flag.Float64("threshold", 0.15, "relative slowdown that counts as a regression (0.15 = 15%)")
+	groups := flag.String("groups", "", "comma-separated benchmark groups to compare (kernel, ingest, serve; default all)")
+	normalize := flag.Bool("normalize", false, "divide ratios by the suite median before flagging, cancelling uniform machine-wide drift")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when any kernel regresses (CI runs report-only without this)")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -61,9 +64,27 @@ func main() {
 	}
 
 	deltas := kernelbench.Diff(base, cand, *threshold)
+	if *groups != "" {
+		want := make(map[string]bool)
+		for _, g := range strings.Split(*groups, ",") {
+			want[strings.TrimSpace(g)] = true
+		}
+		kept := deltas[:0]
+		for _, d := range deltas {
+			if want[d.Group] {
+				kept = append(kept, d)
+			}
+		}
+		deltas = kept
+	}
 	if len(deltas) == 0 {
 		fmt.Println("no comparable kernels between the two reports")
 		return
+	}
+	if *normalize {
+		m := kernelbench.MedianRatio(deltas)
+		deltas = kernelbench.Normalize(deltas, m, *threshold)
+		fmt.Printf("normalized by suite median ratio %.3f (ambient drift %+.1f%%)\n\n", m, (m-1)*100)
 	}
 	fmt.Print(kernelbench.FormatDeltas(deltas))
 

@@ -58,6 +58,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON document (load in chrome://tracing or Perfetto) to this file")
 	progress := flag.Bool("progress", false, "print a per-epoch progress line to stderr while training")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	fastMath := flag.Bool("fast-math", false, "enable the versioned fast-math kernels (reordered accumulation, SoA batching, tiled traversal); results follow the fast-math goldens instead of the default bit-exact contract")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -126,6 +127,7 @@ func main() {
 		Schedule:         schedule,
 		Seed:             *seed,
 		TransportSpec:    comm.Spec{Kind: kind, Addr: *connect, OpTimeout: *netTimeout},
+		Tuning:           core.Tuning{FastMath: *fastMath},
 		Obs:              observer,
 		OnEpoch: func(epoch, total int, rmse, simSeconds float64) {
 			if *progress {
@@ -151,6 +153,9 @@ func main() {
 	}
 
 	fmt.Printf("plan: %v\n", res.Plan)
+	if *fastMath {
+		fmt.Printf("fast-math: on (kernel %s)\n", mf.KernelName(*k, true))
+	}
 	fmt.Printf("simulated full-size run: %.3fs for %d epochs (%.3g updates/s, %.0f%% of ideal)\n",
 		res.Sim.TotalTime, *epochs, res.Power, res.Utilization*100)
 	fmt.Println("\nconvergence (simulated time axis):")

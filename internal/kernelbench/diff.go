@@ -99,6 +99,45 @@ func pickMetric(b, c Result) (string, float64, float64) {
 	return "ns/op", b.NsPerOp, c.NsPerOp
 }
 
+// MedianRatio returns the median candidate/baseline ratio across deltas,
+// or 1 when the list is empty. On a shared machine the whole suite drifts
+// together (another tenant, thermal throttling); the median tracks that
+// ambient shift because a genuine regression moves only its own kernels,
+// not the middle of the distribution.
+func MedianRatio(deltas []Delta) float64 {
+	if len(deltas) == 0 {
+		return 1
+	}
+	rs := make([]float64, len(deltas))
+	for i, d := range deltas {
+		rs[i] = d.Ratio
+	}
+	sort.Float64s(rs)
+	if n := len(rs); n%2 == 1 {
+		return rs[n/2]
+	} else {
+		return (rs[n/2-1] + rs[n/2]) / 2
+	}
+}
+
+// Normalize divides every delta's ratio by m (a MedianRatio) and re-flags
+// regressions against threshold, cancelling a uniform machine-wide
+// slowdown so only relative movement gates. The blind spot is a change
+// that slows *every* benchmark equally — the equivalence and selection
+// unit tests cover that case, not the bench gate. Base/Candidate keep
+// their measured values; only Ratio and Regressed are rescaled.
+func Normalize(deltas []Delta, m, threshold float64) []Delta {
+	if m <= 0 {
+		m = 1
+	}
+	out := append([]Delta(nil), deltas...)
+	for i := range out {
+		out[i].Ratio /= m
+		out[i].Regressed = out[i].Ratio > 1+threshold
+	}
+	return out
+}
+
 // Regressions filters a delta list down to the flagged entries.
 func Regressions(deltas []Delta) []Delta {
 	var out []Delta

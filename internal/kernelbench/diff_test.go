@@ -194,3 +194,50 @@ func TestLoadCheckedInBaselines(t *testing.T) {
 		t.Fatalf("self-diff flagged regressions: %+v", regs)
 	}
 }
+
+// TestNormalizeCancelsAmbientDrift: a uniform 60% machine-wide slowdown
+// must not flag anything after median normalization, while a kernel that
+// additionally doubled still must.
+func TestNormalizeCancelsAmbientDrift(t *testing.T) {
+	base := baseReport()
+	cand := baseReport()
+	for i := range cand.Kernels {
+		cand.Kernels[i].NsPerUpdate *= 1.6
+		cand.Kernels[i].NsPerOp *= 1.6
+	}
+	cand.Ingest[0].NsPerOp *= 1.6
+	deltas := Diff(base, cand, 0.5)
+	if regs := Regressions(deltas); len(regs) == 0 {
+		t.Fatal("raw 60% drift not flagged at the 50% threshold — test premise broken")
+	}
+	m := MedianRatio(deltas)
+	if m < 1.59 || m > 1.61 {
+		t.Fatalf("MedianRatio = %v, want ~1.6", m)
+	}
+	if regs := Regressions(Normalize(deltas, m, 0.5)); len(regs) != 0 {
+		t.Fatalf("uniform drift still flagged after normalization: %+v", regs)
+	}
+
+	// The same drift plus one genuine 2x regression: only that kernel flags.
+	cand.Kernels[0].NsPerUpdate *= 2 // UpdateOne: 1.6 ambient × 2 real
+	deltas = Diff(base, cand, 0.5)
+	norm := Normalize(deltas, MedianRatio(deltas), 0.5)
+	regs := Regressions(norm)
+	if len(regs) != 1 || regs[0].Name != "UpdateOne" {
+		t.Fatalf("normalized regressions = %+v, want exactly UpdateOne", regs)
+	}
+}
+
+// TestMedianRatioEdges: empty input and even-length lists.
+func TestMedianRatioEdges(t *testing.T) {
+	if m := MedianRatio(nil); m != 1 {
+		t.Fatalf("MedianRatio(nil) = %v, want 1", m)
+	}
+	ds := []Delta{{Ratio: 1}, {Ratio: 3}}
+	if m := MedianRatio(ds); m != 2 {
+		t.Fatalf("even-length median = %v, want 2", m)
+	}
+	if regs := Regressions(Normalize(ds, 0, 0.5)); len(regs) != 1 {
+		t.Fatalf("Normalize with m<=0 must fall back to raw ratios: %+v", regs)
+	}
+}

@@ -75,7 +75,9 @@ func Suite() []Bench {
 	return []Bench{
 		{"UpdateOne", UpdateOne},
 		{"FPSGDEpoch", FPSGDEpoch},
+		{"FPSGDEpochTiled", FPSGDEpochTiled},
 		{"BatchedEpoch", BatchedEpoch},
+		{"BatchedEpochSoA", BatchedEpochSoA},
 		{"HogwildEpoch", HogwildEpoch},
 		{"RMSEParallel", RMSEParallel},
 		{"BuildWorkerConfs", BuildWorkerConfs},

@@ -17,6 +17,9 @@ import (
 type Hogwild struct {
 	// Threads is the number of concurrent updaters (≥1).
 	Threads int
+	// FastMath selects the reordered-accumulation fast-math kernel
+	// (DESIGN.md §16) for the chunk sweeps. Off by default.
+	FastMath bool
 
 	sweeper
 }
@@ -43,8 +46,9 @@ func (hw *Hogwild) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 		threads = 1
 	}
 	n := len(train.Entries)
+	kern := hw.kernel(f.K, hw.FastMath)
 	if threads == 1 || n < 4*threads {
-		TrainEntries(f, train.Entries, h)
+		trainEntriesKernel(f, train.Entries, h, kern)
 		return
 	}
 	chunk := (n + threads - 1) / threads
@@ -55,7 +59,7 @@ func (hw *Hogwild) epoch(f *Factors, train *sparse.COO, h HyperParams) {
 			hi = n
 		}
 		hw.wg.Add(1)
-		pool.tasks <- sweepTask{f: f, h: h, entries: train.Entries[lo:hi], wg: &hw.wg}
+		pool.tasks <- sweepTask{f: f, h: h, entries: train.Entries[lo:hi], wg: &hw.wg, kern: kern}
 	}
 	hw.wg.Wait()
 }

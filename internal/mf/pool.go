@@ -28,13 +28,18 @@ import (
 // sweepTask is one unit of sweep work. Exactly one of sched/entries is set:
 // a scheduler task loops acquiring disjoint blocks from the carried grid
 // until the epoch is drained (FPSGD); an entries task sweeps the given
-// contiguous run once (Hogwild chunk, Batched group).
+// contiguous run once (Hogwild chunk, Batched group). kern is the kernel
+// the launching engine selected at Init (sweeper.kernel); soa, when
+// non-nil, routes the entries sweep through the fast-math SoA mini-batch
+// staging loop instead of the in-place kernel sweep.
 type sweepTask struct {
 	f       *Factors
 	h       HyperParams
 	entries []sparse.Rating
 	sched   *blockScheduler
 	grid    *sparse.BlockGridded
+	soa     *soaScratch
+	kern    kernelID
 	wg      *sync.WaitGroup
 }
 
@@ -45,17 +50,20 @@ type sweepTask struct {
 // lint:hotpath
 func sweepWorker(tasks <-chan sweepTask) {
 	for t := range tasks {
-		if t.sched != nil {
+		switch {
+		case t.sched != nil:
 			for {
 				idx, ok := t.sched.acquire()
 				if !ok {
 					break
 				}
-				TrainEntries(t.f, t.grid.Blocks[idx].Entries, t.h)
+				trainEntriesKernel(t.f, t.grid.Blocks[idx].Entries, t.h, t.kern)
 				t.sched.release(idx)
 			}
-		} else {
-			TrainEntries(t.f, t.entries, t.h)
+		case t.soa != nil:
+			trainEntriesSoA(t.f, t.entries, t.h, t.soa)
+		default:
+			trainEntriesKernel(t.f, t.entries, t.h, t.kern)
 		}
 		t.wg.Done()
 	}
@@ -80,14 +88,21 @@ func newSweepPool(workers int) *sweepPool {
 func closeSweepPool(p *sweepPool) { close(p.tasks) }
 
 // sweeper is the reusable engine state embedded in each parallel engine:
-// the lazily built worker pool and the epoch-join WaitGroup. Engines embed
-// it by value, which is why Hogwild and Batched moved to pointer receivers
-// in this pass. An engine value must not run concurrent Epochs (true of
-// every call site: one engine per worker, one epoch at a time).
+// the lazily built worker pool, the epoch-join WaitGroup and the selected
+// update kernel. Engines embed it by value, which is why Hogwild and
+// Batched moved to pointer receivers in this pass. An engine value must
+// not run concurrent Epochs (true of every call site: one engine per
+// worker, one epoch at a time).
 type sweeper struct {
 	pool *sweepPool
 	size int
 	wg   sync.WaitGroup
+	// kern caches the kernelIDFor selection — made once at engine Init in
+	// practice, since (k, fast-math) never changes across a training run.
+	kern     kernelID
+	kernSet  bool
+	kernK    int
+	kernFast bool
 	// metrics is the optional observability bundle installed by SetMetrics
 	// (see metered.go); nil keeps the epoch hooks inert.
 	metrics *obs.EngineMetrics
@@ -102,4 +117,17 @@ func (s *sweeper) ensure(workers int) *sweepPool {
 		s.size = workers
 	}
 	return s.pool
+}
+
+// kernel returns the engine's update kernel, selecting it on the first
+// epoch (engine Init) and reusing the cached choice for the run's
+// remainder.
+func (s *sweeper) kernel(k int, fastMath bool) kernelID {
+	if !s.kernSet || s.kernK != k || s.kernFast != fastMath {
+		s.kern = kernelIDFor(k, fastMath)
+		s.kernK = k
+		s.kernFast = fastMath
+		s.kernSet = true
+	}
+	return s.kern
 }

@@ -78,10 +78,7 @@ func RMSEParallel(f *Factors, entries []sparse.Rating, workers int) float64 {
 	rmseEval.once.Do(startRMSEEval)
 	rmseEval.mu.Lock()
 	defer rmseEval.mu.Unlock()
-	if cap(rmseEval.sums) < nchunks {
-		rmseEval.sums = make([]float64, nchunks)
-	}
-	sums := rmseEval.sums[:nchunks]
+	sums := rmseSums(nchunks)
 	for w := 0; w*chunk < n; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
@@ -126,9 +123,23 @@ func startRMSEEval() {
 		workers = 4
 	}
 	rmseEval.tasks = make(chan rmseTask, workers)
+	// Pre-size the partial-sum buffer for the common case (nchunks ≤ the
+	// caller's worker count ≤ this pool size) so steady-state RMSEParallel
+	// calls stay off the allocator entirely.
+	rmseEval.sums = make([]float64, workers)
 	for i := 0; i < workers; i++ {
 		go rmseEvalWorker(rmseEval.tasks)
 	}
+}
+
+// rmseSums returns the shared partial-sum buffer sized to n, growing it for
+// callers that request more chunks than startRMSEEval provisioned. Callers
+// hold rmseEval.mu.
+func rmseSums(n int) []float64 {
+	if cap(rmseEval.sums) < n {
+		rmseEval.sums = make([]float64, n)
+	}
+	return rmseEval.sums[:n]
 }
 
 // rmseEvalWorker drains evaluation chunks for the lifetime of the process.

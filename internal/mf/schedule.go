@@ -3,6 +3,8 @@ package mf
 import (
 	"fmt"
 	"math"
+
+	"hccmf/internal/sparse"
 )
 
 // Schedule produces the learning rate for a given 0-based epoch. The
@@ -85,6 +87,85 @@ func (b *BoldDriver) Observe(loss float64) {
 	}
 	b.prevLoss = loss
 	b.seen = true
+}
+
+// Cache-blocked Q-tile traversal for FPSGD's fast-math mode (DESIGN.md
+// §16). An FPSGD block already confines a sweep's P rows to one block-row
+// and its Q rows to one block-column, but a block-column of Q is still far
+// larger than L2 on real matrices; the row-sorted traversal streams P
+// nicely while revisiting Q rows long after they were evicted. tileOrder
+// reorders a block's entries into column tiles sized so a tile's Q rows
+// fit the budget, (row, col) within each tile: every Q row is loaded into
+// cache at most once per tile instead of once per touching row segment.
+// Traversal order changes the update sequence, so this lives behind
+// FPSGD.FastMath with its own goldens; default mode keeps the row sort.
+
+// tileBytesDefault is a conservative per-core slice of L2 (typical
+// client/server cores have 0.5–2 MiB per core); the Q tile must share the
+// cache with the streaming P rows and the entry stream itself.
+const tileBytesDefault = 256 << 10
+
+// tileBudget reports the engine's Q-tile byte budget.
+func (fp *FPSGD) tileBudget() int {
+	if fp.TileBytes > 0 {
+		return fp.TileBytes
+	}
+	return tileBytesDefault
+}
+
+// tileCols reports how many consecutive columns fit one Q tile of the
+// given byte budget at factor dimension k (4 bytes per float32), never
+// less than one column.
+func tileCols(k, budget int) int {
+	if k <= 0 {
+		return 1
+	}
+	tc := budget / (4 * k)
+	if tc < 1 {
+		tc = 1
+	}
+	return tc
+}
+
+// tileOrder reorders entries in place into (tile, row, col) order, where
+// tile = (col − colLo) / tileCols(k, budget), and returns the tile count.
+// Cold path — it runs once per grid build, so it allocates its scratch
+// locally. The reorder is a stable counting scatter over a (row, col)
+// sort, i.e. an LSD radix pass with the tile index as the most significant
+// digit, so within each tile entries remain (row, col)-sorted — the same
+// P-streaming order the default traversal has, just confined to the tile.
+func tileOrder(entries []sparse.Rating, colLo, k, budget int) int {
+	sortEntriesByRow(entries)
+	tc := tileCols(k, budget)
+	if len(entries) == 0 {
+		return 0
+	}
+	maxTile := 0
+	for i := range entries {
+		t := (int(entries[i].I) - colLo) / tc
+		if t > maxTile {
+			maxTile = t
+		}
+	}
+	ntiles := maxTile + 1
+	if ntiles == 1 {
+		return 1
+	}
+	counts := make([]int, ntiles+1)
+	for i := range entries {
+		counts[(int(entries[i].I)-colLo)/tc+1]++
+	}
+	for t := 1; t <= ntiles; t++ {
+		counts[t] += counts[t-1]
+	}
+	tmp := make([]sparse.Rating, len(entries))
+	for i := range entries {
+		t := (int(entries[i].I) - colLo) / tc
+		tmp[counts[t]] = entries[i]
+		counts[t]++
+	}
+	copy(entries, tmp)
+	return ntiles
 }
 
 // RunScheduled executes n epochs with a per-epoch learning rate from the

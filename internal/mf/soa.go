@@ -1,0 +1,129 @@
+package mf
+
+import "hccmf/internal/sparse"
+
+// Fast-math SoA mini-batch staging (DESIGN.md §16) — the CPU rendition of
+// cuMF_SGD's batched kernel design. A plain batched sweep touches one P
+// row and one Q row per rating, so the Q side of the working set is a
+// random walk over the whole N×k matrix. The SoA loop instead splits each
+// group's chunk into three passes:
+//
+//  1. stage: walk the chunk once, copy each distinct item's Q row into a
+//     dense per-group scratch block (first-touch slot order) and decompose
+//     the ratings into structure-of-arrays form — u[], slot[], v[] — so
+//     the sweep reads three flat streams instead of a strided struct walk;
+//  2. sweep: run the fast-math kernel against P and the STAGED rows —
+//     repeated items (the common case: popular items dominate mini-
+//     batches) hit the same hot scratch row instead of a far Q row;
+//  3. write-back: copy the staged rows to Q once, at batch end — the
+//     batch-boundary synchronisation point, exactly where cuMF_SGD's
+//     kernel launch ends.
+//
+// Staging is value-preserving — the same update sequence runs on the same
+// values, only at a different address — so a single-group batch is
+// bit-identical to an in-place fast-math sweep (pinned by
+// TestBatchedSoAMatchesInPlaceFastMath). With multiple groups the
+// write-back replaces per-update races with per-batch last-writer-wins on
+// the few items shared between groups; like Hogwild/Batched, those races
+// are intentional and the engine stays gated behind raceflag under -race.
+// The whole path lives behind Batched.FastMath because the fast-math
+// kernel inside it reorders accumulation anyway.
+
+// soaScratch is one group's reusable staging area. itemGen/itemSlot form a
+// generation-stamped slot map over the item space (O(1) reset per chunk:
+// bump gen), items/qrows the dense staged rows, and u/slot/v the SoA
+// decomposition of the chunk.
+type soaScratch struct {
+	itemGen  []uint32
+	itemSlot []int32
+	gen      uint32
+	items    []int32
+	qrows    []float32
+	u        []int32
+	slot     []int32
+	v        []float32
+}
+
+// prepare sizes the scratch for chunks of up to chunk entries over an item
+// space of cols at dimension k. Setup path, not hot: it allocates only
+// when the geometry first appears or grows.
+func (s *soaScratch) prepare(cols, k, chunk int) {
+	if len(s.itemGen) < cols {
+		s.itemGen = make([]uint32, cols)
+		s.itemSlot = make([]int32, cols)
+		s.gen = 0
+	}
+	maxRows := chunk
+	if cols < maxRows {
+		maxRows = cols
+	}
+	if cap(s.items) < maxRows {
+		s.items = make([]int32, maxRows)
+	}
+	if cap(s.qrows) < maxRows*k {
+		s.qrows = make([]float32, maxRows*k)
+	}
+	if cap(s.u) < chunk {
+		s.u = make([]int32, chunk)
+		s.slot = make([]int32, chunk)
+		s.v = make([]float32, chunk)
+	}
+}
+
+// trainEntriesSoA sweeps one group chunk through the three-pass SoA loop
+// described above. The caller (Batched.launch) guarantees s was prepared
+// for at least (len(entries), f.N, f.K).
+//
+// lint:hotpath
+func trainEntriesSoA(f *Factors, entries []sparse.Rating, h HyperParams, s *soaScratch) {
+	n := len(entries)
+	if n == 0 {
+		return
+	}
+	k := f.K
+	s.gen++
+	if s.gen == 0 {
+		// uint32 wrap: one stamp clear per 4G chunks keeps stale stamps from
+		// aliasing the new generation.
+		clear(s.itemGen)
+		s.gen = 1
+	}
+	gen := s.gen
+	itemGen, itemSlot := s.itemGen, s.itemSlot
+	u, slot, v := s.u[:n], s.slot[:n], s.v[:n]
+	items, qrows := s.items, s.qrows
+	fq := f.Q
+
+	// Pass 1: stage Q rows (first touch) and decompose to SoA.
+	nuniq := int32(0)
+	for idx := 0; idx < n; idx++ {
+		e := entries[idx]
+		i := e.I
+		sl := itemSlot[i]
+		if itemGen[i] != gen {
+			itemGen[i] = gen
+			sl = nuniq
+			itemSlot[i] = sl
+			items[sl] = i
+			copy(qrows[int(sl)*k:int(sl)*k+k], fq[int(i)*k:int(i)*k+k])
+			nuniq++
+		}
+		u[idx] = e.U
+		slot[idx] = sl
+		v[idx] = e.V
+	}
+
+	// Pass 2: fast-math sweep against the staged rows.
+	p := f.P
+	for idx := 0; idx < n; idx++ {
+		po := int(u[idx]) * k
+		qo := int(slot[idx]) * k
+		updateOneFastVec(p[po:po+k], qrows[qo:qo+k:qo+k], v[idx], h)
+	}
+
+	// Pass 3: write-back at batch end.
+	for sl := int32(0); sl < nuniq; sl++ {
+		it := int(items[sl])
+		copy(fq[it*k:it*k+k], qrows[int(sl)*k:int(sl)*k+k])
+	}
+}

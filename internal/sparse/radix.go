@@ -33,22 +33,38 @@ const sortFallbackFactor = 8
 
 // sortEntries sorts m.Entries stably by (U, I) when byRow, else by (I, U).
 func sortEntries(m *COO, byRow bool) {
-	n := len(m.Entries)
+	sortRatings(m.Entries, m.Rows, m.Cols, byRow)
+}
+
+// SortRatings stably sorts a raw entry slice by (U, I) — row-major, the
+// prefetch-friendly CSR traversal order: within each row the column
+// indices ascend, so a sweep walks Q forward instead of jumping around
+// the column space. Indices must satisfy 0 ≤ U < rows, 0 ≤ I < cols.
+// Used by the fast-math training mode on per-worker row shards.
+func SortRatings(entries []Rating, rows, cols int) {
+	sortRatings(entries, rows, cols, true)
+}
+
+// sortRatings is the slice-form core of sortEntries: the same two stable
+// counting passes (or the same stable comparison fallback for very sparse
+// index spaces), operating on any entry slice rather than a *COO.
+func sortRatings(entries []Rating, rows, cols int, byRow bool) {
+	n := len(entries)
 	if n < 2 {
 		return
 	}
-	if int64(m.Rows)+int64(m.Cols) > sortFallbackFactor*int64(n) {
+	if int64(rows)+int64(cols) > sortFallbackFactor*int64(n) {
 		if byRow {
-			sort.SliceStable(m.Entries, func(a, b int) bool {
-				ea, eb := m.Entries[a], m.Entries[b]
+			sort.SliceStable(entries, func(a, b int) bool {
+				ea, eb := entries[a], entries[b]
 				if ea.U != eb.U {
 					return ea.U < eb.U
 				}
 				return ea.I < eb.I
 			})
 		} else {
-			sort.SliceStable(m.Entries, func(a, b int) bool {
-				ea, eb := m.Entries[a], m.Entries[b]
+			sort.SliceStable(entries, func(a, b int) bool {
+				ea, eb := entries[a], entries[b]
 				if ea.I != eb.I {
 					return ea.I < eb.I
 				}
@@ -63,17 +79,39 @@ func sortEntries(m *COO, byRow bool) {
 		s.tmp = make([]Rating, n)
 	}
 	tmp := s.tmp[:n]
-	s.rowCounts = m.RowCountsInto(s.rowCounts)
-	s.colCounts = m.ColCountsInto(s.colCounts)
+	s.rowCounts = countRatings(s.rowCounts, entries, rows, true)
+	s.colCounts = countRatings(s.colCounts, entries, cols, false)
 
 	if byRow {
-		scatterByCol(tmp, m.Entries, s.colCounts)
-		scatterByRow(m.Entries, tmp, s.rowCounts)
+		scatterByCol(tmp, entries, s.colCounts)
+		scatterByRow(entries, tmp, s.rowCounts)
 	} else {
-		scatterByRow(tmp, m.Entries, s.rowCounts)
-		scatterByCol(m.Entries, tmp, s.colCounts)
+		scatterByRow(tmp, entries, s.rowCounts)
+		scatterByCol(entries, tmp, s.colCounts)
 	}
 	sortScratchPool.Put(s)
+}
+
+// countRatings fills dst (grown as needed to size) with per-row (byRow) or
+// per-column entry counts, mirroring COO.RowCountsInto for raw slices.
+func countRatings(dst []int, entries []Rating, size int, byRow bool) []int {
+	if cap(dst) < size {
+		dst = make([]int, size)
+	}
+	dst = dst[:size]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if byRow {
+		for _, e := range entries {
+			dst[e.U]++
+		}
+	} else {
+		for _, e := range entries {
+			dst[e.I]++
+		}
+	}
+	return dst
 }
 
 // scatterByRow stable-scatters src into dst ordered by U. counts must hold

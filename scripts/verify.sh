@@ -22,16 +22,25 @@
 #      silently break the suites behind hccmf-bench -json and
 #      BENCH_*.json (see DESIGN.md §9–10). Output lands in a log so a
 #      failure is diagnosable; the log's tail is echoed on error.
-#   7. go test ./...                   — full test suite (includes the
+#   7. kernel regression gate — hccmf-benchdiff -fail-on-regress
+#      measures the suite fresh and compares the kernel group against
+#      the newest committed BENCH_*.json baseline, after dividing out
+#      the suite-median ratio (-normalize) so machine-wide drift on a
+#      shared container cancels and only relative movement can flag.
+#      The 50% threshold then catches real regressions (a kernel
+#      accidentally falling off its fast path), not noise; the CI
+#      report-only benchdiff job keeps the tight numbers across all
+#      groups (see DESIGN.md §12 and §16)
+#   8. go test ./...                   — full test suite (includes the
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
-#   8. go test -cover over the observability/measurement packages — a
+#   9. go test -cover over the observability/measurement packages — a
 #      visible coverage summary for obs, kernelbench, trace
-#   9. serve smoke — build hccmf-serve + hccmf-loadgen, start the daemon
+#  10. serve smoke — build hccmf-serve + hccmf-loadgen, start the daemon
 #      on a random port with a synthetic model, drive it with real HTTP
 #      traffic, feed the resulting serve/v1 report through
 #      hccmf-benchdiff, and shut the daemon down with SIGTERM
 #      (see DESIGN.md §13)
-#  10. distributed smoke — start hccmf-ps on a random port, train the
+#  11. distributed smoke — start hccmf-ps on a random port, train the
 #      same seeded job once in-process (COMM-P) and once against the
 #      server over hccmf-wire/v1 TCP, and require the saved factor
 #      models to be byte-identical; SIGTERM drains the server
@@ -72,6 +81,19 @@ if ! go test -run=NONE -bench=. -benchtime=1x ./... > "$bench_log" 2>&1; then
 	exit 1
 fi
 echo "   (full output: $bench_log)"
+
+echo "== kernel regression gate (hccmf-benchdiff vs committed BENCH_*.json)"
+# Fresh measurement averaged over 2 runs; the newest BENCH_*.json in the
+# repo root is picked up as the baseline automatically. Only the kernel
+# group gates: serve p99 and the ingest readers are wall-clock-bound and
+# jitter far more than ns/update on a shared 1-CPU container (CI's
+# report-only job still diffs all three groups). -normalize divides out
+# the suite-median ratio first, so a machine-wide slowdown (another
+# tenant on the host) cancels and only *relative* movement flags; the
+# 50% threshold then absorbs per-kernel jitter (the lock-free Hogwild
+# bench is bimodal under GOMAXPROCS=1) while still failing a kernel
+# that falls off its fast path.
+go run ./cmd/hccmf-benchdiff -count 2 -threshold 0.5 -groups kernel -normalize -fail-on-regress | awk '{print "   " $0}'
 
 echo "== go test ./..."
 go test ./...
