@@ -53,6 +53,15 @@ func BenchmarkIngestReadBinarySerial(b *testing.B) { kernelbench.IngestReadBinar
 func BenchmarkIngestSortByRow(b *testing.B)        { kernelbench.IngestSortByRow(b) }
 func BenchmarkIngestWriteBinary(b *testing.B)      { kernelbench.IngestWriteBinary(b) }
 
+// --- Adaptive scheduling (the schedule/v1 group of -json reports) ---
+//
+// The straggler pair trains the same throttled 4-worker cluster with the
+// static split and with epoch-boundary rebalancing; adaptive must win.
+
+func BenchmarkScheduleResolveStep(b *testing.B)       { kernelbench.ResolveStep(b) }
+func BenchmarkScheduleStragglerStatic(b *testing.B)   { kernelbench.StragglerStatic(b) }
+func BenchmarkScheduleStragglerAdaptive(b *testing.B) { kernelbench.StragglerAdaptive(b) }
+
 // BenchmarkFigure3a regenerates the motivation study: single-processor
 // times versus good and bad collaborations on Netflix. Reported metrics:
 // the 6242-2080S collaboration's time and its ratio to the V100's.

@@ -27,7 +27,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json when -baseline is unset")
 	count := flag.Int("count", 3, "benchmark runs averaged per kernel when measuring fresh")
 	threshold := flag.Float64("threshold", 0.15, "relative slowdown that counts as a regression (0.15 = 15%)")
-	groups := flag.String("groups", "", "comma-separated benchmark groups to compare (kernel, ingest, serve; default all)")
+	groups := flag.String("groups", "", "comma-separated benchmark groups to compare (kernel, ingest, serve, schedule; default all)")
 	normalize := flag.Bool("normalize", false, "divide ratios by the suite median before flagging, cancelling uniform machine-wide drift")
 	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when any kernel regresses (CI runs report-only without this)")
 	showVersion := flag.Bool("version", false, "print version and exit")

@@ -24,6 +24,7 @@ import (
 	"hccmf/internal/device"
 	"hccmf/internal/obs"
 	"hccmf/internal/partition"
+	"hccmf/internal/schedule"
 	"hccmf/internal/version"
 )
 
@@ -36,6 +37,10 @@ func main() {
 	partitionFlag := flag.String("partition", "", "stop partition refinement at DP0, DP1 or DP2")
 	serverThreads := flag.Int("server-threads", 16, "server CPU thread count")
 	timeline := flag.Int("timeline", 0, "render an ASCII Gantt of the first N epochs (Figure 5 style)")
+	drift := flag.String("drift", "", "run a static-vs-adaptive drift study instead of a platform simulation: comma-separated name:rate0:factor worker trajectories (e.g. 'gpu0:8:0.25,gpu1:4:1,cpu0:2:1')")
+	driftEpochs := flag.Int("drift-epochs", 30, "drift study run length in epochs")
+	driftCost := flag.Float64("drift-cost", 0.02, "seconds one re-shard costs the adaptive schedule")
+	driftHysteresis := flag.Float64("drift-hysteresis", 0.10, "re-shard hysteresis of the drift study's adaptive schedule")
 	metricsOut := flag.String("metrics-out", "", "write an hccmf-obs/v1 metrics JSON document (sim gauges) to this file")
 	traceOut := flag.String("trace-out", "", "write the simulated timeline as a Chrome trace_event JSON document to this file")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -43,6 +48,13 @@ func main() {
 
 	if *showVersion {
 		fmt.Println("hccmf-sim", version.String())
+		return
+	}
+
+	if *drift != "" {
+		if err := runDriftStudy(*drift, *driftEpochs, *driftCost, *driftHysteresis); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -127,6 +139,62 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *traceOut)
 	}
+}
+
+// runDriftStudy reproduces the Ma & Rusu static-vs-dynamic crossover on
+// the closed-form drift model: workers whose throughput drifts over the
+// run, a static schedule cut once from the initial rates, and an adaptive
+// schedule that re-shards (and pays for it) when the predicted gain clears
+// the hysteresis.
+func runDriftStudy(spec string, epochs int, cost, hysteresis float64) error {
+	var workers []schedule.DriftWorker
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return fmt.Errorf("drift worker %q: want name:rate0:factor", part)
+		}
+		rate0, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("drift worker %q: rate0: %v", part, err)
+		}
+		factor, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("drift worker %q: factor: %v", part, err)
+		}
+		workers = append(workers, schedule.DriftWorker{Name: fields[0], Rate0: rate0, Factor: factor})
+	}
+	res, err := schedule.SimulateDrift(schedule.DriftStudy{
+		Epochs:  epochs,
+		Workers: workers,
+		Policy: schedule.Config{
+			Policy:     schedule.Throughput,
+			Hysteresis: hysteresis,
+		},
+		RebalanceCost: cost,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drift study: %d workers, %d epochs, re-shard cost %.3fs, hysteresis %.0f%%\n",
+		len(workers), epochs, cost, hysteresis*100)
+	for _, w := range workers {
+		fmt.Printf("  %-8s rate %.3g → %.3g entries/s\n", w.Name, w.Rate0, w.Rate0*w.Factor)
+	}
+	fmt.Printf("\n%6s %12s %12s %12s %12s\n", "epoch", "static(s)", "adaptive(s)", "cum static", "cum adaptive")
+	var cs, ca float64
+	for e := range res.StaticEpochs {
+		cs += res.StaticEpochs[e]
+		ca += res.AdaptiveEpochs[e]
+		fmt.Printf("%6d %12.4f %12.4f %12.4f %12.4f\n", e, res.StaticEpochs[e], res.AdaptiveEpochs[e], cs, ca)
+	}
+	fmt.Printf("\nstatic total   %.4fs\nadaptive total %.4fs (%d re-shards)\n",
+		res.StaticTotal, res.AdaptiveTotal, res.Rebalances)
+	if res.CrossoverEpoch >= 0 {
+		fmt.Printf("crossover at epoch %d: adaptive cumulative time dips below static and stays ahead as the drift grows\n", res.CrossoverEpoch)
+	} else {
+		fmt.Println("no crossover within the horizon: the drift never outgrew the re-shard bill")
+	}
+	return nil
 }
 
 func parseWorker(name string) (core.WorkerSpec, error) {

@@ -28,6 +28,7 @@ import (
 	"hccmf/internal/mf"
 	"hccmf/internal/obs"
 	"hccmf/internal/recommend"
+	"hccmf/internal/schedule"
 	"hccmf/internal/sparse"
 	"hccmf/internal/version"
 )
@@ -59,6 +60,9 @@ func main() {
 	progress := flag.Bool("progress", false, "print a per-epoch progress line to stderr while training")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	fastMath := flag.Bool("fast-math", false, "enable the versioned fast-math kernels (reordered accumulation, SoA batching, tiled traversal); results follow the fast-math goldens instead of the default bit-exact contract")
+	rebalance := flag.Bool("rebalance", false, "adaptively re-shard the training data at epoch boundaries from observed per-worker throughput")
+	rebHysteresis := flag.Float64("rebalance-hysteresis", 0, "predicted makespan gain a re-shard must exceed (0 uses the default, "+fmt.Sprintf("%.2f", schedule.DefaultHysteresis)+")")
+	rebMinEpochs := flag.Int("rebalance-min-epochs", 0, "minimum epochs between re-shards (0 uses the default, "+fmt.Sprintf("%d", schedule.DefaultMinEpochs)+")")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -75,8 +79,19 @@ func main() {
 	}
 
 	var observer *obs.Observer
-	if *metricsOut != "" || *traceOut != "" || *progress {
+	if *metricsOut != "" || *traceOut != "" || *progress || *rebalance {
+		// -rebalance needs per-worker phase timing, which rides on the
+		// observer's clock; create one implicitly.
 		observer = obs.NewObserver(0, nil)
+	}
+
+	var schedCfg schedule.Config
+	if *rebalance {
+		schedCfg = schedule.Config{
+			Policy:     schedule.Throughput,
+			Hysteresis: *rebHysteresis,
+			MinEpochs:  *rebMinEpochs,
+		}
 	}
 
 	plat := core.PaperPlatformOverall().FirstWorkers(*workers)
@@ -106,9 +121,9 @@ func main() {
 		spec = s
 	}
 
-	var schedule mf.Schedule
+	var lrSchedule mf.Schedule
 	if *decay > 0 {
-		schedule = mf.InverseDecay{Gamma0: spec.Params.Gamma, Beta: float32(*decay)}
+		lrSchedule = mf.InverseDecay{Gamma0: spec.Params.Gamma, Beta: float32(*decay)}
 	}
 	kind := *transport
 	if *connect != "" {
@@ -124,7 +139,8 @@ func main() {
 		MaterializeScale: *scale,
 		RealK:            *k,
 		Data:             data,
-		Schedule:         schedule,
+		LRSchedule:       lrSchedule,
+		Schedule:         schedCfg,
 		Seed:             *seed,
 		TransportSpec:    comm.Spec{Kind: kind, Addr: *connect, OpTimeout: *netTimeout},
 		Tuning:           core.Tuning{FastMath: *fastMath},
@@ -173,6 +189,17 @@ func main() {
 	for _, ev := range res.Evictions {
 		fmt.Printf("evicted worker %s in epoch %d (rows [%d,%d) → %s): %v\n",
 			ev.Worker, ev.Epoch, ev.RowLo, ev.RowHi, ev.InheritedBy, ev.Err)
+	}
+	if *rebalance {
+		fmt.Printf("adaptive scheduling: %d re-shard(s)\n", len(res.Rebalances))
+		for _, rb := range res.Rebalances {
+			forced := ""
+			if rb.Forced {
+				forced = " (forced by eviction)"
+			}
+			fmt.Printf("  epoch %d: shares %s, predicted gain %.1f%%%s\n",
+				rb.Epoch, formatShares(rb.Shares), rb.Gain*100, forced)
+		}
 	}
 	fmt.Println("\nper-phase simulated time:")
 	fmt.Print(res.Sim.Trace.Format())
@@ -234,6 +261,14 @@ func main() {
 			fmt.Printf("hit-rate@10 on held-out data: %.3f\n", hr)
 		}
 	}
+}
+
+func formatShares(shares []float64) string {
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmt.Sprintf("%.3f", s)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func loadFile(path string, workers int) (*sparse.COO, error) {

@@ -12,6 +12,7 @@ import (
 	"hccmf/internal/mf"
 	"hccmf/internal/obs"
 	"hccmf/internal/ps"
+	"hccmf/internal/schedule"
 	"hccmf/internal/sparse"
 )
 
@@ -52,9 +53,15 @@ type RunConfig struct {
 	// run fills Workers and the factor dims; everything else (Addr,
 	// OpTimeout) is the caller's.
 	TransportSpec comm.Spec
-	// Schedule, when non-nil, applies a per-epoch learning-rate schedule
+	// LRSchedule, when non-nil, applies a per-epoch learning-rate schedule
 	// to the real training run (e.g. mf.InverseDecay).
-	Schedule mf.Schedule
+	LRSchedule mf.Schedule
+	// Schedule configures adaptive epoch-boundary rescheduling of the
+	// real training run (internal/schedule): Policy Throughput re-solves
+	// the data partition from measured per-worker epoch seconds at every
+	// sync barrier and re-shards when the predicted makespan gain clears
+	// Hysteresis. The zero value keeps the planner's static split.
+	Schedule schedule.Config
 	// Seed drives dataset generation and factor initialisation.
 	Seed uint64
 	// Resilience is the run's fault-tolerance policy: injected faults,
@@ -156,6 +163,9 @@ type Result struct {
 	// Evictions records workers removed mid-run by fault tolerance
 	// (empty on a fault-free run).
 	Evictions []ps.Eviction
+	// Rebalances records the adaptive scheduler's re-shards (empty on a
+	// static run).
+	Rebalances []ps.Rebalance
 	// Model is the trained factor model (nil without real execution). Its
 	// orientation matches TrainedData (transposed when the plan was).
 	Model *mf.Factors
@@ -297,6 +307,7 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 		Strategy:       plan.Strategy,
 		MeanRating:     train.MeanRating(),
 		Seed:           cfg.Seed + 1,
+		LRSchedule:     cfg.LRSchedule,
 		Schedule:       cfg.Schedule,
 		EvictOnFailure: cfg.Resilience.EvictOnFailure,
 		Obs:            cfg.Obs,
@@ -332,6 +343,7 @@ func runReal(cfg RunConfig, plan Plan, sim *SimResult, res *Result) error {
 	res.FinalRMSE = curve.Final()
 	res.CommStats = cluster.CommStats()
 	res.Evictions = cluster.Evictions()
+	res.Rebalances = cluster.Rebalances()
 	res.Model = cluster.Snapshot()
 	res.TrainedData = &dataset.Dataset{Spec: spec, Train: train, Test: test}
 	return nil

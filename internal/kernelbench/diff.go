@@ -18,7 +18,7 @@ const ComparisonSchema = "hccmf-bench/kernel-comparison/v1"
 // Ratio is candidate/baseline of the chosen metric, so >1 means slower.
 type Delta struct {
 	Name      string  `json:"name"`
-	Group     string  `json:"group"`  // "kernel", "ingest" or "serve"
+	Group     string  `json:"group"`  // "kernel", "ingest", "serve" or "schedule"
 	Metric    string  `json:"metric"` // "ns/update", "ns/op" or "p99_us"
 	Base      float64 `json:"base"`
 	Candidate float64 `json:"candidate"`
@@ -36,6 +36,7 @@ func Diff(base, cand Report, threshold float64) []Delta {
 	deltas = append(deltas, diffGroup("kernel", base.Kernels, cand.Kernels, threshold)...)
 	deltas = append(deltas, diffGroup("ingest", base.Ingest, cand.Ingest, threshold)...)
 	deltas = append(deltas, diffServe(base.Serve, cand.Serve, threshold)...)
+	deltas = append(deltas, diffGroup("schedule", base.Schedule, cand.Schedule, threshold)...)
 	return deltas
 }
 

@@ -60,6 +60,11 @@ type Report struct {
 	// Collect (in-process harness) and by hccmf-loadgen (over HTTP).
 	ServeSchema string        `json:"serve_schema,omitempty"`
 	Serve       []ServeResult `json:"serve,omitempty"`
+	// ScheduleSchema and Schedule carry the adaptive-scheduling group
+	// (ScheduleSuite): the static-vs-adaptive straggler comparison and the
+	// re-solve micro-benchmark.
+	ScheduleSchema string   `json:"schedule_schema,omitempty"`
+	Schedule       []Result `json:"schedule,omitempty"`
 }
 
 // Bench is one named kernel micro-benchmark of the suite.
@@ -113,6 +118,8 @@ func Collect(count int) Report {
 		rep.ServeSchema = ServeSchema
 		rep.Serve = serve
 	}
+	rep.ScheduleSchema = ScheduleSchema
+	rep.Schedule = CollectSchedule(count)
 	return rep
 }
 

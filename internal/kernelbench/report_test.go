@@ -100,6 +100,40 @@ func TestServeSchemaStable(t *testing.T) {
 	}
 }
 
+// TestScheduleSchemaStable pins the schedule group's field set: the
+// straggler pair reports ns/update like the kernel group (its unit of
+// work is SGD updates through a re-shardable cluster), so the same
+// Result shape rides under the schedule keys.
+func TestScheduleSchemaStable(t *testing.T) {
+	rep := Report{
+		Schema:         Schema,
+		GoVersion:      "go1.24.0",
+		GOMAXPROCS:     1,
+		Count:          3,
+		Workload:       Workload{Rows: Rows, Cols: Cols, NNZ: NNZ, K: K},
+		ScheduleSchema: ScheduleSchema,
+		Schedule: []Result{{
+			Name: "StragglerAdaptive", Iterations: 50, NsPerOp: 2.7e7,
+			NsPerUpdate: 137, UpdatesPerSec: 7.3e6,
+		}},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"hccmf-bench/kernel/v1","go_version":"go1.24.0",` +
+		`"gomaxprocs":1,"count":3,` +
+		`"workload":{"rows":2000,"cols":1000,"nnz":200000,"k":32},` +
+		`"kernels":null,` +
+		`"schedule_schema":"hccmf-bench/schedule/v1",` +
+		`"schedule":[{"name":"StragglerAdaptive","iterations":50,` +
+		`"ns_per_op":27000000,"ns_per_update":137,"updates_per_sec":7300000,` +
+		`"allocs_per_op":0,"bytes_per_op":0}]}`
+	if string(got) != want {
+		t.Fatalf("schedule schema drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
 // TestCollectOneAggregates checks run aggregation and skip handling with a
 // synthetic benchmark (the real suite is exercised by bench_test.go and
 // verify.sh's bench smoke step).

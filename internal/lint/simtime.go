@@ -16,6 +16,7 @@ var simTimePackages = map[string]bool{
 	"comm":        true,
 	"trace":       true,
 	"experiments": true,
+	"schedule":    true,
 }
 
 // wallClockFuncs are the package time functions that read or wait on the

@@ -1,3 +1,5 @@
+//go:build amd64 && !noasm
+
 package mf
 
 // haveVec reports that updateOneVec is backed by a real vector kernel, so

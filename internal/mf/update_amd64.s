@@ -1,3 +1,5 @@
+//go:build !noasm
+
 // SSE update kernels (DESIGN.md §16). Go has no float32 auto-vectorizer,
 // and the scalar fused kernel is compute-port-bound on this sweep, so the
 // amd64 hot path hand-vectorizes the SGD step with baseline SSE (MOVUPS /

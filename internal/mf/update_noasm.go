@@ -1,10 +1,12 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package mf
 
-// haveVec: no hand-written vector kernel on this architecture; the kernel
-// table falls back to the unrolled Go kernels for k ∈ {32, 64, 128} and
-// the fused 8-wide kernel otherwise.
+// haveVec: no hand-written vector kernel on this architecture (or the
+// assembly path was disabled with -tags noasm); the kernel table falls
+// back to the unrolled Go kernels for k ∈ {32, 64, 128} and the fused
+// 8-wide kernel otherwise. CI exercises this file on amd64 via the noasm
+// matrix leg, so the portable path cannot rot between architecture ports.
 const haveVec = false
 
 // vecImpl names the vector backend in KernelName output.

@@ -88,6 +88,11 @@ type RunMetrics struct {
 	NetSeconds *Histogram
 	// Evictions counts workers removed by fault tolerance.
 	Evictions *Counter
+	// Rebalances counts adaptive epoch-boundary re-shards, and
+	// ScheduleGain holds the rebalancer's latest predicted relative
+	// makespan gain (the value the hysteresis threshold gates on).
+	Rebalances   *Counter
+	ScheduleGain *Gauge
 
 	// clock times engine epochs (nil disables engine-side timing).
 	clock func() float64
@@ -111,6 +116,8 @@ func NewRunMetrics(r *Registry) *RunMetrics {
 		Handshakes:         r.Counter("comm/handshakes_total", "connections dialled and handshaken"),
 		NetSeconds:         MustHistogram(r, "comm/net_seconds", "wire operation latency", DurationBuckets),
 		Evictions:          r.Counter("ps/evictions_total", "workers evicted by fault tolerance"),
+		Rebalances:         r.Counter("schedule/rebalances_total", "adaptive epoch-boundary re-shards performed"),
+		ScheduleGain:       r.Gauge("schedule/predicted_gain", "latest predicted relative makespan gain of a re-solve"),
 	}
 	for p := trace.Pull; p <= trace.Sync; p++ {
 		m.Phase[p] = MustHistogram(r, "ps/phase_seconds/"+p.String(),
@@ -150,6 +157,23 @@ func (m *RunMetrics) CountEviction() {
 		return
 	}
 	m.Evictions.Inc()
+}
+
+// CountRebalance accounts one adaptive re-shard; no-op on nil.
+func (m *RunMetrics) CountRebalance() {
+	if m == nil {
+		return
+	}
+	m.Rebalances.Inc()
+}
+
+// SetScheduleGain records the rebalancer's latest predicted gain; no-op
+// on nil.
+func (m *RunMetrics) SetScheduleGain(gain float64) {
+	if m == nil {
+		return
+	}
+	m.ScheduleGain.Set(gain)
 }
 
 // ObservePhase feeds one phase duration; no-op on nil or out-of-range p.

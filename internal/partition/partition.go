@@ -198,7 +198,10 @@ func DP2(x1, t1 []float64, syncTime float64) ([]float64, error) {
 	for i := range weights {
 		weights[i] = x1[i] / t1[i]
 	}
-	perm := bestOffsetAssignment(offsets, weights)
+	perm, err := bestOffsetAssignment(offsets, weights)
+	if err != nil {
+		return nil, err
+	}
 
 	x := make([]float64, p)
 	for i := range x {
@@ -217,15 +220,37 @@ func DP2(x1, t1 []float64, syncTime float64) ([]float64, error) {
 	return x, nil
 }
 
+// Worker-count bounds of the offset assignment search. The exhaustive
+// search enumerates p! permutations — 8! = 40320 scores is instant, 12!
+// would be half a billion — so it is capped explicitly rather than by
+// whatever the caller happens to pass.
+const (
+	// ExhaustiveAssignmentMax is the largest worker count solved by full
+	// permutation search; beyond it the greedy pairing takes over.
+	ExhaustiveAssignmentMax = 8
+	// MaxAssignmentWorkers bounds the assignment outright. The paper's
+	// platforms top out at 4 workers and the greedy path is linear-ish,
+	// but a runaway caller (a worker list built from bad input) should
+	// get an error, not a silent O(p log p) answer of unknowable quality.
+	MaxAssignmentWorkers = 128
+)
+
 // bestOffsetAssignment returns perm such that worker i takes
 // offsets[perm[i]], minimising |Σ offsets[perm[i]]·weights[i]|.
-func bestOffsetAssignment(offsets, weights []float64) []int {
+// Exhaustive for p ≤ ExhaustiveAssignmentMax, greedy up to
+// MaxAssignmentWorkers, an error beyond.
+func bestOffsetAssignment(offsets, weights []float64) ([]int, error) {
 	p := len(offsets)
+	if p > MaxAssignmentWorkers {
+		return nil, fmt.Errorf(
+			"partition: %d workers exceed the DP2 offset-assignment cap of %d (exhaustive search stops at %d, greedy pairing at %d); split the platform or use DP1",
+			p, MaxAssignmentWorkers, ExhaustiveAssignmentMax, MaxAssignmentWorkers)
+	}
 	perm := make([]int, p)
 	for i := range perm {
 		perm[i] = i
 	}
-	if p > 8 {
+	if p > ExhaustiveAssignmentMax {
 		// Greedy for large p: heaviest weights take the smallest |offset|.
 		byWeight := make([]iwPair, p)
 		for i, w := range weights {
@@ -240,7 +265,7 @@ func bestOffsetAssignment(offsets, weights []float64) []int {
 		for rank, e := range byWeight {
 			perm[e.idx] = byOff[rank]
 		}
-		return perm
+		return perm, nil
 	}
 	best := make([]int, p)
 	copy(best, perm)
@@ -251,7 +276,7 @@ func bestOffsetAssignment(offsets, weights []float64) []int {
 			copy(best, cand)
 		}
 	})
-	return best
+	return best, nil
 }
 
 func permScore(perm []int, offsets, weights []float64) float64 {

@@ -2,6 +2,7 @@ package partition
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -241,6 +242,52 @@ func TestDP2Validation(t *testing.T) {
 	}
 	if _, err := DP2([]float64{1}, []float64{0}, 1); err == nil {
 		t.Fatal("zero time accepted")
+	}
+}
+
+// The DP2 offset assignment is explicitly capped: the greedy path handles
+// platforms past the exhaustive bound, and past the hard cap DP2 reports
+// a descriptive error instead of silently degrading.
+func TestDP2WorkerCountCap(t *testing.T) {
+	build := func(p int) ([]float64, []float64) {
+		x := make([]float64, p)
+		ts := make([]float64, p)
+		for i := range x {
+			x[i] = 1 / float64(p)
+			ts[i] = 1 + 0.01*float64(i)
+		}
+		return x, ts
+	}
+	// Just past the exhaustive bound: the greedy path must still produce a
+	// valid distribution.
+	x1, t1 := build(ExhaustiveAssignmentMax + 1)
+	x2, err := DP2(x1, t1, 0.01)
+	if err != nil {
+		t.Fatalf("greedy path failed at p=%d: %v", ExhaustiveAssignmentMax+1, err)
+	}
+	var sum float64
+	for i, v := range x2 {
+		if v <= 0 {
+			t.Fatalf("worker %d starved by greedy assignment: %v", i, x2)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("greedy shares sum %v", sum)
+	}
+	// At the cap: still fine.
+	x1, t1 = build(MaxAssignmentWorkers)
+	if _, err := DP2(x1, t1, 0.01); err != nil {
+		t.Fatalf("p = cap rejected: %v", err)
+	}
+	// Past the cap: a descriptive error naming the bound.
+	x1, t1 = build(MaxAssignmentWorkers + 1)
+	_, err = DP2(x1, t1, 0.01)
+	if err == nil {
+		t.Fatalf("p = %d accepted past the cap", MaxAssignmentWorkers+1)
+	}
+	if !strings.Contains(err.Error(), "cap") || !strings.Contains(err.Error(), "129") {
+		t.Fatalf("cap error not descriptive: %v", err)
 	}
 }
 

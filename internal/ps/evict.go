@@ -108,6 +108,10 @@ func (c *Cluster) evict(epoch int, ws *workerState, cause error) error {
 	})
 	c.metrics.CountEviction()
 	c.observer.Instant(obs.ProcReal, ws.conf.Name, "ps", "evict", "epoch", float64(epoch))
+	// The heir's hull is imbalanced by construction: let the adaptive
+	// scheduler re-shard at the next barrier without waiting out its
+	// hysteresis or cooldown (no-op on a static run).
+	c.rebalancer.Force()
 	return nil
 }
 

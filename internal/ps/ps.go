@@ -21,6 +21,7 @@ import (
 	"hccmf/internal/fp16"
 	"hccmf/internal/mf"
 	"hccmf/internal/obs"
+	"hccmf/internal/schedule"
 	"hccmf/internal/sparse"
 	"hccmf/internal/trace"
 )
@@ -57,9 +58,17 @@ type Config struct {
 	MeanRating float64
 	// Seed makes initialisation reproducible.
 	Seed uint64
-	// Schedule, when non-nil, overrides Hyper.Gamma per epoch (e.g.
+	// LRSchedule, when non-nil, overrides Hyper.Gamma per epoch (e.g.
 	// cuMF_SGD's inverse decay). Regularisers stay fixed.
-	Schedule mf.Schedule
+	LRSchedule mf.Schedule
+	// Schedule configures adaptive epoch-boundary rebalancing (see
+	// internal/schedule): with Policy Throughput the cluster feeds each
+	// worker's measured phase seconds into a re-solve at the sync barrier
+	// and re-shards when the predicted makespan gain clears the hysteresis
+	// threshold. The zero value (Policy Off) keeps the static split.
+	// Rebalancing needs per-worker timing: either an Obs observer with a
+	// clock, or a deterministic Schedule.Measure hook.
+	Schedule schedule.Config
 	// EvictOnFailure enables graceful degradation: a worker whose
 	// transfers still fail after the transport's own retries is evicted —
 	// its row range and shard move to a survivor — instead of aborting
@@ -85,6 +94,13 @@ type Cluster struct {
 	baseQStage []fp16.Bits16
 	// evictions records workers removed by fault tolerance.
 	evictions []Eviction
+	// rebalancer drives adaptive epoch-boundary rescheduling (nil when
+	// Config.Schedule is Off — the static path costs one nil check).
+	rebalancer *schedule.Rebalancer
+	// rebalances records the re-shards performed so far.
+	rebalances []Rebalance
+	// loadScratch is maybeRebalance's reused per-epoch load vector.
+	loadScratch []schedule.WorkerLoad
 
 	// deltaPool recycles foldQRows' per-row delta accumulators. A pool
 	// (rather than one buffer on the cluster) because async mode folds
@@ -123,6 +139,11 @@ type workerState struct {
 	pushP []float32
 	// chunks caches the shard bucketed by item slice (async mode).
 	chunks [][]sparse.Rating
+	// epochSeconds accumulates this epoch's measured pull+compute+push
+	// span durations for the rebalancer. Written only by the worker's own
+	// phase goroutine; the WaitGroup barrier between phases orders the
+	// writes against the server's epoch-boundary read and reset.
+	epochSeconds float64
 }
 
 // New validates the configuration and builds a cluster with initialised
@@ -173,11 +194,12 @@ func New(cfg Config, workers []WorkerConf) (*Cluster, error) {
 
 	rng := sparse.NewRand(cfg.Seed)
 	c := &Cluster{
-		cfg:      cfg,
-		global:   mf.NewFactorsInit(cfg.M, cfg.N, cfg.K, cfg.MeanRating, rng),
-		baseQ:    make([]float32, cfg.N*cfg.K),
-		observer: cfg.Obs,
-		metrics:  cfg.Obs.RunMetrics(),
+		cfg:        cfg,
+		global:     mf.NewFactorsInit(cfg.M, cfg.N, cfg.K, cfg.MeanRating, rng),
+		baseQ:      make([]float32, cfg.N*cfg.K),
+		observer:   cfg.Obs,
+		metrics:    cfg.Obs.RunMetrics(),
+		rebalancer: schedule.New(cfg.Schedule),
 	}
 	for i := range workers {
 		w := workers[i]
@@ -291,7 +313,9 @@ func (c *Cluster) runEpoch(epoch, total int) error {
 	if err := c.phase(epoch, func(ws *workerState) error {
 		span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "compute")
 		ws.conf.Engine.Epoch(ws.local, ws.conf.Shard, h)
-		c.metrics.ObservePhase(trace.Compute, span.End())
+		sec := span.End()
+		c.metrics.ObservePhase(trace.Compute, sec)
+		ws.epochSeconds += sec
 		return nil
 	}); err != nil {
 		return err
@@ -305,7 +329,12 @@ func (c *Cluster) runEpoch(epoch, total int) error {
 	c.syncAll(epoch, total)
 	c.metrics.ObservePhase(trace.Sync, span.End())
 	// P changes at sync only when it was pushed this epoch.
-	return c.publishGlobal(!c.cfg.Strategy.QOnly || epoch == total-1)
+	if err := c.publishGlobal(!c.cfg.Strategy.QOnly || epoch == total-1); err != nil {
+		return err
+	}
+	// Adaptive rescheduling happens strictly at the epoch boundary: every
+	// push is folded, the global model is published, no worker is running.
+	return c.maybeRebalance(epoch, total)
 }
 
 // snapshotBaseQ records the Q this epoch's pulls are served from. Under
@@ -330,8 +359,8 @@ func (c *Cluster) snapshotBaseQ() {
 // hyperFor applies the learning-rate schedule, if any, to the epoch.
 func (c *Cluster) hyperFor(epoch int) mf.HyperParams {
 	h := c.cfg.Hyper
-	if c.cfg.Schedule != nil {
-		h.Gamma = c.cfg.Schedule.Gamma(epoch)
+	if c.cfg.LRSchedule != nil {
+		h.Gamma = c.cfg.LRSchedule.Gamma(epoch)
 	}
 	return h
 }
@@ -385,7 +414,9 @@ func (c *Cluster) transportFor(ws *workerState) comm.Transport {
 func (c *Cluster) pull(ws *workerState, epoch int) error {
 	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "pull")
 	err := c.pullData(ws, epoch)
-	c.metrics.ObservePhase(trace.Pull, span.End())
+	sec := span.End()
+	c.metrics.ObservePhase(trace.Pull, sec)
+	ws.epochSeconds += sec
 	return err
 }
 
@@ -419,7 +450,9 @@ func (c *Cluster) pullData(ws *workerState, epoch int) error {
 func (c *Cluster) push(ws *workerState, epoch, total int) error {
 	span := c.observer.Span(obs.ProcReal, ws.conf.Name, "ps", "push")
 	err := c.pushData(ws, epoch, total)
-	c.metrics.ObservePhase(trace.Push, span.End())
+	sec := span.End()
+	c.metrics.ObservePhase(trace.Push, sec)
+	ws.epochSeconds += sec
 	return err
 }
 

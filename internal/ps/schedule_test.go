@@ -10,7 +10,7 @@ func TestClusterScheduleOverridesGamma(t *testing.T) {
 	full, confs := buildProblem(t, 80, 60, 3000, []float64{1}, 51)
 	cfg := defaultConfig(80, 60)
 	cfg.MeanRating = full.MeanRating()
-	cfg.Schedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.3}
+	cfg.LRSchedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.3}
 	c, err := New(cfg, confs[:1])
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestHyperForWithoutSchedule(t *testing.T) {
 	if got := c.hyperFor(5); got != cfg.Hyper {
 		t.Fatalf("hyperFor without schedule = %+v", got)
 	}
-	c.cfg.Schedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.5}
+	c.cfg.LRSchedule = mf.InverseDecay{Gamma0: 0.02, Beta: 0.5}
 	if got := c.hyperFor(4); got.Gamma >= 0.02 || got.Lambda1 != cfg.Hyper.Lambda1 {
 		t.Fatalf("hyperFor with schedule = %+v", got)
 	}

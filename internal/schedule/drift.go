@@ -1,0 +1,151 @@
+// Drift study — the Ma & Rusu static-vs-dynamic crossover, reproduced on
+// a closed-form throughput model so hccmf-sim can chart it and
+// EXPERIMENTS.md can record it without a GPU in sight.
+//
+// The model: worker i starts at Rate0_i entries/second and drifts
+// linearly to Rate0_i·Factor_i by the final epoch (Factor < 1 is a
+// worker slowing down — thermal throttling, a co-tenant, a degrading
+// link; Factor > 1 a worker warming up). One epoch's wall time under
+// share vector x is max_i x_i/rate_i(e) — the bulk-synchronous barrier
+// waits for the slowest worker. The static schedule keeps the DP0 split
+// of the *initial* rates for the whole run, which is exactly what the
+// paper's one-shot calibration does; the adaptive schedule feeds each
+// epoch's times into the Rebalancer and pays RebalanceCost seconds for
+// every re-shard it triggers.
+//
+// The crossover is the epoch where the adaptive schedule's cumulative
+// time (re-shard costs included) first dips below the static schedule's:
+// before it, adaptivity has only paid; after it, the drift has grown
+// faster than the re-shard bill.
+
+package schedule
+
+import "fmt"
+
+// DriftWorker describes one worker's throughput trajectory.
+type DriftWorker struct {
+	// Name labels the worker in reports.
+	Name string
+	// Rate0 is the initial throughput (entries/second, any consistent
+	// unit — only ratios matter).
+	Rate0 float64
+	// Factor scales Rate0 by the final epoch; the rate interpolates
+	// linearly in between. 1 means no drift.
+	Factor float64
+}
+
+// DriftStudy configures one static-vs-adaptive comparison.
+type DriftStudy struct {
+	// Epochs is the run length.
+	Epochs int
+	// Workers is the heterogeneous device set.
+	Workers []DriftWorker
+	// Policy tunes the adaptive schedule (Policy Off degenerates the
+	// adaptive run to the static one).
+	Policy Config
+	// RebalanceCost is the seconds one re-shard costs the adaptive run
+	// (row migration, shard rebuild). The static run never pays it.
+	RebalanceCost float64
+}
+
+// DriftResult is the study's outcome.
+type DriftResult struct {
+	// StaticTotal and AdaptiveTotal are the cumulative run times.
+	StaticTotal, AdaptiveTotal float64
+	// StaticEpochs and AdaptiveEpochs are the per-epoch times (the
+	// adaptive entries include the re-shard cost of the preceding
+	// boundary).
+	StaticEpochs, AdaptiveEpochs []float64
+	// Rebalances counts the adaptive run's re-shards.
+	Rebalances int
+	// CrossoverEpoch is the first epoch whose cumulative adaptive time is
+	// below the cumulative static time, or -1 when the adaptive run never
+	// catches up within the horizon.
+	CrossoverEpoch int
+}
+
+// SimulateDrift runs the closed-form study. It is deterministic: the
+// model has no noise, so the same study always yields the same result.
+func SimulateDrift(study DriftStudy) (DriftResult, error) {
+	p := len(study.Workers)
+	if p == 0 {
+		return DriftResult{}, fmt.Errorf("schedule: drift study has no workers")
+	}
+	if study.Epochs <= 0 {
+		return DriftResult{}, fmt.Errorf("schedule: drift study epochs = %d", study.Epochs)
+	}
+	rates0 := make([]float64, p)
+	for i, w := range study.Workers {
+		if !isFinitePos(w.Rate0) {
+			return DriftResult{}, fmt.Errorf("schedule: worker %q rate0 = %v", w.Name, w.Rate0)
+		}
+		if !isFinitePos(w.Factor) {
+			return DriftResult{}, fmt.Errorf("schedule: worker %q drift factor = %v", w.Name, w.Factor)
+		}
+		rates0[i] = w.Rate0
+	}
+	// Both runs start from the calibrated split: DP0 on the initial rates.
+	var sum float64
+	for _, r := range rates0 {
+		sum += r
+	}
+	static := make([]float64, p)
+	for i, r := range rates0 {
+		static[i] = r / sum
+	}
+	adaptive := append([]float64(nil), static...)
+
+	res := DriftResult{CrossoverEpoch: -1}
+	reb := New(study.Policy)
+	loads := make([]WorkerLoad, p)
+	for e := 0; e < study.Epochs; e++ {
+		rates := driftRates(study, e)
+		res.StaticEpochs = append(res.StaticEpochs, epochTime(static, rates))
+		res.StaticTotal += res.StaticEpochs[e]
+
+		at := epochTime(adaptive, rates)
+		for i := range loads {
+			loads[i] = WorkerLoad{
+				Name:    study.Workers[i].Name,
+				Share:   adaptive[i],
+				Seconds: adaptive[i] / rates[i],
+			}
+		}
+		if d := reb.Step(e, loads); d.Rebalance {
+			copy(adaptive, d.Shares)
+			at += study.RebalanceCost
+			res.Rebalances++
+		}
+		res.AdaptiveEpochs = append(res.AdaptiveEpochs, at)
+		res.AdaptiveTotal += at
+		if res.CrossoverEpoch < 0 && res.AdaptiveTotal < res.StaticTotal {
+			res.CrossoverEpoch = e
+		}
+	}
+	return res, nil
+}
+
+// driftRates interpolates every worker's rate at epoch e.
+func driftRates(study DriftStudy, e int) []float64 {
+	frac := 0.0
+	if study.Epochs > 1 {
+		frac = float64(e) / float64(study.Epochs-1)
+	}
+	rates := make([]float64, len(study.Workers))
+	for i, w := range study.Workers {
+		rates[i] = w.Rate0 * (1 + (w.Factor-1)*frac)
+	}
+	return rates
+}
+
+// epochTime is the barrier time of one epoch: the slowest worker's
+// share/rate.
+func epochTime(shares, rates []float64) float64 {
+	var worst float64
+	for i := range shares {
+		if t := shares[i] / rates[i]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

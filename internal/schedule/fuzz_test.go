@@ -1,0 +1,58 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzResolve drives the re-solve entry point with arbitrary measurement
+// vectors. The contract under fuzzing: Resolve either rejects the input
+// with an error, or returns a share vector that is NaN-free, strictly
+// positive, sums to 1, and predicts a makespan no worse than the current
+// one. The seed corpus covers the interesting shapes by hand: zeros,
+// single worker, all-equal, and an extreme spread.
+func FuzzResolve(f *testing.F) {
+	f.Add(float64(1), float64(1), float64(1), float64(1), uint8(4))      // all-equal
+	f.Add(float64(1), float64(0), float64(1), float64(1), uint8(4))      // zero time
+	f.Add(float64(3.5), float64(0), float64(0), float64(0), uint8(1))    // single worker
+	f.Add(float64(1e-9), float64(1e9), float64(1), float64(1), uint8(4)) // extreme spread
+	f.Add(math.NaN(), float64(1), float64(1), float64(1), uint8(3))      // NaN time
+	f.Add(math.Inf(1), float64(1), float64(1), float64(1), uint8(2))     // Inf time
+	f.Add(float64(-1), float64(1), float64(1), float64(1), uint8(3))     // negative time
+	f.Add(float64(0.25), float64(0.5), float64(0.75), float64(1), uint8(4))
+	f.Fuzz(func(t *testing.T, t0, t1, t2, t3 float64, n uint8) {
+		p := int(n%4) + 1
+		seconds := []float64{t0, t1, t2, t3}[:p]
+		shares := make([]float64, p)
+		for i := range shares {
+			shares[i] = 1 / float64(p)
+		}
+		next, pred, err := Resolve(shares, seconds)
+		if err != nil {
+			if next != nil {
+				t.Fatalf("error %v still returned shares %v", err, next)
+			}
+			return
+		}
+		if len(next) != p {
+			t.Fatalf("%d shares for %d workers", len(next), p)
+		}
+		var sum float64
+		for i, s := range next {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+				t.Fatalf("share[%d] = %v from seconds %v", i, s, seconds)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shares sum to %v from seconds %v", sum, seconds)
+		}
+		cur := 0.0
+		for _, s := range seconds {
+			cur = math.Max(cur, s)
+		}
+		if math.IsNaN(pred) || pred <= 0 || pred > cur*(1+1e-9) {
+			t.Fatalf("predicted makespan %v vs current %v from seconds %v", pred, cur, seconds)
+		}
+	})
+}

@@ -1,0 +1,362 @@
+// Package schedule closes the loop from observed per-worker throughput
+// back into the data partition. The paper computes its DP0/DP1/DP2 split
+// once from calibrated device rates and never revisits it; Ma & Rusu's
+// heterogeneous CPU+GPU SGD study (PAPERS.md) shows any static split loses
+// to dynamic scheduling once device throughput drifts — a straggling
+// worker, a post-eviction hull, a thermal-throttled GPU. This package is
+// the dynamic half: an epoch-boundary rebalancer that turns measured
+// per-worker epoch seconds into a fresh share vector via the same
+// proportional math DP1 uses, guarded by hysteresis so a healthy cluster
+// never re-shards on noise.
+//
+// The package is pure: no clocks, no goroutines, no I/O. Measurements
+// come in as plain float64 seconds (whatever clock the caller's observer
+// was built with — wall for real runs, virtual for simulations, an
+// injected Measure hook for byte-reproducible golden runs), and decisions
+// come out as a share vector. Determinism therefore reduces to the
+// inputs: the same measured seconds always produce the same shares.
+package schedule
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the rebalancing behaviour.
+type Policy int
+
+const (
+	// Off disables rebalancing: the planner's static split holds for the
+	// whole run (the paper's behaviour).
+	Off Policy = iota
+	// Throughput re-solves the split at every epoch boundary from each
+	// worker's effective throughput (share/seconds), re-sharding when the
+	// predicted makespan gain exceeds the hysteresis threshold.
+	Throughput
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Throughput:
+		return "throughput"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Defaults for Config's zero-valued knobs.
+const (
+	// DefaultHysteresis is the predicted relative makespan gain below
+	// which the current split is kept. 15% absorbs scheduler jitter and
+	// cache-warmth noise on a shared host while still reacting to a real
+	// straggler (a 2× slowdown of one of four equal workers predicts a
+	// ~27% gain) within one epoch.
+	DefaultHysteresis = 0.15
+	// DefaultMinEpochs is the minimum number of epochs between re-shards.
+	// Two epochs of observation let the post-reshard measurement settle
+	// (the first epoch after a re-shard pays one-off cache misses).
+	DefaultMinEpochs = 2
+	// DefaultMinShare floors every worker's share so no worker is starved
+	// to an empty row range (the ps runtime requires RowLo < RowHi).
+	DefaultMinShare = 0.01
+)
+
+// WorkerLoad is one worker's observed load for one epoch, fed to the
+// rebalancer by the runtime at the sync barrier.
+type WorkerLoad struct {
+	// Name identifies the worker in traces and Measure hooks.
+	Name string
+	// Share is the worker's current fraction of the training data.
+	Share float64
+	// Updates is the number of rating entries the worker processed this
+	// epoch (its shard size — known from the assignment, not measured).
+	Updates int64
+	// Seconds is the worker's measured epoch time on the caller's clock:
+	// pull + compute + push, the span the worker spends off the barrier.
+	Seconds float64
+}
+
+// MeasureFunc overrides the measured per-worker seconds; it receives the
+// epoch and the loads (whose Seconds carry the runtime's measurement) and
+// returns the seconds the re-solve should use, one per load. Golden tests
+// and simulations inject deterministic drift models here; production runs
+// leave it nil and use the observed spans.
+type MeasureFunc func(epoch int, loads []WorkerLoad) []float64
+
+// Config tunes the rebalancer. The zero value is Policy Off; a
+// Policy-Throughput config with zero knobs gets the documented defaults.
+type Config struct {
+	// Policy selects static (Off) or adaptive (Throughput) scheduling.
+	Policy Policy
+	// Hysteresis is the predicted relative makespan gain that must be
+	// exceeded before a re-shard happens (0 → DefaultHysteresis). A
+	// re-shard moves factor rows and rebuilds shards, so it must promise
+	// more than it costs.
+	Hysteresis float64
+	// MinEpochs is the minimum number of epochs between re-shards
+	// (0 → DefaultMinEpochs); it also delays the first re-shard so at
+	// least that many epochs of measurement exist.
+	MinEpochs int
+	// MinShare floors every worker's share (0 → DefaultMinShare).
+	MinShare float64
+	// Measure, when non-nil, replaces the observed seconds (see
+	// MeasureFunc).
+	Measure MeasureFunc
+}
+
+// Enabled reports whether the config asks for rebalancing at all.
+func (c Config) Enabled() bool { return c.Policy != Off }
+
+func (c Config) hysteresis() float64 {
+	if c.Hysteresis > 0 {
+		return c.Hysteresis
+	}
+	return DefaultHysteresis
+}
+
+func (c Config) minEpochs() int {
+	if c.MinEpochs > 0 {
+		return c.MinEpochs
+	}
+	return DefaultMinEpochs
+}
+
+func (c Config) minShare() float64 {
+	if c.MinShare > 0 {
+		return c.MinShare
+	}
+	return DefaultMinShare
+}
+
+// Decision is the outcome of one rebalancer step.
+type Decision struct {
+	// Rebalance reports whether the runtime should re-shard now.
+	Rebalance bool
+	// Shares is the new share vector when Rebalance is true (nil
+	// otherwise). It sums to 1 and respects the MinShare floor.
+	Shares []float64
+	// CurrentMakespan is the slowest worker's measured seconds.
+	CurrentMakespan float64
+	// PredictedMakespan is the equalized epoch time the new shares
+	// predict (every worker finishing together at its measured rate).
+	PredictedMakespan float64
+	// Gain is the predicted relative makespan reduction,
+	// 1 − Predicted/Current; the hysteresis threshold gates on it.
+	Gain float64
+	// Reason explains a kept split ("off", "cooldown", "within
+	// hysteresis", a measurement error) or records "rebalance"/"forced".
+	Reason string
+}
+
+// Rebalancer holds the per-run state of the adaptive policy: the cooldown
+// clock and the post-eviction force flag. Shares travel in and out of
+// Step on every call (evictions change the worker roster mid-run, so the
+// rebalancer never caches the assignment).
+type Rebalancer struct {
+	cfg   Config
+	last  int // epoch of the last re-shard, -1 before the first
+	force bool
+}
+
+// New builds a rebalancer for the config. Returns nil when the policy is
+// Off — the runtime treats a nil rebalancer as "never rebalance", so the
+// static path stays branch-free.
+func New(cfg Config) *Rebalancer {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Rebalancer{cfg: cfg, last: -1}
+}
+
+// Force makes the next Step bypass the hysteresis and cooldown gates (it
+// still requires valid measurements). The eviction path calls it: an heir
+// that just absorbed a dead worker's rows is imbalanced by construction,
+// and waiting out a cooldown would train lopsided epochs for no reason.
+// No-op on nil.
+func (r *Rebalancer) Force() {
+	if r == nil {
+		return
+	}
+	r.force = true
+}
+
+// Step consumes one epoch's loads and decides whether to re-shard.
+// epoch is 0-based. No-op (Reason "off") on a nil rebalancer.
+func (r *Rebalancer) Step(epoch int, loads []WorkerLoad) Decision {
+	if r == nil {
+		return Decision{Reason: "off"}
+	}
+	shares := make([]float64, len(loads))
+	seconds := make([]float64, len(loads))
+	for i, l := range loads {
+		shares[i] = l.Share
+		seconds[i] = l.Seconds
+	}
+	if r.cfg.Measure != nil {
+		seconds = r.cfg.Measure(epoch, loads)
+		if len(seconds) != len(loads) {
+			return Decision{Reason: fmt.Sprintf("measure returned %d seconds for %d workers", len(seconds), len(loads))}
+		}
+	}
+	next, pred, err := resolve(shares, seconds, r.cfg.minShare())
+	if err != nil {
+		return Decision{Reason: err.Error()}
+	}
+	cur := maxOf(seconds)
+	d := Decision{
+		Shares:            next,
+		CurrentMakespan:   cur,
+		PredictedMakespan: pred,
+		Gain:              1 - pred/cur,
+	}
+	switch {
+	case r.force:
+		d.Rebalance = true
+		d.Reason = "forced"
+	case epoch-r.last < r.cfg.minEpochs():
+		d.Shares = nil
+		d.Reason = "cooldown"
+	case d.Gain <= r.cfg.hysteresis():
+		d.Shares = nil
+		d.Reason = "within hysteresis"
+	default:
+		d.Rebalance = true
+		d.Reason = "rebalance"
+	}
+	if d.Rebalance {
+		r.last = epoch
+		r.force = false
+	}
+	return d
+}
+
+// Resolve is the pure re-solve entry point: given the current share
+// vector and each worker's measured seconds for it, it returns the share
+// vector that equalizes finish times at the measured effective rates
+// (share'_i ∝ share_i/t_i — exactly DP0 applied to the observed rates)
+// and the makespan that split predicts, 1/Σ(share_i/t_i).
+//
+// Because Σ share_i = 1, the predicted makespan is a weighted harmonic
+// combination of the measured times and can never exceed max_i t_i: one
+// re-solve step never increases the predicted makespan (the property test
+// pins this). Iterated per epoch the split converges to the equal-finish
+// split even when workers carry fixed per-epoch overheads that a single
+// proportional solve cannot see.
+//
+// Inputs must be finite and positive and the shares must sum to ~1; a
+// violation returns a descriptive error and no shares. MinShare flooring
+// is the caller's concern (Config.MinShare); Resolve itself is exact.
+func Resolve(shares, seconds []float64) ([]float64, float64, error) {
+	return resolve(shares, seconds, 0)
+}
+
+// resolve implements Resolve with an optional share floor: every output
+// share is raised to at least minShare (then renormalised), keeping each
+// worker schedulable.
+func resolve(shares, seconds []float64, minShare float64) ([]float64, float64, error) {
+	p := len(shares)
+	if p == 0 {
+		return nil, 0, fmt.Errorf("schedule: no workers")
+	}
+	if len(seconds) != p {
+		return nil, 0, fmt.Errorf("schedule: %d seconds for %d workers", len(seconds), p)
+	}
+	var shareSum float64
+	for i := 0; i < p; i++ {
+		if !isFinitePos(shares[i]) {
+			return nil, 0, fmt.Errorf("schedule: share[%d] = %v, must be finite and positive", i, shares[i])
+		}
+		if !isFinitePos(seconds[i]) {
+			return nil, 0, fmt.Errorf("schedule: seconds[%d] = %v, must be finite and positive", i, seconds[i])
+		}
+		shareSum += shares[i]
+	}
+	if math.Abs(shareSum-1) > 1e-6 {
+		return nil, 0, fmt.Errorf("schedule: shares sum to %v, want 1", shareSum)
+	}
+	// Effective rate of worker i is share_i/t_i (fraction of the data per
+	// second). The equalizing split gives each worker its rate's fraction
+	// of the total, and every worker then takes 1/Σrates seconds.
+	rates := make([]float64, p)
+	var rateSum float64
+	for i := 0; i < p; i++ {
+		rates[i] = shares[i] / seconds[i]
+		rateSum += rates[i]
+	}
+	pred := 1 / rateSum
+	if !isFinitePos(rateSum) || !isFinitePos(pred) {
+		// Inputs at the float range edges (subnormal rates, near-max
+		// seconds) can push the harmonic sum over a cliff; reject rather
+		// than emit shares whose prediction is meaningless.
+		return nil, 0, fmt.Errorf("schedule: degenerate rate sum %v", rateSum)
+	}
+	next := make([]float64, p)
+	for i := 0; i < p; i++ {
+		next[i] = rates[i] / rateSum
+	}
+	if minShare > 0 {
+		// Never floor past feasibility: p floors must leave room for the
+		// fast workers' remainder.
+		if lim := 1 / float64(2*p); minShare > lim {
+			minShare = lim
+		}
+		// Waterfill: floored workers hold exactly minShare and the rest
+		// scale to the remaining mass. Scaling can push another worker
+		// under the floor, so iterate; the floored set only grows, so p
+		// rounds suffice.
+		for iter := 0; iter < p; iter++ {
+			var flooredTotal, freeSum float64
+			anyBelow := false
+			for _, s := range next {
+				if s <= minShare {
+					flooredTotal += minShare
+					anyBelow = anyBelow || s < minShare
+				} else {
+					freeSum += s
+				}
+			}
+			if !anyBelow || freeSum == 0 {
+				break
+			}
+			scale := (1 - flooredTotal) / freeSum
+			for i := range next {
+				if next[i] <= minShare {
+					next[i] = minShare
+				} else {
+					next[i] *= scale
+				}
+			}
+		}
+	}
+	return next, pred, nil
+}
+
+// PredictedMakespan evaluates a candidate share vector against measured
+// (shares, seconds): worker i's predicted time is seconds_i scaled by
+// next_i/shares_i, and the makespan is the slowest worker's.
+func PredictedMakespan(shares, seconds, next []float64) float64 {
+	var worst float64
+	for i := range next {
+		if t := seconds[i] * next[i] / shares[i]; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+func isFinitePos(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+func maxOf(v []float64) float64 {
+	worst := math.Inf(-1)
+	for _, x := range v {
+		if x > worst {
+			worst = x
+		}
+	}
+	return worst
+}

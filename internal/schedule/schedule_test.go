@@ -1,0 +1,317 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestResolveEqualWorkers pins the identity case: equal shares and equal
+// times re-solve to the same split.
+func TestResolveEqualWorkers(t *testing.T) {
+	shares := []float64{0.25, 0.25, 0.25, 0.25}
+	seconds := []float64{2, 2, 2, 2}
+	next, pred, err := Resolve(shares, seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range next {
+		if math.Abs(s-0.25) > 1e-12 {
+			t.Fatalf("share[%d] = %v, want 0.25", i, s)
+		}
+	}
+	if math.Abs(pred-2) > 1e-12 {
+		t.Fatalf("predicted makespan %v, want 2", pred)
+	}
+}
+
+// TestResolveStraggler pins the straggler case: a worker twice as slow as
+// its peers gives up half its share and the predicted makespan drops.
+func TestResolveStraggler(t *testing.T) {
+	shares := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	seconds := []float64{2, 1, 1} // worker 0 runs at half speed
+	next, pred, err := Resolve(shares, seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates are 1/6, 1/3, 1/3 → shares 1/5, 2/5, 2/5.
+	want := []float64{0.2, 0.4, 0.4}
+	for i := range next {
+		if math.Abs(next[i]-want[i]) > 1e-12 {
+			t.Fatalf("shares = %v, want %v", next, want)
+		}
+	}
+	if wantPred := 1 / (1.0/6 + 1.0/3 + 1.0/3); math.Abs(pred-wantPred) > 1e-12 {
+		t.Fatalf("predicted makespan %v, want %v", pred, wantPred)
+	}
+	if pred >= 2 {
+		t.Fatalf("predicted makespan %v did not improve on current 2", pred)
+	}
+}
+
+// TestResolveSingleWorker: one worker keeps everything and the makespan is
+// its own time.
+func TestResolveSingleWorker(t *testing.T) {
+	next, pred, err := Resolve([]float64{1}, []float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != 1 || next[0] != 1 {
+		t.Fatalf("shares = %v, want [1]", next)
+	}
+	if math.Abs(pred-3.5) > 1e-12 {
+		t.Fatalf("predicted makespan %v, want 3.5", pred)
+	}
+}
+
+// TestResolveRejectsBadInputs: every malformed input is a descriptive
+// error, never a NaN-laden share vector.
+func TestResolveRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		shares  []float64
+		seconds []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []float64{0.5, 0.5}, []float64{1}},
+		{"zero seconds", []float64{0.5, 0.5}, []float64{1, 0}},
+		{"negative seconds", []float64{0.5, 0.5}, []float64{1, -1}},
+		{"nan seconds", []float64{0.5, 0.5}, []float64{1, math.NaN()}},
+		{"inf seconds", []float64{0.5, 0.5}, []float64{1, math.Inf(1)}},
+		{"zero share", []float64{0, 1}, []float64{1, 1}},
+		{"shares do not sum to 1", []float64{0.5, 0.2}, []float64{1, 1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Resolve(tc.shares, tc.seconds); err == nil {
+			t.Errorf("%s: Resolve accepted shares=%v seconds=%v", tc.name, tc.shares, tc.seconds)
+		}
+	}
+}
+
+// TestResolveNeverIncreasesPredictedMakespan is the property the whole
+// policy rests on: for any valid measurement, the re-solved split's
+// predicted makespan 1/Σ(x_i/t_i) never exceeds the current makespan
+// max_i t_i (Σx_i = 1 makes the harmonic combination a lower envelope).
+// A re-solve can therefore only promise improvement, and the hysteresis
+// gate decides whether the promise is worth a re-shard.
+func TestResolveNeverIncreasesPredictedMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		p := 1 + rng.Intn(8)
+		shares := make([]float64, p)
+		seconds := make([]float64, p)
+		var sum float64
+		for i := range shares {
+			shares[i] = 1e-3 + rng.Float64()
+			sum += shares[i]
+			// Spread times over six orders of magnitude.
+			seconds[i] = math.Pow(10, -3+6*rng.Float64())
+		}
+		for i := range shares {
+			shares[i] /= sum
+		}
+		next, pred, err := Resolve(shares, seconds)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cur := 0.0
+		for _, s := range seconds {
+			cur = math.Max(cur, s)
+		}
+		if pred > cur*(1+1e-12) {
+			t.Fatalf("trial %d: predicted makespan %v exceeds current %v (shares=%v seconds=%v)",
+				trial, pred, cur, shares, seconds)
+		}
+		// The prediction must be self-consistent: evaluating the new
+		// shares at the measured rates reproduces it.
+		if eval := PredictedMakespan(shares, seconds, next); math.Abs(eval-pred) > 1e-9*pred {
+			t.Fatalf("trial %d: PredictedMakespan %v disagrees with Resolve %v", trial, eval, pred)
+		}
+		var nsum float64
+		for i, s := range next {
+			if !isFinitePos(s) {
+				t.Fatalf("trial %d: share[%d] = %v", trial, i, s)
+			}
+			nsum += s
+		}
+		if math.Abs(nsum-1) > 1e-9 {
+			t.Fatalf("trial %d: shares sum to %v", trial, nsum)
+		}
+	}
+}
+
+// TestRebalancerHysteresis: a mild imbalance below the threshold keeps the
+// split; a straggler beyond it triggers exactly one re-shard and then
+// cools down.
+func TestRebalancerHysteresis(t *testing.T) {
+	r := New(Config{Policy: Throughput, Hysteresis: 0.15, MinEpochs: 1})
+	balanced := []WorkerLoad{
+		{Name: "a", Share: 0.5, Seconds: 1.00},
+		{Name: "b", Share: 0.5, Seconds: 1.05},
+	}
+	if d := r.Step(0, balanced); d.Rebalance {
+		t.Fatalf("mild 5%% imbalance re-sharded: %+v", d)
+	} else if d.Reason != "within hysteresis" {
+		t.Fatalf("reason = %q, want within hysteresis", d.Reason)
+	}
+	straggler := []WorkerLoad{
+		{Name: "a", Share: 0.5, Seconds: 3},
+		{Name: "b", Share: 0.5, Seconds: 1},
+	}
+	d := r.Step(1, straggler)
+	if !d.Rebalance {
+		t.Fatalf("3x straggler kept the split: %+v", d)
+	}
+	if d.Shares[0] >= d.Shares[1] {
+		t.Fatalf("straggler kept the bigger share: %v", d.Shares)
+	}
+	if d.Gain <= 0.15 {
+		t.Fatalf("gain %v should exceed hysteresis", d.Gain)
+	}
+}
+
+// TestRebalancerCooldown: MinEpochs spaces re-shards out even under a
+// persistent trigger, and Force bypasses the gate.
+func TestRebalancerCooldown(t *testing.T) {
+	r := New(Config{Policy: Throughput, Hysteresis: 0.05, MinEpochs: 3})
+	loads := []WorkerLoad{
+		{Name: "a", Share: 0.5, Seconds: 3},
+		{Name: "b", Share: 0.5, Seconds: 1},
+	}
+	if d := r.Step(0, loads); d.Rebalance || d.Reason != "cooldown" {
+		t.Fatalf("epoch 0 inside warmup re-sharded: %+v", d)
+	}
+	if d := r.Step(2, loads); !d.Rebalance {
+		t.Fatalf("epoch 2 past warmup kept the split: %+v", d)
+	}
+	if d := r.Step(3, loads); d.Rebalance || d.Reason != "cooldown" {
+		t.Fatalf("epoch 3 inside cooldown re-sharded: %+v", d)
+	}
+	r.Force()
+	if d := r.Step(4, loads); !d.Rebalance || d.Reason != "forced" {
+		t.Fatalf("forced step kept the split: %+v", d)
+	}
+	// The force flag is one-shot.
+	if d := r.Step(5, loads); d.Rebalance {
+		t.Fatalf("force leaked into the next step: %+v", d)
+	}
+}
+
+// TestRebalancerMeasureHook: an injected Measure overrides the observed
+// seconds, the determinism seam the golden test builds on.
+func TestRebalancerMeasureHook(t *testing.T) {
+	r := New(Config{
+		Policy: Throughput, MinEpochs: 1,
+		Measure: func(epoch int, loads []WorkerLoad) []float64 {
+			return []float64{4, 1} // contradicts the observed seconds below
+		},
+	})
+	loads := []WorkerLoad{
+		{Name: "a", Share: 0.5, Seconds: 1},
+		{Name: "b", Share: 0.5, Seconds: 1},
+	}
+	d := r.Step(0, loads)
+	if !d.Rebalance {
+		t.Fatalf("hook measurement ignored: %+v", d)
+	}
+	if d.Shares[0] >= d.Shares[1] {
+		t.Fatalf("hook straggler kept the bigger share: %v", d.Shares)
+	}
+}
+
+// TestRebalancerMinShare: an extreme straggler is floored, not starved.
+func TestRebalancerMinShare(t *testing.T) {
+	r := New(Config{Policy: Throughput, MinEpochs: 1, MinShare: 0.05})
+	loads := []WorkerLoad{
+		{Name: "slow", Share: 0.5, Seconds: 1000},
+		{Name: "fast", Share: 0.5, Seconds: 1},
+	}
+	d := r.Step(0, loads)
+	if !d.Rebalance {
+		t.Fatalf("extreme straggler kept the split: %+v", d)
+	}
+	if d.Shares[0] < 0.05-1e-9 {
+		t.Fatalf("straggler starved below the floor: %v", d.Shares)
+	}
+}
+
+// TestNilRebalancer: Policy Off yields a nil rebalancer whose methods are
+// inert — the static path costs one nil check.
+func TestNilRebalancer(t *testing.T) {
+	r := New(Config{})
+	if r != nil {
+		t.Fatal("Off policy built a rebalancer")
+	}
+	r.Force()
+	if d := r.Step(0, nil); d.Rebalance || d.Reason != "off" {
+		t.Fatalf("nil rebalancer decided %+v", d)
+	}
+}
+
+// TestSimulateDriftCrossover reproduces the Ma & Rusu shape: under
+// throughput drift the adaptive schedule pays re-shard costs early, then
+// overtakes the static split and finishes the run faster.
+func TestSimulateDriftCrossover(t *testing.T) {
+	res, err := SimulateDrift(DriftStudy{
+		Epochs: 30,
+		Workers: []DriftWorker{
+			{Name: "gpu0", Rate0: 8, Factor: 0.25}, // throttles to a quarter
+			{Name: "gpu1", Rate0: 8, Factor: 1},
+			{Name: "cpu0", Rate0: 2, Factor: 1},
+		},
+		Policy:        Config{Policy: Throughput, Hysteresis: 0.10, MinEpochs: 2},
+		RebalanceCost: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalances == 0 {
+		t.Fatal("drift never triggered a re-shard")
+	}
+	if res.AdaptiveTotal >= res.StaticTotal {
+		t.Fatalf("adaptive %v did not beat static %v", res.AdaptiveTotal, res.StaticTotal)
+	}
+	if res.CrossoverEpoch < 0 {
+		t.Fatal("no crossover epoch recorded")
+	}
+	// Determinism: the closed-form model has no noise.
+	again, err := SimulateDrift(DriftStudy{
+		Epochs: 30,
+		Workers: []DriftWorker{
+			{Name: "gpu0", Rate0: 8, Factor: 0.25},
+			{Name: "gpu1", Rate0: 8, Factor: 1},
+			{Name: "cpu0", Rate0: 2, Factor: 1},
+		},
+		Policy:        Config{Policy: Throughput, Hysteresis: 0.10, MinEpochs: 2},
+		RebalanceCost: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.AdaptiveTotal != res.AdaptiveTotal || again.CrossoverEpoch != res.CrossoverEpoch {
+		t.Fatalf("drift study not deterministic: %+v vs %+v", res, again)
+	}
+}
+
+// TestSimulateDriftNoDrift: with stable rates the adaptive run never
+// re-shards and matches the static run exactly.
+func TestSimulateDriftNoDrift(t *testing.T) {
+	res, err := SimulateDrift(DriftStudy{
+		Epochs: 10,
+		Workers: []DriftWorker{
+			{Name: "a", Rate0: 4, Factor: 1},
+			{Name: "b", Rate0: 1, Factor: 1},
+		},
+		Policy:        Config{Policy: Throughput},
+		RebalanceCost: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalances != 0 {
+		t.Fatalf("stable rates triggered %d re-shards", res.Rebalances)
+	}
+	if res.AdaptiveTotal != res.StaticTotal {
+		t.Fatalf("adaptive %v != static %v without drift", res.AdaptiveTotal, res.StaticTotal)
+	}
+}

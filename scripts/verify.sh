@@ -18,19 +18,21 @@
 #      packages dataset, sparse, parallel; the intentional Hogwild races
 #      stay off these runs via internal/raceflag
 #   6. go test -run=NONE -bench=. -benchtime=1x — every benchmark runs
-#      once (including the ingest/v1 ingestion suite), so a PR cannot
-#      silently break the suites behind hccmf-bench -json and
-#      BENCH_*.json (see DESIGN.md §9–10). Output lands in a log so a
-#      failure is diagnosable; the log's tail is echoed on error.
+#      once (including the ingest/v1 ingestion suite and the schedule/v1
+#      straggler pair), so a PR cannot silently break the suites behind
+#      hccmf-bench -json and BENCH_*.json (see DESIGN.md §9–10). Output
+#      lands in a log so a failure is diagnosable; the log's tail is
+#      echoed on error.
 #   7. kernel regression gate — hccmf-benchdiff -fail-on-regress
-#      measures the suite fresh and compares the kernel group against
-#      the newest committed BENCH_*.json baseline, after dividing out
-#      the suite-median ratio (-normalize) so machine-wide drift on a
-#      shared container cancels and only relative movement can flag.
-#      The 50% threshold then catches real regressions (a kernel
-#      accidentally falling off its fast path), not noise; the CI
-#      report-only benchdiff job keeps the tight numbers across all
-#      groups (see DESIGN.md §12 and §16)
+#      measures the suite fresh and compares the kernel and schedule
+#      groups against the newest committed BENCH_*.json baseline, after
+#      dividing out the suite-median ratio (-normalize) so machine-wide
+#      drift on a shared container cancels and only relative movement
+#      can flag. The 50% threshold then catches real regressions (a
+#      kernel accidentally falling off its fast path, an adaptive
+#      scheduler that stopped firing), not noise; the CI report-only
+#      benchdiff job keeps the tight numbers across all groups (see
+#      DESIGN.md §12 and §16–17)
 #   8. go test ./...                   — full test suite (includes the
 #      fp16, dataset, and sparse fuzz targets' seed corpora)
 #   9. go test -cover over the observability/measurement packages — a
@@ -73,7 +75,7 @@ echo "== go test -race (ps, comm, comm/net, mf, simengine, obs, recommend, datas
 go test -race ./internal/ps ./internal/comm ./internal/comm/net ./internal/mf ./internal/simengine \
 	./internal/obs ./internal/recommend ./internal/dataset ./internal/sparse ./internal/parallel
 
-echo "== bench smoke (every benchmark once, kernel + ingest suites)"
+echo "== bench smoke (every benchmark once, kernel + ingest + schedule suites)"
 bench_log=$(mktemp -t hccmf-bench-smoke.XXXXXX)
 if ! go test -run=NONE -bench=. -benchtime=1x ./... > "$bench_log" 2>&1; then
 	echo "bench smoke failed; last lines of $bench_log:" >&2
@@ -84,16 +86,19 @@ echo "   (full output: $bench_log)"
 
 echo "== kernel regression gate (hccmf-benchdiff vs committed BENCH_*.json)"
 # Fresh measurement averaged over 2 runs; the newest BENCH_*.json in the
-# repo root is picked up as the baseline automatically. Only the kernel
-# group gates: serve p99 and the ingest readers are wall-clock-bound and
-# jitter far more than ns/update on a shared 1-CPU container (CI's
-# report-only job still diffs all three groups). -normalize divides out
-# the suite-median ratio first, so a machine-wide slowdown (another
-# tenant on the host) cancels and only *relative* movement flags; the
-# 50% threshold then absorbs per-kernel jitter (the lock-free Hogwild
-# bench is bimodal under GOMAXPROCS=1) while still failing a kernel
-# that falls off its fast path.
-go run ./cmd/hccmf-benchdiff -count 2 -threshold 0.5 -groups kernel -normalize -fail-on-regress | awk '{print "   " $0}'
+# repo root is picked up as the baseline automatically. The kernel and
+# schedule groups gate: serve p99 and the ingest readers are
+# wall-clock-bound and jitter far more than ns/update on a shared 1-CPU
+# container (CI's report-only job still diffs all groups). The schedule
+# stragglers are stable — their deterministic throttle dominates — so a
+# 50% regression there means the adaptive path genuinely broke (the
+# rebalancer stopped firing). -normalize divides out the suite-median
+# ratio first, so a machine-wide slowdown (another tenant on the host)
+# cancels and only *relative* movement flags; the 50% threshold then
+# absorbs per-kernel jitter (the lock-free Hogwild bench is bimodal
+# under GOMAXPROCS=1) while still failing a kernel that falls off its
+# fast path.
+go run ./cmd/hccmf-benchdiff -count 2 -threshold 0.5 -groups kernel,schedule -normalize -fail-on-regress | awk '{print "   " $0}'
 
 echo "== go test ./..."
 go test ./...
